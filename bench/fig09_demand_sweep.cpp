@@ -1,0 +1,66 @@
+// Figure 9: total goodput vs. user demand on Online Boutique.
+//
+// Paper result: TopFull and DAGOR stay flat once demand exceeds capacity
+// (consistent admission standards), while Breakwater degrades further as
+// demand grows (uncorrelated random shedding across tiers compounds).
+#include <cstdio>
+#include <vector>
+
+#include "apps/online_boutique.hpp"
+#include "common/table.hpp"
+#include "exp/harness.hpp"
+#include "exp/model_cache.hpp"
+
+using namespace topfull;
+
+namespace {
+
+constexpr double kWarmupS = 20.0;
+constexpr double kEndS = 90.0;
+
+double RunPoint(exp::Variant variant, const rl::GaussianPolicy* policy, int users) {
+  apps::BoutiqueOptions options;
+  options.seed = 23;
+  // DAGOR carries its per-API business priorities by design (§5).
+  options.distinct_priorities = variant == exp::Variant::kDagor;
+  auto app = apps::MakeOnlineBoutique(options);
+  exp::Controllers controllers;
+  controllers.Attach(variant, *app, policy);
+  workload::TrafficDriver traffic(app.get());
+  // Same browse/checkout-heavy journey as Fig. 8.
+  workload::ClosedLoopConfig config = exp::UniformUsers(*app);
+  config.mix.weights = {1.5, 1.7, 0.6, 0.6, 0.6};
+  traffic.AddClosedLoop(config, workload::Schedule::Constant(users));
+  app->RunFor(Seconds(kEndS));
+  return exp::TotalGoodput(*app, kWarmupS, kEndS);
+}
+
+}  // namespace
+
+int main() {
+  PrintBanner("Figure 9",
+              "Online Boutique: total goodput (rps) vs. user demand for "
+              "Breakwater / DAGOR / TopFull.");
+  auto policy = exp::GetPretrainedPolicy();
+  const std::vector<int> demands = {1200, 1800, 2600, 3400, 4200, 5000};
+
+  Table table("total goodput (rps) by closed-loop user count");
+  std::vector<std::string> header = {"variant"};
+  for (const int d : demands) header.push_back(std::to_string(d));
+  table.SetHeader(header);
+
+  for (const auto& [variant, policy_ptr] :
+       std::vector<std::pair<exp::Variant, const rl::GaussianPolicy*>>{
+           {exp::Variant::kBreakwater, nullptr},
+           {exp::Variant::kDagor, nullptr},
+           {exp::Variant::kTopFull, policy.get()}}) {
+    std::vector<double> row;
+    for (const int users : demands) row.push_back(RunPoint(variant, policy_ptr, users));
+    table.AddRow(exp::VariantName(variant), row, 0);
+  }
+  table.Print();
+  std::printf(
+      "\nExpected shape: TopFull/DAGOR roughly flat beyond saturation;\n"
+      "Breakwater decays as demand rises (multi-tier random drops).\n");
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Figure 18: adaptation to internal instance failures.
+//
+// Paper setup: 25 of the 35 ts-station pods are deleted at t=50 s;
+// Kubernetes re-creates them (ready again ~60 s later). Without control the
+// 10 surviving pods drown and goodput collapses to ~0 until recovery; with
+// TopFull the APIs crossing ts-station are throttled to what 10 pods can
+// serve, preserving that goodput throughout.
+#include <cstdio>
+
+#include "apps/train_ticket.hpp"
+#include "common/table.hpp"
+#include "exp/csv.hpp"
+#include "exp/harness.hpp"
+#include "exp/model_cache.hpp"
+
+using namespace topfull;
+
+namespace {
+
+constexpr double kFailS = 50.0;
+constexpr double kRecoverDelayS = 60.0;
+constexpr double kEndS = 180.0;
+constexpr int kKilledPods = 25;
+
+std::unique_ptr<sim::Application> Run(exp::Variant variant,
+                                      const rl::GaussianPolicy* policy) {
+  apps::TrainTicketOptions options;
+  options.seed = 83;
+  auto app = apps::MakeTrainTicket(options);
+  exp::Controllers controllers;
+  controllers.Attach(variant, *app, policy);
+
+  workload::TrafficDriver traffic(app.get());
+  // Open-loop demand: external callers keep sending at the pre-failure
+  // rate, so the surviving 10 ts-station pods face ~1.4x their capacity.
+  for (sim::ApiId a = 0; a < app->NumApis(); ++a) {
+    traffic.AddOpenLoop(a, workload::Schedule::Constant(460));
+  }
+
+  const sim::ServiceId station = app->FindService("ts-station");
+  app->sim().ScheduleAt(Seconds(kFailS), [&app, station]() {
+    app->service(station).KillPods(kKilledPods);
+    // The deployment controller replaces the dead pods; they come up after
+    // the recovery delay.
+    app->service(station).SetPodCount(35, Seconds(kRecoverDelayS));
+  });
+
+  app->RunFor(Seconds(kEndS));
+  return app;
+}
+
+}  // namespace
+
+int main() {
+  PrintBanner("Figure 18",
+              "Train Ticket: 25/35 ts-station pods killed at t=50 s, replaced "
+              "60 s later. Total goodput timeline, no-control vs TopFull.");
+  auto policy = exp::GetPretrainedPolicy();
+  auto none = Run(exp::Variant::kNoControl, nullptr);
+  auto topfull = Run(exp::Variant::kTopFull, policy.get());
+
+  Table timeline("total goodput (rps, 5 s bins)");
+  timeline.SetHeader({"t(s)", "no control", "TopFull", "station pods (TopFull run)"});
+  for (double t = 0.0; t + 5.0 <= kEndS; t += 5.0) {
+    // Pod count from the service itself at print time is end-state; report
+    // the phase instead.
+    const char* phase = (t + 5 <= kFailS) ? "35"
+                        : (t + 5 <= kFailS + kRecoverDelayS) ? "10"
+                                                             : "35";
+    timeline.AddRow({Fmt(t + 5.0, 0), Fmt(exp::TotalGoodput(*none, t, t + 5), 0),
+                     Fmt(exp::TotalGoodput(*topfull, t, t + 5), 0), phase});
+  }
+  timeline.Print();
+
+  exp::MaybeExportTimeline(*none, "fig18_no_control");
+  exp::MaybeExportTimeline(*topfull, "fig18_topfull");
+
+  const double during_none = exp::TotalGoodput(*none, kFailS + 10, kFailS + kRecoverDelayS);
+  const double during_tf = exp::TotalGoodput(*topfull, kFailS + 10, kFailS + kRecoverDelayS);
+  std::printf("\nDuring the failure window: no control %.0f rps, TopFull %.0f "
+              "rps.\nPaper: no control serves ~zero until recovery; TopFull "
+              "holds the goodput 10 pods can sustain.\n",
+              during_none, during_tf);
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Figure 19: sensitivity to VM startup time.
+//
+// Paper setup: Online Boutique surge (160 s) with the cluster autoscaler's
+// VM startup time emulated at 20 / 40 / 60 s (real clouds: 41-124 s, up to
+// 267 s on Azure at peak hours). Paper: both improve with faster VMs;
+// TopFull keeps up to a 1.52x edge and still wins at 20 s because it acts on
+// a smaller timescale than any autoscaler.
+#include <cstdio>
+
+#include "apps/online_boutique.hpp"
+#include "autoscale/hpa.hpp"
+#include "common/table.hpp"
+#include "exp/harness.hpp"
+#include "exp/model_cache.hpp"
+
+using namespace topfull;
+
+namespace {
+
+constexpr double kSurgeS = 30.0;
+constexpr double kSurgeLenS = 160.0;  // paper: 160 s surge
+constexpr double kEndS = 220.0;
+
+double Run(exp::Variant variant, const rl::GaussianPolicy* policy,
+           double vm_startup_s) {
+  apps::BoutiqueOptions options;
+  options.seed = 89;
+  options.probe_failures = true;
+  auto app = apps::MakeOnlineBoutique(options);
+  autoscale::ClusterConfig cluster_config;
+  // Small VMs so the surge immediately exhausts the pool: how fast new VMs
+  // arrive (the swept startup time) is then what gates the autoscaler.
+  cluster_config.vcpus_per_vm = 24.0;
+  cluster_config.initial_vms = 1;
+  cluster_config.max_vms = 6;
+  cluster_config.vm_startup = Seconds(vm_startup_s);
+  autoscale::Cluster cluster(&app->sim(), cluster_config);
+  autoscale::HorizontalPodAutoscaler hpa(app.get(), &cluster, {});
+  hpa.Start();
+  exp::Controllers controllers;
+  controllers.Attach(variant, *app, policy);
+  workload::TrafficDriver traffic(app.get());
+  traffic.AddClosedLoop(exp::UniformUsers(*app),
+                        workload::Schedule::Spike(600, Seconds(kSurgeS),
+                                                  Seconds(kSurgeLenS), 3600));
+  app->RunFor(Seconds(kEndS));
+  return exp::TotalGoodput(*app, kSurgeS, kSurgeS + kSurgeLenS);
+}
+
+}  // namespace
+
+int main() {
+  PrintBanner("Figure 19",
+              "Online Boutique surge with HPA: avg goodput vs emulated VM "
+              "startup time (20/40/60 s).");
+  auto policy = exp::GetPretrainedPolicy();
+
+  Table table("avg goodput during the 160 s surge (rps)");
+  table.SetHeader({"VM startup", "autoscaler", "TopFull+AS", "gain"});
+  for (const double startup : {20.0, 40.0, 60.0}) {
+    const double solo = Run(exp::Variant::kNoControl, nullptr, startup);
+    const double tf = Run(exp::Variant::kTopFull, policy.get(), startup);
+    table.AddRow({Fmt(startup, 0) + "s", Fmt(solo, 0), Fmt(tf, 0),
+                  Fmt(tf / std::max(1.0, solo), 2) + "x"});
+  }
+  table.Print();
+  std::printf("\nPaper: goodput rises as VM startup shrinks; TopFull keeps up "
+              "to a 1.52x advantage and still wins at 20 s.\n");
+  return 0;
+}

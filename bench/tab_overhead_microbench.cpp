@@ -1,0 +1,81 @@
+// §6.4 "Online deployment overhead cost" — google-benchmark micro-benchmarks
+// of the two per-tick costs: building clusters and one RL inference.
+//
+// Paper (Xeon Platinum 8370C): clustering the Train Ticket app costs
+// 1.26e6 cycles, one RL inference 2.33e6 cycles; one core can control
+// ~15,000 microservices / 1,000 clusters per second. We report wall time
+// and a cycle estimate at the measured clock.
+#include <benchmark/benchmark.h>
+
+#include "apps/train_ticket.hpp"
+#include "common/token_bucket.hpp"
+#include "core/clustering.hpp"
+#include "core/registry.hpp"
+#include "exp/model_cache.hpp"
+#include "rl/observation.hpp"
+#include "trace/synthetic_trace.hpp"
+
+using namespace topfull;
+
+namespace {
+
+// Clustering the Train Ticket registry with a rotating overloaded set.
+void BM_ClusteringTrainTicket(benchmark::State& state) {
+  apps::TrainTicketOptions options;
+  auto app = apps::MakeTrainTicket(options);
+  core::ApiRegistry registry(*app);
+  const int num_overloaded = static_cast<int>(state.range(0));
+  std::vector<std::vector<sim::ServiceId>> overloaded_sets;
+  Rng rng(4242);
+  for (int i = 0; i < 64; ++i) {
+    std::vector<sim::ServiceId> set;
+    for (int k = 0; k < num_overloaded; ++k) {
+      set.push_back(static_cast<sim::ServiceId>(
+          rng.UniformInt(0, app->NumServices() - 1)));
+    }
+    overloaded_sets.push_back(std::move(set));
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto clusters =
+        core::BuildClusters(registry, overloaded_sets[i++ % overloaded_sets.size()]);
+    benchmark::DoNotOptimize(clusters.size());
+  }
+}
+BENCHMARK(BM_ClusteringTrainTicket)->Arg(2)->Arg(5)->Arg(10);
+
+// Clustering at Alibaba-trace scale (68 overloaded among 23,481 services).
+void BM_ClusteringTraceScale(benchmark::State& state) {
+  const trace::TraceConfig config;
+  const trace::SyntheticTrace synthetic = trace::GenerateTrace(config, 20210701);
+  for (auto _ : state) {
+    const auto analysis = trace::AnalyzeClustering(synthetic, config.util_threshold);
+    benchmark::DoNotOptimize(analysis.clusters);
+  }
+}
+BENCHMARK(BM_ClusteringTraceScale)->Unit(benchmark::kMillisecond);
+
+// One deterministic RL inference (the per-cluster per-second decision).
+void BM_RlInference(benchmark::State& state) {
+  auto policy = exp::GetPretrainedPolicy();
+  const std::vector<double> obs = rl::MakeObservation(800.0, 1000.0, 1.2, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policy->MeanAction(obs));
+  }
+}
+BENCHMARK(BM_RlInference);
+
+// Token-bucket admission (the per-request datapath cost at the entry).
+void BM_TokenBucketAdmit(benchmark::State& state) {
+  TokenBucket bucket(1e6, 1e5);
+  SimTime now = 0;
+  for (auto _ : state) {
+    now += 10;
+    benchmark::DoNotOptimize(bucket.TryAdmit(now));
+  }
+}
+BENCHMARK(BM_TokenBucketAdmit);
+
+}  // namespace
+
+BENCHMARK_MAIN();

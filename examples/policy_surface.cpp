@@ -1,0 +1,30 @@
+// Prints the trained rate-control policy's response surface: the
+// multiplicative step it takes as a function of (goodput/limit ratio,
+// latency/SLO). Handy for understanding what the PPO policy learned —
+// the paper's premise is "aggressive decisions in the initial phase of
+// overload according to its severity, then fine adjustment".
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "exp/model_cache.hpp"
+
+using namespace topfull;
+
+int main() {
+  auto policy = exp::GetPretrainedPolicy();
+  Table table("mean action by state (rows: goodput/limit; cols: latency/SLO)");
+  std::vector<std::string> header = {"ratio \\ lat"};
+  const double lats[] = {0.0, 0.25, 0.5, 0.8, 1.0, 1.5, 2.0, 3.0, 5.0};
+  for (const double l : lats) header.push_back(Fmt(l, 2));
+  table.SetHeader(header);
+  for (const double ratio : {0.0, 0.2, 0.4, 0.6, 0.8, 0.9, 1.0, 1.1}) {
+    std::vector<double> row;
+    for (const double lat : lats) {
+      row.push_back(policy->MeanAction({ratio, lat}));
+    }
+    table.AddRow(Fmt(ratio, 2), row, 3);
+  }
+  table.Print();
+  std::printf("\nlog_std = %.3f\n", policy->log_std());
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Business-priority walkthrough (paper §4.1 "Respecting the business
+// priority" / Algorithm 1).
+//
+// Three APIs with descending business priority share one bottleneck.
+// Under overload, TopFull sheds the lowest-priority API first and gives
+// recovered capacity to the highest-priority API first — but, unlike
+// DAGOR's strict priority admission, an API whose execution path still
+// crosses another overloaded microservice is not raised even if it
+// outranks everyone (Fig. 6's rule).
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "core/controller.hpp"
+#include "exp/model_cache.hpp"
+#include "sim/app.hpp"
+#include "workload/generators.hpp"
+
+using namespace topfull;
+
+int main() {
+  sim::Application app("priority-demo", /*seed=*/5);
+
+  sim::ServiceConfig shared;
+  shared.name = "shared";  // 4 threads / 5 ms = 800 rps
+  shared.mean_service_ms = 5.0;
+  shared.threads = 4;
+  shared.initial_pods = 1;
+  const sim::ServiceId shared_id = app.AddService(shared);
+
+  sim::ServiceConfig niche;
+  niche.name = "niche";  // 2 threads / 10 ms = 200 rps: gold's second hop
+  niche.mean_service_ms = 10.0;
+  niche.threads = 2;
+  niche.initial_pods = 1;
+  const sim::ServiceId niche_id = app.AddService(niche);
+
+  // gold outranks silver outranks bronze (smaller value = higher priority).
+  sim::ApiSpec gold("gold", 1);
+  gold.AddPath(sim::ExecutionPath{sim::Chain({shared_id, niche_id}), 1.0, {}});
+  app.AddApi(std::move(gold));
+  sim::ApiSpec silver("silver", 2);
+  silver.AddPath(sim::ExecutionPath{sim::Chain({shared_id}), 1.0, {}});
+  app.AddApi(std::move(silver));
+  sim::ApiSpec bronze("bronze", 3);
+  bronze.AddPath(sim::ExecutionPath{sim::Chain({shared_id}), 1.0, {}});
+  app.AddApi(std::move(bronze));
+  app.Finalize();
+
+  auto policy = exp::GetPretrainedPolicy();
+  core::TopFullController controller(
+      &app, std::make_unique<core::RlRateController>(policy.get()));
+  controller.Start();
+
+  // Everyone offers 500 rps: "shared" sees 1500 vs its 800 capacity, and
+  // gold is additionally capped by "niche" at 200.
+  workload::TrafficDriver traffic(&app);
+  for (sim::ApiId a = 0; a < 3; ++a) {
+    traffic.AddOpenLoop(a, workload::Schedule::Constant(500));
+  }
+  app.RunFor(Seconds(120));
+
+  Table table("steady goodput under 1.9x overload of the shared service");
+  table.SetHeader({"API", "priority", "offered", "goodput (60-120 s)", "rate limit"});
+  const char* names[] = {"gold", "silver", "bronze"};
+  for (sim::ApiId a = 0; a < 3; ++a) {
+    const auto limit = controller.RateLimit(a);
+    table.AddRow({names[a], std::to_string(app.api(a).business_priority()), "500",
+                  Fmt(app.metrics().AvgGoodput(a, 60, 120), 0),
+                  limit ? Fmt(*limit, 0) : "uncapped"});
+  }
+  table.Print();
+  std::printf(
+      "\ngold — despite the TOP priority — is throttled down to what its\n"
+      "niche dependency (200 rps capacity) can finish; raising it would only\n"
+      "waste 'shared' on doomed requests (the Fig. 6 rule). silver keeps\n"
+      "nearly all of its demand; bronze absorbs the remaining cuts.\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Quickstart: build a tiny two-service application, overload it, and watch
+// TopFull's controller restore goodput by rate-limiting the offending API at
+// the entry.
+//
+// This is the Fig. 1 scenario of the paper: API 1 traverses services A and
+// B, API 2 traverses only A. B is the small service; uncontrolled, API 1
+// floods A with work that B must reject, starving API 2.
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "core/controller.hpp"
+#include "exp/model_cache.hpp"
+#include "sim/app.hpp"
+#include "workload/generators.hpp"
+
+using namespace topfull;
+
+int main() {
+  // 1. Describe the deployment: two services, two APIs.
+  sim::Application app("quickstart", /*seed=*/7);
+
+  sim::ServiceConfig a;
+  a.name = "service-a";
+  a.mean_service_ms = 4.0;  // 8 threads / 4 ms x 1 pod = 2000 rps
+  a.threads = 8;
+  a.initial_pods = 1;
+  const sim::ServiceId sa = app.AddService(a);
+
+  sim::ServiceConfig b;
+  b.name = "service-b";
+  b.mean_service_ms = 10.0;  // 4 threads / 10 ms x 1 pod = 400 rps
+  b.threads = 4;
+  b.initial_pods = 1;
+  const sim::ServiceId sb = app.AddService(b);
+
+  sim::ApiSpec api1("api1", /*business_priority=*/1);
+  api1.AddPath(sim::ExecutionPath{sim::Chain({sa, sb}), 1.0, {}});
+  app.AddApi(std::move(api1));
+
+  sim::ApiSpec api2("api2", /*business_priority=*/1);
+  api2.AddPath(sim::ExecutionPath{sim::Chain({sa}), 1.0, {}});
+  app.AddApi(std::move(api2));
+
+  app.Finalize();
+
+  // 2. Attach TopFull with the shared pre-trained RL rate controller.
+  auto policy = exp::GetPretrainedPolicy();
+  core::TopFullController controller(
+      &app, std::make_unique<core::RlRateController>(policy.get()));
+  controller.Start();
+
+  // 3. Offer more than the system can take: 1200 rps to each API.
+  workload::TrafficDriver traffic(&app);
+  traffic.AddOpenLoop(0, workload::Schedule::Constant(1200));
+  traffic.AddOpenLoop(1, workload::Schedule::Constant(1200));
+
+  // 4. Run for two minutes and report per-10s goodput.
+  Table table("Goodput (rps, averaged per 10 s) under a 2x overload");
+  table.SetHeader({"t(s)", "api1 good", "api2 good", "api1 limit", "api2 limit"});
+  for (int block = 0; block < 12; ++block) {
+    app.RunFor(Seconds(10));
+    const double t0 = block * 10.0, t1 = t0 + 10.0;
+    const auto l1 = controller.RateLimit(0);
+    const auto l2 = controller.RateLimit(1);
+    table.AddRow(Fmt(t1, 0), {app.metrics().AvgGoodput(0, t0, t1),
+                              app.metrics().AvgGoodput(1, t0, t1),
+                              l1.value_or(-1.0), l2.value_or(-1.0)});
+  }
+  table.Print();
+
+  std::printf(
+      "\nservice-b caps api1 at ~400 rps; TopFull holds api1 near that and\n"
+      "lets api2 grow towards service-a's remaining capacity instead of\n"
+      "letting api1's doomed requests waste it.\n");
+  return 0;
+}

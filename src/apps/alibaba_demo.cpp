@@ -1,0 +1,132 @@
+#include "apps/alibaba_demo.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <string>
+
+namespace topfull::apps {
+namespace {
+
+constexpr int kNumServices = 127;
+constexpr int kNumApis = 25;
+constexpr int kNumOverloadable = 13;
+// 17 single-path APIs + 8 branching APIs (6+5+4+3+2+2+2+2 = 26 paths)
+// gives the paper's 43 execution paths with branching up to 6.
+constexpr int kBranchCounts[] = {6, 5, 4, 3, 2, 2, 2, 2};
+
+}  // namespace
+
+AlibabaDemo MakeAlibabaDemo(const AlibabaDemoOptions& options) {
+  AlibabaDemo demo;
+  demo.app = std::make_unique<sim::Application>("alibaba-demo", options.seed);
+  sim::Application& app = *demo.app;
+  Rng rng(options.seed ^ 0xA11BABAULL);
+
+  // Overloadable services spread across the id space.
+  std::set<int> overloadable_set;
+  while (static_cast<int>(overloadable_set.size()) < kNumOverloadable) {
+    overloadable_set.insert(static_cast<int>(rng.UniformInt(1, kNumServices - 1)));
+  }
+
+  for (int i = 0; i < kNumServices; ++i) {
+    sim::ServiceConfig config;
+    config.name = "ms-" + std::to_string(i);
+    const bool hot = overloadable_set.count(i) > 0;
+    if (hot) {
+      // Designed-overloadable: modest capacity (~150-400 rps).
+      config.mean_service_ms = rng.Uniform(18.0, 30.0);
+      config.threads = 4;
+      config.initial_pods = std::max(
+          1, static_cast<int>(std::lround(rng.UniformInt(1, 2) * options.capacity_scale)));
+    } else {
+      // Plentiful capacity (~2500-8000 rps).
+      config.mean_service_ms = rng.Uniform(2.0, 6.0);
+      config.threads = 8;
+      config.initial_pods = std::max(
+          1, static_cast<int>(std::lround(2 * options.capacity_scale)));
+    }
+    // Bound each pod's queue to ~1.5x the SLO's worth of work: requests
+    // queued deeper are doomed to violate the SLO anyway (so uncontrolled
+    // overload still collapses goodput), while bounded queues keep the
+    // latency signal from going completely stale.
+    config.max_queue = std::clamp(
+        static_cast<int>(config.threads * 1500.0 / config.mean_service_ms), 64, 1024);
+    const sim::ServiceId id = app.AddService(config);
+    if (hot) demo.overloadable.push_back(id);
+  }
+
+  // Helper: a chain call-tree over the given service sequence.
+  auto make_path = [&](const std::vector<int>& services, double prob) {
+    std::vector<sim::ServiceId> ids(services.begin(), services.end());
+    return sim::ExecutionPath{sim::Chain(ids), prob, {}};
+  };
+
+  // Assign each API 1-3 of the overloadable services; paths route through
+  // a random subset of them plus random cold services.
+  auto build_path_services = [&](const std::vector<int>& assigned_hot) {
+    const int length = static_cast<int>(rng.UniformInt(3, 7));
+    std::vector<int> services;
+    std::set<int> used;
+    // Start at a cold entry service.
+    while (true) {
+      const int entry = static_cast<int>(rng.UniformInt(0, kNumServices - 1));
+      if (overloadable_set.count(entry) == 0) {
+        services.push_back(entry);
+        used.insert(entry);
+        break;
+      }
+    }
+    // At least one of the API's assigned hot services is on every path.
+    const int must_hot =
+        assigned_hot[static_cast<std::size_t>(rng.UniformInt(
+            0, static_cast<std::int64_t>(assigned_hot.size()) - 1))];
+    while (static_cast<int>(services.size()) < length - 1) {
+      int next;
+      if (rng.Bernoulli(0.25) && !assigned_hot.empty()) {
+        next = assigned_hot[static_cast<std::size_t>(rng.UniformInt(
+            0, static_cast<std::int64_t>(assigned_hot.size()) - 1))];
+      } else {
+        next = static_cast<int>(rng.UniformInt(0, kNumServices - 1));
+        if (overloadable_set.count(next) > 0) continue;  // hot only via assignment
+      }
+      if (used.count(next) > 0) continue;
+      services.push_back(next);
+      used.insert(next);
+    }
+    if (used.count(must_hot) == 0) {
+      services.push_back(must_hot);
+    }
+    return services;
+  };
+
+  std::vector<int> hot_ids(demo.overloadable.begin(), demo.overloadable.end());
+  int branching_index = 0;
+  for (int a = 0; a < kNumApis; ++a) {
+    const bool branching = a < static_cast<int>(std::size(kBranchCounts));
+    const int num_paths = branching ? kBranchCounts[branching_index++] : 1;
+
+    // 1-3 assigned overloadable services per API, so that every hot
+    // service ends up contended by several APIs.
+    std::vector<int> assigned;
+    const int num_assigned = static_cast<int>(rng.UniformInt(1, 3));
+    while (static_cast<int>(assigned.size()) < num_assigned) {
+      const int h = hot_ids[static_cast<std::size_t>(
+          rng.UniformInt(0, static_cast<std::int64_t>(hot_ids.size()) - 1))];
+      if (std::find(assigned.begin(), assigned.end(), h) == assigned.end()) {
+        assigned.push_back(h);
+      }
+    }
+
+    sim::ApiSpec spec("api-" + std::to_string(a), 1);
+    for (int p = 0; p < num_paths; ++p) {
+      spec.AddPath(make_path(build_path_services(assigned), rng.Uniform(0.5, 1.5)));
+    }
+    app.AddApi(std::move(spec));
+  }
+
+  app.Finalize();
+  return demo;
+}
+
+}  // namespace topfull::apps

@@ -1,0 +1,138 @@
+#include "apps/online_boutique.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace topfull::apps {
+namespace {
+
+int ScaledPods(int pods, double scale) {
+  return std::max(1, static_cast<int>(std::lround(pods * scale)));
+}
+
+}  // namespace
+
+std::unique_ptr<sim::Application> MakeOnlineBoutique(const BoutiqueOptions& options) {
+  auto app = std::make_unique<sim::Application>("online-boutique", options.seed);
+  const double s = options.capacity_scale;
+
+  auto add = [&](const char* name, double mean_ms, int threads, int pods,
+                 bool probe = false) {
+    sim::ServiceConfig config;
+    config.name = name;
+    config.mean_service_ms = mean_ms;
+    config.threads = threads;
+    config.initial_pods = ScaledPods(pods, s);
+    // Bound each pod's queue to ~1.5x the SLO's worth of work: requests
+    // queued deeper are doomed to violate the SLO anyway (so uncontrolled
+    // overload still collapses goodput), while bounded queues keep the
+    // latency signal from going completely stale.
+    config.max_queue = std::clamp(
+        static_cast<int>(config.threads * 1500.0 / config.mean_service_ms), 64, 1024);
+    if (probe && options.probe_failures) {
+      config.probe_failures_enabled = true;
+      config.probe_queue_threshold = 300;
+      config.probe_failure_count = 2;
+      config.restart_delay = Seconds(15);
+    }
+    return app->AddService(config);
+  };
+
+  // Capacity per pod = threads / mean_service_time. Totals (x1 scale):
+  //   frontend 8000, productcatalog 1500, currency 4000, ad 2000,
+  //   cart 2000, redis 8000, recommendation 500, checkout 400,
+  //   payment 1600, shipping 1600, email 1600 (rps).
+  const sim::ServiceId frontend = add("frontend", 2.0, 8, 2);
+  const sim::ServiceId productcatalog = add("productcatalog", 8.0, 4, 3);
+  const sim::ServiceId recommendation = add("recommendation", 16.0, 4, 2, /*probe=*/true);
+  const sim::ServiceId cart = add("cart", 4.0, 4, 2);
+  const sim::ServiceId redis = add("redis-cart", 1.0, 8, 1);
+  const sim::ServiceId checkout = add("checkout", 20.0, 4, 2);
+  const sim::ServiceId currency = add("currency", 2.0, 4, 2);
+  const sim::ServiceId payment = add("payment", 5.0, 4, 2);
+  const sim::ServiceId shipping = add("shipping", 5.0, 4, 2);
+  const sim::ServiceId email = add("email", 5.0, 4, 2);
+  const sim::ServiceId ad = add("ad", 4.0, 4, 2);
+
+  using sim::CallNode;
+  auto leaf = [](sim::ServiceId id, double work = 1.0) {
+    return CallNode{id, work, false, {}};
+  };
+
+  // Business priorities: smaller = higher. Paper Fig. 11: API1 > API2 >
+  // API3 > API4 (> API5).
+  const int p1 = options.distinct_priorities ? 1 : 1;
+  const int p2 = options.distinct_priorities ? 2 : 1;
+  const int p3 = options.distinct_priorities ? 3 : 1;
+  const int p4 = options.distinct_priorities ? 4 : 1;
+  const int p5 = options.distinct_priorities ? 5 : 1;
+
+  // API 1: POST /checkout — frontend first re-reads the cart and catalog
+  // (ProductCatalog work happens BEFORE the Checkout bottleneck, so
+  // requests later shed or stalled at Checkout have already consumed
+  // ProductCatalog capacity — the waste pattern of Figs. 1/12), then calls
+  // checkout -> {currency, cart(redis), payment, shipping, email}.
+  {
+    sim::ApiSpec spec("postcheckout", p1);
+    CallNode cart_node = leaf(cart);
+    cart_node.children.push_back(leaf(redis));
+    CallNode checkout_node = leaf(checkout);
+    checkout_node.children = {leaf(currency), cart_node, leaf(payment),
+                              leaf(shipping), leaf(email)};
+    CallNode root = leaf(frontend);
+    root.children = {leaf(productcatalog), checkout_node};
+    spec.AddPath(sim::ExecutionPath{root, 1.0, {}});
+    app->AddApi(std::move(spec));
+  }
+  // API 2: GET /product — frontend -> productcatalog, recommendation
+  // (-> productcatalog), ad, currency. ProductCatalog is hit before
+  // Recommendation, so requests shed at Recommendation waste
+  // ProductCatalog capacity (the Fig. 12 waste pattern).
+  {
+    sim::ApiSpec spec("getproduct", p2);
+    CallNode recommend_node = leaf(recommendation);
+    recommend_node.children.push_back(leaf(productcatalog, 0.5));
+    CallNode root = leaf(frontend);
+    root.children = {leaf(productcatalog), recommend_node, leaf(ad), leaf(currency)};
+    spec.AddPath(sim::ExecutionPath{root, 1.0, {}});
+    app->AddApi(std::move(spec));
+  }
+  // API 3: GET /cart — frontend -> cart(redis), recommendation
+  // (-> productcatalog), shipping quote, currency.
+  {
+    sim::ApiSpec spec("getcart", p3);
+    CallNode cart_node = leaf(cart);
+    cart_node.children.push_back(leaf(redis));
+    CallNode recommend_node = leaf(recommendation);
+    recommend_node.children.push_back(leaf(productcatalog, 0.5));
+    CallNode root = leaf(frontend);
+    root.children = {cart_node, recommend_node, leaf(shipping, 0.5), leaf(currency)};
+    spec.AddPath(sim::ExecutionPath{root, 1.0, {}});
+    app->AddApi(std::move(spec));
+  }
+  // API 4: POST /cart — frontend -> productcatalog, cart(redis).
+  {
+    sim::ApiSpec spec("postcart", p4);
+    CallNode cart_node = leaf(cart);
+    cart_node.children.push_back(leaf(redis));
+    CallNode root = leaf(frontend);
+    root.children = {leaf(productcatalog), cart_node};
+    spec.AddPath(sim::ExecutionPath{root, 1.0, {}});
+    app->AddApi(std::move(spec));
+  }
+  // API 5: POST /cart/empty — frontend -> cart(redis).
+  {
+    sim::ApiSpec spec("emptycart", p5);
+    CallNode cart_node = leaf(cart);
+    cart_node.children.push_back(leaf(redis));
+    CallNode root = leaf(frontend);
+    root.children = {cart_node};
+    spec.AddPath(sim::ExecutionPath{root, 1.0, {}});
+    app->AddApi(std::move(spec));
+  }
+
+  app->Finalize();
+  return app;
+}
+
+}  // namespace topfull::apps

@@ -1,0 +1,39 @@
+// Online Boutique (Google microservices-demo): 11 microservices, 5 external
+// APIs (paper §6: API 1..5 = postcheckout, getproduct, getcart, postcart,
+// emptycart). Topology follows Fig. 2/3 of the paper; capacities are chosen
+// so that a uniform traffic surge overloads Recommendation, Checkout and
+// ProductCatalog — the configuration the paper's starvation analysis uses.
+#pragma once
+
+#include <memory>
+
+#include "sim/app.hpp"
+
+namespace topfull::apps {
+
+struct BoutiqueOptions {
+  std::uint64_t seed = 42;
+  /// Scales every service's pod count (provisioning level).
+  double capacity_scale = 1.0;
+  /// Distinct business priorities postcheckout > getproduct > getcart >
+  /// postcart > emptycart (Fig. 11/12). When false, all APIs share one
+  /// priority (Fig. 8: "we regarded all APIs as having the same business
+  /// priority").
+  bool distinct_priorities = false;
+  /// Enable the liveness-probe pod-failure model on Recommendation
+  /// (reproduces the crash-looping pods of Fig. 15).
+  bool probe_failures = false;
+};
+
+/// API indices within the returned application (paper numbering).
+enum BoutiqueApi : sim::ApiId {
+  kPostCheckout = 0,  // API 1
+  kGetProduct = 1,    // API 2
+  kGetCart = 2,       // API 3
+  kPostCart = 3,      // API 4
+  kEmptyCart = 4,     // API 5
+};
+
+std::unique_ptr<sim::Application> MakeOnlineBoutique(const BoutiqueOptions& options = {});
+
+}  // namespace topfull::apps

@@ -1,0 +1,192 @@
+#include "apps/train_ticket.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace topfull::apps {
+namespace {
+
+int ScaledPods(int pods, double scale) {
+  return std::max(1, static_cast<int>(std::lround(pods * scale)));
+}
+
+}  // namespace
+
+std::unique_ptr<sim::Application> MakeTrainTicket(const TrainTicketOptions& options) {
+  auto app = std::make_unique<sim::Application>("train-ticket", options.seed);
+  const double s = options.capacity_scale;
+
+  auto add = [&](const char* name, double mean_ms, int threads, int pods,
+                 bool probe = false) {
+    sim::ServiceConfig config;
+    config.name = name;
+    config.mean_service_ms = mean_ms;
+    config.threads = threads;
+    config.initial_pods = ScaledPods(pods, s);
+    // Bound each pod's queue to ~1.5x the SLO's worth of work: requests
+    // queued deeper are doomed to violate the SLO anyway (so uncontrolled
+    // overload still collapses goodput), while bounded queues keep the
+    // latency signal from going completely stale.
+    config.max_queue = std::clamp(
+        static_cast<int>(config.threads * 1500.0 / config.mean_service_ms), 64, 1024);
+    if (probe && options.probe_failures) {
+      config.probe_failures_enabled = true;
+      config.probe_queue_threshold = config.max_queue * 4 / 5;
+      config.probe_failure_count = 3;
+      config.restart_delay = Seconds(10);
+    }
+    return app->AddService(config);
+  };
+
+  // Entry and auth plane.
+  const sim::ServiceId ui = add("ts-ui-dashboard", 2.0, 8, 4);
+  const sim::ServiceId auth = add("ts-auth", 3.0, 4, 4);
+  const sim::ServiceId user = add("ts-user", 3.0, 4, 2);
+  add("ts-verification-code", 3.0, 4, 1);
+
+  // Travel / ticket query plane.
+  const sim::ServiceId travel = add("ts-travel", 25.0, 4, 4, /*probe=*/true);     // ~640 rps
+  const sim::ServiceId travel2 = add("ts-travel2", 25.0, 4, 2, /*probe=*/true);   // ~320 rps
+  const sim::ServiceId ticketinfo = add("ts-ticketinfo", 8.0, 4, 4);
+  const sim::ServiceId basic = add("ts-basic", 10.0, 4, 4);
+  const sim::ServiceId station = add("ts-station", 12.0, 1, 35);  // ~83 rps/pod; Fig. 18 kills 25
+  const sim::ServiceId train = add("ts-train", 5.0, 4, 2);
+  const sim::ServiceId route = add("ts-route", 6.0, 4, 3);
+  const sim::ServiceId price = add("ts-price", 5.0, 4, 2);
+  const sim::ServiceId seat = add("ts-seat", 10.0, 4, 3);
+  const sim::ServiceId config_svc = add("ts-config", 3.0, 4, 2);
+
+  // Order / payment plane.
+  const sim::ServiceId order = add("ts-order", 12.0, 4, 3, /*probe=*/true);
+  const sim::ServiceId order_other = add("ts-order-other", 12.0, 4, 2, /*probe=*/true);
+  const sim::ServiceId payment = add("ts-payment", 10.0, 4, 2);
+  const sim::ServiceId inside_payment = add("ts-inside-payment", 10.0, 4, 2);
+
+  // Food plane.
+  const sim::ServiceId food = add("ts-food", 15.0, 4, 2, /*probe=*/true);  // ~533 rps
+  const sim::ServiceId food_map = add("ts-food-map", 8.0, 4, 2);
+  const sim::ServiceId station_food = add("ts-station-food", 8.0, 4, 2);
+
+  // Services present in the deployment but off these six APIs' paths —
+  // Train Ticket runs 41 microservices even though the evaluated APIs
+  // exercise a subset (they still consume cluster resources).
+  add("ts-contacts", 5.0, 4, 1);
+  add("ts-security", 5.0, 4, 1);
+  add("ts-consign", 5.0, 4, 1);
+  add("ts-consign-price", 5.0, 4, 1);
+  add("ts-notification", 5.0, 4, 1);
+  add("ts-preserve", 5.0, 4, 1);
+  add("ts-preserve-other", 5.0, 4, 1);
+  add("ts-cancel", 5.0, 4, 1);
+  add("ts-rebook", 5.0, 4, 1);
+  add("ts-route-plan", 5.0, 4, 1);
+  add("ts-travel-plan", 5.0, 4, 1);
+  add("ts-execute", 5.0, 4, 1);
+  add("ts-assurance", 5.0, 4, 1);
+  add("ts-delivery", 5.0, 4, 1);
+  add("ts-admin-basic-info", 5.0, 4, 1);
+  add("ts-admin-order", 5.0, 4, 1);
+  add("ts-admin-route", 5.0, 4, 1);
+  add("ts-admin-travel", 5.0, 4, 1);
+  add("ts-admin-user", 5.0, 4, 1);
+  add("ts-news", 5.0, 4, 1);
+
+  using sim::CallNode;
+  auto leaf = [](sim::ServiceId id, double work = 1.0) {
+    return CallNode{id, work, false, {}};
+  };
+  auto priority = [&](int rank) { return options.distinct_priorities ? rank : 1; };
+
+  // Shared sub-trees.
+  auto auth_chain = [&]() {
+    CallNode n = leaf(auth, 0.5);
+    n.children.push_back(leaf(user, 0.5));
+    return n;
+  };
+  auto basic_chain = [&]() {
+    CallNode b = leaf(basic);
+    b.children = {leaf(station, 0.5), leaf(train, 0.5), leaf(route, 0.5),
+                  leaf(price, 0.5)};
+    return b;
+  };
+
+  // API 1: high speed ticket query.
+  {
+    sim::ApiSpec spec("high_speed_ticket", priority(1));
+    CallNode ticketinfo_node = leaf(ticketinfo);
+    ticketinfo_node.children.push_back(basic_chain());
+    CallNode seat_node = leaf(seat);
+    seat_node.children = {leaf(order, 0.5), leaf(config_svc, 0.5)};
+    CallNode travel_node = leaf(travel);
+    travel_node.children = {ticketinfo_node, seat_node, leaf(route, 0.5),
+                            leaf(order, 0.3)};
+    CallNode root = leaf(ui);
+    root.children = {auth_chain(), travel_node};
+    spec.AddPath(sim::ExecutionPath{root, 1.0, {}});
+    app->AddApi(std::move(spec));
+  }
+  // API 2: normal speed ticket query (ts-travel2 / ts-order-other plane).
+  {
+    sim::ApiSpec spec("normal_speed_ticket", priority(2));
+    CallNode ticketinfo_node = leaf(ticketinfo);
+    ticketinfo_node.children.push_back(basic_chain());
+    CallNode seat_node = leaf(seat);
+    seat_node.children = {leaf(order_other, 0.5), leaf(config_svc, 0.5)};
+    CallNode travel_node = leaf(travel2);
+    travel_node.children = {ticketinfo_node, seat_node, leaf(route, 0.5),
+                            leaf(order_other, 0.3)};
+    CallNode root = leaf(ui);
+    root.children = {auth_chain(), travel_node};
+    spec.AddPath(sim::ExecutionPath{root, 1.0, {}});
+    app->AddApi(std::move(spec));
+  }
+  // API 3: query order.
+  {
+    sim::ApiSpec spec("query_order", priority(3));
+    CallNode order_node = leaf(order);
+    order_node.children.push_back(leaf(station, 0.5));
+    CallNode root = leaf(ui);
+    root.children = {auth_chain(), order_node};
+    spec.AddPath(sim::ExecutionPath{root, 1.0, {}});
+    app->AddApi(std::move(spec));
+  }
+  // API 4: query order other.
+  {
+    sim::ApiSpec spec("query_order_other", priority(4));
+    CallNode order_node = leaf(order_other);
+    order_node.children.push_back(leaf(station, 0.5));
+    CallNode root = leaf(ui);
+    root.children = {auth_chain(), order_node};
+    spec.AddPath(sim::ExecutionPath{root, 1.0, {}});
+    app->AddApi(std::move(spec));
+  }
+  // API 5: query food.
+  {
+    sim::ApiSpec spec("query_food", priority(5));
+    CallNode food_map_node = leaf(food_map);
+    food_map_node.children.push_back(leaf(station_food, 0.5));
+    CallNode travel_node = leaf(travel, 0.3);
+    travel_node.children.push_back(leaf(route, 0.5));
+    CallNode food_node = leaf(food);
+    food_node.children = {food_map_node, travel_node, leaf(station, 0.5)};
+    CallNode root = leaf(ui);
+    root.children = {auth_chain(), food_node};
+    spec.AddPath(sim::ExecutionPath{root, 1.0, {}});
+    app->AddApi(std::move(spec));
+  }
+  // API 6: query payment.
+  {
+    sim::ApiSpec spec("query_payment", priority(6));
+    CallNode pay_node = leaf(inside_payment);
+    pay_node.children = {leaf(order, 0.5), leaf(payment, 0.5)};
+    CallNode root = leaf(ui);
+    root.children = {auth_chain(), pay_node};
+    spec.AddPath(sim::ExecutionPath{root, 1.0, {}});
+    app->AddApi(std::move(spec));
+  }
+
+  app->Finalize();
+  return app;
+}
+
+}  // namespace topfull::apps

@@ -1,0 +1,38 @@
+// Train Ticket (FudanSELab): 41 microservices, 6 external APIs
+// (paper §6: API 1..6 = high speed ticket, normal speed ticket, query order,
+// query order other, query food, query payment). The topology follows the
+// benchmark's published call graphs (Fig. 7); capacities make ts-travel,
+// ts-travel2 and ts-food the natural bottlenecks under a uniform surge so
+// that several independent clusters arise (the Fig. 10 clustering benefit),
+// and ts-station runs 35 small pods (the Fig. 18 failure-injection target).
+#pragma once
+
+#include <memory>
+
+#include "sim/app.hpp"
+
+namespace topfull::apps {
+
+struct TrainTicketOptions {
+  std::uint64_t seed = 7;
+  double capacity_scale = 1.0;
+  /// Distinct business priorities API1 > API2 > ... > API6.
+  bool distinct_priorities = false;
+  /// Liveness-probe pod failures on the travel/food/order plane: sustained
+  /// queue build-up crash-loops those pods (the failure mode §6.3 observes
+  /// on real deployments under surge).
+  bool probe_failures = false;
+};
+
+enum TrainTicketApi : sim::ApiId {
+  kHighSpeedTicket = 0,  // API 1
+  kNormalSpeedTicket = 1,
+  kQueryOrder = 2,
+  kQueryOrderOther = 3,
+  kQueryFood = 4,
+  kQueryPayment = 5,
+};
+
+std::unique_ptr<sim::Application> MakeTrainTicket(const TrainTicketOptions& options = {});
+
+}  // namespace topfull::apps

@@ -1,0 +1,29 @@
+#include "autoscale/cluster.hpp"
+
+namespace topfull::autoscale {
+
+Cluster::Cluster(des::Simulation* sim, ClusterConfig config)
+    : sim_(sim), config_(config), ready_vms_(config.initial_vms) {}
+
+bool Cluster::Reserve(double vcpus) {
+  if (used_vcpus_ + vcpus > ReadyVcpus() + 1e-9) return false;
+  used_vcpus_ += vcpus;
+  return true;
+}
+
+void Cluster::Release(double vcpus) {
+  used_vcpus_ -= vcpus;
+  if (used_vcpus_ < 0.0) used_vcpus_ = 0.0;
+}
+
+bool Cluster::RequestVm() {
+  if (ready_vms_ + pending_vms_ >= config_.max_vms) return false;
+  ++pending_vms_;
+  sim_->ScheduleAfter(config_.vm_startup, [this]() {
+    --pending_vms_;
+    ++ready_vms_;
+  });
+  return true;
+}
+
+}  // namespace topfull::autoscale

@@ -1,0 +1,52 @@
+// Cluster (VM / vCPU pool) model.
+//
+// Pods consume vCPUs from ready VMs. When capacity runs out the cluster
+// autoscaler boots another VM, which becomes ready only after the VM startup
+// delay — the provisioning lag whose effect the paper studies (Fig. 19, §6.3:
+// real clouds take ~41-267 s).
+#pragma once
+
+#include "common/sim_time.hpp"
+#include "des/simulation.hpp"
+
+namespace topfull::autoscale {
+
+struct ClusterConfig {
+  double vcpus_per_vm = 48.0;  ///< Azure D48ds_v5 size used in the paper.
+  int initial_vms = 1;
+  int max_vms = 10;  ///< The paper scales up to 10 worker VMs.
+  SimTime vm_startup = Seconds(40);
+};
+
+class Cluster {
+ public:
+  Cluster(des::Simulation* sim, ClusterConfig config);
+
+  /// Attempts to reserve `vcpus`; returns false when ready capacity is
+  /// insufficient (caller may then RequestVm and retry later).
+  bool Reserve(double vcpus);
+
+  /// Releases previously reserved vCPUs.
+  void Release(double vcpus);
+
+  /// Boots one more VM if below max (idempotent per pending VM need:
+  /// callers may invoke every sync; it refuses beyond max_vms).
+  /// Returns true if a boot was initiated.
+  bool RequestVm();
+
+  double ReadyVcpus() const { return ready_vms_ * config_.vcpus_per_vm; }
+  double UsedVcpus() const { return used_vcpus_; }
+  double FreeVcpus() const { return ReadyVcpus() - used_vcpus_; }
+  int ReadyVms() const { return ready_vms_; }
+  int PendingVms() const { return pending_vms_; }
+  const ClusterConfig& config() const { return config_; }
+
+ private:
+  des::Simulation* sim_;
+  ClusterConfig config_;
+  int ready_vms_ = 0;
+  int pending_vms_ = 0;
+  double used_vcpus_ = 0.0;
+};
+
+}  // namespace topfull::autoscale

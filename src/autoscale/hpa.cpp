@@ -1,0 +1,105 @@
+#include "autoscale/hpa.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace topfull::autoscale {
+
+HorizontalPodAutoscaler::HorizontalPodAutoscaler(sim::Application* app,
+                                                 Cluster* cluster, HpaConfig config)
+    : app_(app), cluster_(cluster), config_(config) {
+  states_.resize(app_->NumServices());
+  for (int i = 0; i < app_->NumServices(); ++i) {
+    states_[i].min_pods = std::max(config_.default_min_pods,
+                                   app_->service(i).config().initial_pods > 0 ? 1 : 0);
+    states_[i].max_pods = config_.default_max_pods;
+    // Account for the pods the service starts with.
+    const auto& svc = app_->service(i);
+    states_[i].reserved_vcpus =
+        svc.TotalPods() * svc.config().vcpus_per_pod;
+    cluster_->Reserve(states_[i].reserved_vcpus);
+  }
+}
+
+void HorizontalPodAutoscaler::SetLimits(sim::ServiceId service, int min_pods,
+                                        int max_pods) {
+  states_[service].min_pods = min_pods;
+  states_[service].max_pods = max_pods;
+}
+
+void HorizontalPodAutoscaler::Exclude(sim::ServiceId service) {
+  states_[service].managed = false;
+}
+
+void HorizontalPodAutoscaler::Start() {
+  if (started_) return;
+  started_ = true;
+  app_->sim().SchedulePeriodic(app_->sim().Now() + config_.sync_period,
+                               config_.sync_period, [this]() { Sync(); });
+}
+
+void HorizontalPodAutoscaler::Sync() {
+  const auto& snap = app_->metrics().Latest();
+  if (snap.services.empty()) return;
+  bool need_vm = false;
+  for (int id = 0; id < app_->NumServices(); ++id) {
+    State& st = states_[id];
+    if (!st.managed) continue;
+    auto& svc = app_->service(id);
+    const int running = svc.RunningPods();
+    const int total = svc.TotalPods();
+    if (running == 0 && total > 0) continue;  // pods still starting
+    const double util = snap.services[id].cpu_utilization;
+    const double ratio = util / config_.target_utilization;
+    int desired = total;
+    if (running > 0 && std::abs(ratio - 1.0) > config_.tolerance) {
+      desired = static_cast<int>(std::ceil(static_cast<double>(running) * ratio));
+    } else if (running == 0 && total == 0) {
+      desired = st.min_pods;
+    }
+    desired = std::clamp(desired, st.min_pods, st.max_pods);
+
+    if (desired > total) {
+      st.below_count = 0;
+      // Admit as many new pods as the vCPU pool allows right now.
+      const double per_pod = svc.config().vcpus_per_pod;
+      int grant = 0;
+      for (int k = 0; k < desired - total; ++k) {
+        if (cluster_->Reserve(per_pod)) {
+          ++grant;
+        } else {
+          need_vm = true;
+          break;
+        }
+      }
+      if (grant > 0) {
+        st.reserved_vcpus += grant * per_pod;
+        ScaleTo(id, total + grant);
+      }
+    } else if (desired < total) {
+      if (++st.below_count >= config_.scale_down_stable_syncs) {
+        const double per_pod = svc.config().vcpus_per_pod;
+        const int removed = total - desired;
+        ScaleTo(id, desired);
+        cluster_->Release(removed * per_pod);
+        st.reserved_vcpus -= removed * per_pod;
+        st.below_count = 0;
+      }
+    } else {
+      st.below_count = 0;
+    }
+  }
+  if (need_vm) cluster_->RequestVm();
+}
+
+void HorizontalPodAutoscaler::ScaleTo(sim::ServiceId id, int desired) {
+  app_->service(id).SetPodCount(desired, config_.pod_startup);
+}
+
+double HorizontalPodAutoscaler::ReservedVcpus() const {
+  double total = 0.0;
+  for (const auto& st : states_) total += st.reserved_vcpus;
+  return total;
+}
+
+}  // namespace topfull::autoscale

@@ -1,0 +1,67 @@
+// Horizontal Pod Autoscaler (Kubernetes-HPA-like), the paper's autoscaler
+// baseline (§6.3).
+//
+// Every sync period, for every managed service:
+//   desired = ceil(running_pods * observed_cpu / target_cpu)
+// with a tolerance dead-band, per-service min/max, a scale-down
+// stabilisation window, pod startup latency, and vCPU admission against the
+// Cluster (booting VMs when the pool is exhausted).
+#pragma once
+
+#include <vector>
+
+#include "autoscale/cluster.hpp"
+#include "sim/app.hpp"
+
+namespace topfull::autoscale {
+
+struct HpaConfig {
+  double target_utilization = 0.6;
+  double tolerance = 0.1;  ///< no action while |util/target - 1| <= tolerance.
+  SimTime sync_period = Seconds(15);
+  SimTime pod_startup = Seconds(10);
+  /// Scale-down only after the desired count stayed below current for this
+  /// many consecutive syncs (k8s stabilisation window analogue).
+  int scale_down_stable_syncs = 8;
+  int default_min_pods = 1;
+  int default_max_pods = 200;
+};
+
+class HorizontalPodAutoscaler {
+ public:
+  HorizontalPodAutoscaler(sim::Application* app, Cluster* cluster, HpaConfig config);
+
+  /// Restricts scaling bounds for one service.
+  void SetLimits(sim::ServiceId service, int min_pods, int max_pods);
+
+  /// Excludes a service from autoscaling (fixed manual size).
+  void Exclude(sim::ServiceId service);
+
+  /// Starts the periodic sync loop at the current sim time + sync_period.
+  void Start();
+
+  /// One reconciliation pass (exposed for tests).
+  void Sync();
+
+  /// Total vCPUs currently reserved for pods of managed services.
+  double ReservedVcpus() const;
+
+ private:
+  struct State {
+    int min_pods = 1;
+    int max_pods = 200;
+    bool managed = true;
+    int below_count = 0;      ///< consecutive syncs with desired < current.
+    double reserved_vcpus = 0.0;
+  };
+
+  void ScaleTo(sim::ServiceId id, int desired);
+
+  sim::Application* app_;
+  Cluster* cluster_;
+  HpaConfig config_;
+  std::vector<State> states_;
+  bool started_ = false;
+};
+
+}  // namespace topfull::autoscale

@@ -1,0 +1,67 @@
+#include "baselines/breakwater.hpp"
+
+#include <algorithm>
+
+namespace topfull::baselines {
+
+BreakwaterAdmission::BreakwaterAdmission(sim::Application* app, BreakwaterConfig config)
+    : app_(app), config_(config) {
+  pods_.resize(app_->NumServices());
+}
+
+void BreakwaterAdmission::Install() {
+  if (installed_) return;
+  installed_ = true;
+  for (int s = 0; s < app_->NumServices(); ++s) {
+    app_->service(s).SetAdmission(this);
+  }
+  app_->sim().SchedulePeriodic(app_->sim().Now() + config_.update_period,
+                               config_.update_period, [this]() { Update(); });
+}
+
+BreakwaterAdmission::PodCtl& BreakwaterAdmission::Ctl(sim::ServiceId service,
+                                                      int pod_index) {
+  auto& per_service = pods_[service];
+  while (static_cast<int>(per_service.size()) <= pod_index) {
+    per_service.emplace_back(config_.initial_rate);
+  }
+  return per_service[pod_index];
+}
+
+bool BreakwaterAdmission::Admit(const sim::RequestInfo& /*info*/,
+                                sim::ServiceId service, int pod_index, SimTime now) {
+  PodCtl& ctl = Ctl(service, pod_index);
+  // AQM: shed when the pod's instantaneous queueing delay blows past the
+  // target regardless of available credits.
+  const double hol = ToSeconds(app_->service(service).pod(pod_index).HeadOfLineWait());
+  if (hol > config_.aqm_factor * config_.target_delay_s) return false;
+  return ctl.bucket.TryAdmit(now);
+}
+
+double BreakwaterAdmission::CreditRate(sim::ServiceId service, int pod_index) const {
+  const auto& per_service = pods_[service];
+  if (pod_index >= static_cast<int>(per_service.size())) return config_.initial_rate;
+  return per_service[pod_index].rate;
+}
+
+void BreakwaterAdmission::Update() {
+  for (int s = 0; s < app_->NumServices(); ++s) {
+    auto& svc = app_->service(s);
+    auto& per_service = pods_[s];
+    for (int p = 0; p < static_cast<int>(per_service.size()) && p < svc.PodCount();
+         ++p) {
+      PodCtl& ctl = per_service[p];
+      const double delay = ToSeconds(svc.pod(p).HeadOfLineWait());
+      if (delay < config_.target_delay_s) {
+        ctl.rate += config_.additive_rps;
+      } else {
+        const double overload = (delay - config_.target_delay_s) / config_.target_delay_s;
+        ctl.rate *= 1.0 - std::min(config_.max_decrease, config_.beta * overload);
+      }
+      ctl.rate = std::max(config_.min_rate, ctl.rate);
+      ctl.bucket.SetRate(ctl.rate);
+    }
+  }
+}
+
+}  // namespace topfull::baselines

@@ -1,0 +1,106 @@
+#include "baselines/dagor.hpp"
+
+#include <algorithm>
+
+namespace topfull::baselines {
+
+DagorAdmission::DagorAdmission(sim::Application* app, DagorConfig config)
+    : app_(app), config_(config) {
+  max_compound_ = config_.business_levels * config_.user_levels - 1;
+  pods_.resize(app_->NumServices());
+}
+
+void DagorAdmission::Install() {
+  if (installed_) return;
+  installed_ = true;
+  for (int s = 0; s < app_->NumServices(); ++s) {
+    app_->service(s).SetAdmission(this);
+  }
+  app_->sim().SchedulePeriodic(app_->sim().Now() + config_.update_period,
+                               config_.update_period, [this]() { Update(); });
+}
+
+int DagorAdmission::Compound(const sim::RequestInfo& info) const {
+  const int b = std::clamp(info.business_priority, 0, config_.business_levels - 1);
+  const int u = std::clamp(info.user_priority, 0, config_.user_levels - 1);
+  return b * config_.user_levels + u;
+}
+
+DagorAdmission::PodCtl& DagorAdmission::Ctl(sim::ServiceId service, int pod_index) {
+  auto& per_service = pods_[service];
+  while (static_cast<int>(per_service.size()) <= pod_index) {
+    PodCtl ctl;
+    ctl.threshold = max_compound_;  // fresh pods admit everything
+    ctl.histogram.assign(static_cast<std::size_t>(max_compound_) + 1, 0);
+    per_service.push_back(std::move(ctl));
+  }
+  return per_service[pod_index];
+}
+
+bool DagorAdmission::Admit(const sim::RequestInfo& info, sim::ServiceId service,
+                           int pod_index, SimTime /*now*/) {
+  PodCtl& ctl = Ctl(service, pod_index);
+  const int priority = Compound(info);
+  ++ctl.arrived;
+  ++ctl.histogram[static_cast<std::size_t>(priority)];
+  if (priority <= ctl.threshold) {
+    ++ctl.admitted;
+    return true;
+  }
+  return false;
+}
+
+int DagorAdmission::Threshold(sim::ServiceId service, int pod_index) const {
+  const auto& per_service = pods_[service];
+  if (pod_index >= static_cast<int>(per_service.size())) return max_compound_;
+  return per_service[pod_index].threshold;
+}
+
+void DagorAdmission::Update() {
+  for (int s = 0; s < app_->NumServices(); ++s) {
+    auto& svc = app_->service(s);
+    auto& per_service = pods_[s];
+    for (int p = 0; p < static_cast<int>(per_service.size()) && p < svc.PodCount();
+         ++p) {
+      PodCtl& ctl = per_service[p];
+      if (ctl.arrived == 0) {
+        // Idle pod: decay towards fully open.
+        ctl.threshold = max_compound_;
+        continue;
+      }
+      const bool overloaded =
+          ToSeconds(svc.pod(p).HeadOfLineWait()) > config_.queue_delay_threshold_s;
+      // Target admitted volume for the next window, from the histogram of
+      // the last window's arrivals.
+      double target;
+      if (overloaded) {
+        target = static_cast<double>(ctl.admitted) * (1.0 - config_.alpha);
+      } else {
+        target = static_cast<double>(ctl.admitted) * (1.0 + config_.beta) + 1.0;
+      }
+      // Choose the largest threshold whose cumulative arrivals stay within
+      // the target (DAGOR's histogram-guided compound level search).
+      std::uint64_t cumulative = 0;
+      int threshold = -1;  // admitting nothing
+      for (int level = 0; level <= max_compound_; ++level) {
+        cumulative += ctl.histogram[static_cast<std::size_t>(level)];
+        if (static_cast<double>(cumulative) <= target) {
+          threshold = level;
+        } else {
+          break;
+        }
+      }
+      if (!overloaded && threshold >= ctl.threshold) {
+        // Keep opening up even when the histogram is saturated.
+        threshold = std::min(max_compound_,
+                             std::max(threshold, ctl.threshold + config_.user_levels / 8));
+      }
+      ctl.threshold = std::clamp(threshold, 0, max_compound_);
+      std::fill(ctl.histogram.begin(), ctl.histogram.end(), 0);
+      ctl.admitted = 0;
+      ctl.arrived = 0;
+    }
+  }
+}
+
+}  // namespace topfull::baselines

@@ -1,0 +1,102 @@
+#include "baselines/wisp.hpp"
+
+#include <algorithm>
+
+namespace topfull::baselines {
+namespace {
+
+/// DFS order of a call tree (parents before children — the order in which
+/// services spend work on a request).
+void DfsOrder(const sim::CallNode& node, std::vector<sim::ServiceId>& out) {
+  if (node.service != sim::kNoService) out.push_back(node.service);
+  for (const auto& child : node.children) DfsOrder(child, out);
+}
+
+}  // namespace
+
+WispAdmission::WispAdmission(sim::Application* app, WispConfig config)
+    : app_(app), config_(config) {
+  pods_.resize(app_->NumServices());
+  admitted_window_.assign(static_cast<std::size_t>(app_->NumServices()), 0);
+  downstream_loss_window_.assign(static_cast<std::size_t>(app_->NumServices()), 0);
+}
+
+void WispAdmission::Install() {
+  if (installed_) return;
+  installed_ = true;
+  for (int s = 0; s < app_->NumServices(); ++s) {
+    app_->service(s).SetAdmission(this);
+  }
+  app_->sim().SchedulePeriodic(app_->sim().Now() + config_.update_period,
+                               config_.update_period, [this]() { Update(); });
+}
+
+WispAdmission::PodCtl& WispAdmission::Ctl(sim::ServiceId service, int pod_index) {
+  auto& per_service = pods_[service];
+  while (static_cast<int>(per_service.size()) <= pod_index) {
+    per_service.emplace_back(config_.initial_rate);
+  }
+  return per_service[pod_index];
+}
+
+bool WispAdmission::Admit(const sim::RequestInfo& info, sim::ServiceId service,
+                          int pod_index, SimTime now) {
+  PodCtl& ctl = Ctl(service, pod_index);
+  if (ctl.bucket.TryAdmit(now)) {
+    ++admitted_window_[static_cast<std::size_t>(service)];
+    return true;
+  }
+  // This rejection wastes the work every upstream service already spent on
+  // the request — report it to them (WISP's children->parent admission-rate
+  // propagation). The first execution path approximates the request's
+  // actual path for branching APIs.
+  if (info.api != sim::kNoApi) {
+    std::vector<sim::ServiceId> order;
+    DfsOrder(app_->api(info.api).paths().front().root, order);
+    for (const sim::ServiceId s : order) {
+      if (s == service) break;
+      ++downstream_loss_window_[static_cast<std::size_t>(s)];
+    }
+  }
+  return false;
+}
+
+double WispAdmission::RateLimit(sim::ServiceId service, int pod_index) const {
+  const auto& per_service = pods_[service];
+  if (pod_index >= static_cast<int>(per_service.size())) return config_.initial_rate;
+  return per_service[pod_index].rate;
+}
+
+void WispAdmission::Update() {
+  for (int s = 0; s < app_->NumServices(); ++s) {
+    auto& svc = app_->service(s);
+    auto& per_service = pods_[s];
+    const double admitted =
+        static_cast<double>(admitted_window_[static_cast<std::size_t>(s)]);
+    const double loss =
+        static_cast<double>(downstream_loss_window_[static_cast<std::size_t>(s)]);
+    const double loss_ratio = admitted > 0.0 ? std::min(1.0, loss / admitted) : 0.0;
+    for (int p = 0; p < static_cast<int>(per_service.size()) && p < svc.PodCount();
+         ++p) {
+      PodCtl& ctl = per_service[p];
+      const double delay = ToSeconds(svc.pod(p).HeadOfLineWait());
+      if (delay > config_.target_delay_s) {
+        // Local overload: multiplicative decrease like the other AQMs.
+        const double overload = (delay - config_.target_delay_s) / config_.target_delay_s;
+        ctl.rate *= 1.0 - std::min(0.5, config_.beta * overload);
+      } else if (loss_ratio > 0.05) {
+        // Downstream is rejecting what we forward: shed here instead, as
+        // far upstream as possible.
+        ctl.rate *= 1.0 - std::min(0.5, config_.downstream_weight * loss_ratio);
+      } else {
+        ctl.rate += config_.additive_rps;
+      }
+      ctl.rate = std::max(config_.min_rate, ctl.rate);
+      ctl.bucket.SetRate(ctl.rate);
+    }
+    admitted_window_[static_cast<std::size_t>(s)] = 0;
+    downstream_loss_window_[static_cast<std::size_t>(s)] = 0;
+  }
+}
+
+}  // namespace topfull::baselines

@@ -1,0 +1,57 @@
+// Deterministic random number generation for the simulator.
+//
+// Every stochastic component draws from an Rng that is ultimately seeded from
+// a single scenario seed, so whole experiments replay identically. Rng is a
+// xoshiro256** generator with SplitMix64 seeding; `Fork` derives independent
+// child streams so that adding a consumer does not perturb others.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace topfull {
+
+class Rng {
+ public:
+  /// Constructs a generator from a 64-bit seed (SplitMix64-expanded).
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Next raw 64-bit value.
+  std::uint64_t NextU64();
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t UniformInt(std::int64_t lo, std::int64_t hi);
+
+  /// Exponential variate with the given mean (> 0).
+  double Exponential(double mean);
+
+  /// Standard normal variate (Box-Muller, stateless variant).
+  double Normal(double mean = 0.0, double stddev = 1.0);
+
+  /// Log-normal variate parameterised by the mean and sigma of log-space.
+  double LogNormal(double log_mean, double log_sigma);
+
+  /// Bernoulli trial with probability p of returning true.
+  bool Bernoulli(double p);
+
+  /// Derives an independent child stream. `salt` decorrelates children
+  /// created from the same parent state (e.g. hash of a component name).
+  Rng Fork(std::uint64_t salt);
+
+  /// Convenience: fork keyed by a string label (FNV-1a hashed).
+  Rng Fork(std::string_view label);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+/// FNV-1a 64-bit hash, used to derive RNG salts from component names.
+std::uint64_t HashLabel(std::string_view label);
+
+}  // namespace topfull

@@ -1,0 +1,68 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace topfull {
+
+void StreamingStats::Add(double x) {
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  if (count_ == 1) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+}
+
+void StreamingStats::Reset() { *this = StreamingStats{}; }
+
+double StreamingStats::variance() const {
+  return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+}
+
+double StreamingStats::stddev() const { return std::sqrt(variance()); }
+
+void WindowedSamples::Add(SimTime now, double value) {
+  samples_.emplace_back(now, value);
+}
+
+void WindowedSamples::Expire(SimTime now) {
+  const SimTime cutoff = now - window_;
+  while (!samples_.empty() && samples_.front().first < cutoff) {
+    samples_.pop_front();
+  }
+}
+
+double WindowedSamples::Percentile(double p, double fallback) const {
+  if (samples_.empty()) return fallback;
+  std::vector<double> values;
+  values.reserve(samples_.size());
+  for (const auto& [t, v] : samples_) values.push_back(v);
+  return topfull::Percentile(std::move(values), p, fallback);
+}
+
+double WindowedSamples::Mean() const {
+  if (samples_.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& [t, v] : samples_) sum += v;
+  return sum / static_cast<double>(samples_.size());
+}
+
+double Percentile(std::vector<double> values, double p, double fallback) {
+  if (values.empty()) return fallback;
+  std::sort(values.begin(), values.end());
+  if (values.size() == 1) return values[0];
+  const double clamped = std::clamp(p, 0.0, 100.0);
+  const double rank = clamped / 100.0 * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+}  // namespace topfull

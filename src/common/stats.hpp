@@ -1,0 +1,92 @@
+// Streaming statistics used by the metric collectors.
+//
+// - StreamingStats: Welford mean/variance plus min/max, O(1) memory.
+// - WindowedSamples: time-stamped sample window with percentile queries;
+//   this is what feeds "end-to-end percentile latency" observations.
+// - Counter windows: per-interval rate accounting (goodput, admitted rate).
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+#include "common/sim_time.hpp"
+
+namespace topfull {
+
+/// Constant-memory running mean / variance / min / max.
+class StreamingStats {
+ public:
+  void Add(double x);
+  void Reset();
+
+  std::size_t count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Sliding time window of (timestamp, value) samples with percentile queries.
+///
+/// Samples older than `window` relative to the most recent `Expire` call are
+/// discarded. Percentile queries copy and sort the live window; windows hold
+/// at most a second or two of samples so this stays cheap.
+class WindowedSamples {
+ public:
+  explicit WindowedSamples(SimTime window) : window_(window) {}
+
+  /// Records a sample observed at `now`.
+  void Add(SimTime now, double value);
+
+  /// Drops samples older than `now - window`.
+  void Expire(SimTime now);
+
+  /// Returns the p-th percentile (p in [0,100]) of live samples, or
+  /// `fallback` when the window is empty.
+  double Percentile(double p, double fallback = 0.0) const;
+
+  double Mean() const;
+  std::size_t Count() const { return samples_.size(); }
+  bool Empty() const { return samples_.empty(); }
+
+ private:
+  SimTime window_;
+  std::deque<std::pair<SimTime, double>> samples_;
+};
+
+/// Percentile of an arbitrary vector (nearest-rank with linear
+/// interpolation). Returns `fallback` for empty input. Sorts a copy.
+double Percentile(std::vector<double> values, double p, double fallback = 0.0);
+
+/// Exponentially weighted moving average.
+class Ewma {
+ public:
+  /// `alpha` is the weight of the newest observation, in (0, 1].
+  explicit Ewma(double alpha) : alpha_(alpha) {}
+
+  void Add(double x) {
+    value_ = initialized_ ? alpha_ * x + (1.0 - alpha_) * value_ : x;
+    initialized_ = true;
+  }
+  double value() const { return value_; }
+  bool initialized() const { return initialized_; }
+  void Reset() { initialized_ = false; value_ = 0.0; }
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool initialized_ = false;
+};
+
+}  // namespace topfull

@@ -1,0 +1,67 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace topfull {
+
+void Table::SetHeader(std::vector<std::string> header) { header_ = std::move(header); }
+
+void Table::AddRow(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+void Table::AddRow(const std::string& label, const std::vector<double>& values,
+                   int precision) {
+  std::vector<std::string> row;
+  row.reserve(values.size() + 1);
+  row.push_back(label);
+  for (const double v : values) row.push_back(Fmt(v, precision));
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::Render() const {
+  std::vector<std::size_t> widths;
+  auto widen = [&widths](const std::vector<std::string>& row) {
+    if (widths.size() < row.size()) widths.resize(row.size(), 0);
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  };
+  widen(header_);
+  for (const auto& row : rows_) widen(row);
+
+  std::ostringstream out;
+  if (!caption_.empty()) out << caption_ << '\n';
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i) out << "  ";
+      out << row[i];
+      if (i + 1 < row.size()) {
+        out << std::string(widths[i] - row[i].size(), ' ');
+      }
+    }
+    out << '\n';
+  };
+  if (!header_.empty()) {
+    emit(header_);
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < widths.size(); ++i) total += widths[i] + (i ? 2 : 0);
+    out << std::string(total, '-') << '\n';
+  }
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+void Table::Print() const { std::fputs(Render().c_str(), stdout); }
+
+std::string Fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+void PrintBanner(const std::string& name, const std::string& description) {
+  std::printf("\n==== %s ====\n%s\n\n", name.c_str(), description.c_str());
+}
+
+}  // namespace topfull

@@ -1,0 +1,45 @@
+// Console table / series printers shared by the benchmark harnesses.
+//
+// Every bench binary reports its figure/table in the same plain-text layout:
+// a caption, a header row, aligned columns. Series (timelines, sweeps) are
+// printed as CSV-ish rows so they can be re-plotted directly.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace topfull {
+
+class Table {
+ public:
+  explicit Table(std::string caption) : caption_(std::move(caption)) {}
+
+  /// Sets the header row. Column count of subsequent rows must match.
+  void SetHeader(std::vector<std::string> header);
+
+  /// Appends a row of pre-formatted cells.
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience for mixed label + numeric rows.
+  void AddRow(const std::string& label, const std::vector<double>& values,
+              int precision = 1);
+
+  /// Renders the table with aligned columns.
+  std::string Render() const;
+
+  /// Renders and writes to stdout.
+  void Print() const;
+
+ private:
+  std::string caption_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision.
+std::string Fmt(double v, int precision = 1);
+
+/// Prints a `# name` section banner for a figure/table reproduction.
+void PrintBanner(const std::string& name, const std::string& description);
+
+}  // namespace topfull

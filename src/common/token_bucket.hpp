@@ -1,0 +1,38 @@
+// Token-bucket rate limiter (the paper's entry rate limiter, §5).
+//
+// Tokens accrue continuously at `rate` per second up to `burst` tokens;
+// each admitted request consumes one token. Rate changes take effect
+// immediately and preserve the fractional token balance.
+#pragma once
+
+#include "common/sim_time.hpp"
+
+namespace topfull {
+
+class TokenBucket {
+ public:
+  /// `rate` in requests/second; `burst` is the bucket depth in tokens.
+  TokenBucket(double rate, double burst);
+
+  /// Attempts to admit one request at time `now`; returns true on success.
+  bool TryAdmit(SimTime now);
+
+  /// Updates the refill rate (requests/second). Never negative.
+  void SetRate(double rate);
+
+  double rate() const { return rate_; }
+  double burst() const { return burst_; }
+
+  /// Current token balance after refilling up to `now` (for tests/metrics).
+  double Tokens(SimTime now);
+
+ private:
+  void Refill(SimTime now);
+
+  double rate_;
+  double burst_;
+  double tokens_;
+  SimTime last_refill_ = 0;
+};
+
+}  // namespace topfull

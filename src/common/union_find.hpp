@@ -1,0 +1,51 @@
+// Disjoint-set union with path compression and union by size.
+//
+// Used by the TopFull clustering step (Eq. 2): APIs sharing any overloaded
+// microservice are merged into one cluster.
+#pragma once
+
+#include <cstddef>
+#include <numeric>
+#include <vector>
+
+namespace topfull {
+
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n), size_(n, 1) {
+    std::iota(parent_.begin(), parent_.end(), std::size_t{0});
+  }
+
+  /// Root of x's set (with path compression).
+  std::size_t Find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  /// Merges the sets containing a and b; returns true if they were distinct.
+  bool Union(std::size_t a, std::size_t b) {
+    a = Find(a);
+    b = Find(b);
+    if (a == b) return false;
+    if (size_[a] < size_[b]) std::swap(a, b);
+    parent_[b] = a;
+    size_[a] += size_[b];
+    return true;
+  }
+
+  bool Connected(std::size_t a, std::size_t b) { return Find(a) == Find(b); }
+
+  /// Size of the set containing x.
+  std::size_t SizeOf(std::size_t x) { return size_[Find(x)]; }
+
+  std::size_t Count() const { return parent_.size(); }
+
+ private:
+  std::vector<std::size_t> parent_;
+  std::vector<std::size_t> size_;
+};
+
+}  // namespace topfull

@@ -1,0 +1,44 @@
+#include "core/cluster_tracker.hpp"
+
+#include <set>
+
+namespace topfull::core {
+
+void ClusterTracker::Record(double t_s, const std::vector<Cluster>& clusters) {
+  ClusterSnapshot snap;
+  snap.t_s = t_s;
+  snap.clusters = static_cast<int>(clusters.size());
+  snap.api_cluster.assign(static_cast<std::size_t>(num_apis_), -1);
+  for (std::size_t c = 0; c < clusters.size(); ++c) {
+    snap.overloaded_services += static_cast<int>(clusters[c].overloaded.size());
+    for (const sim::ApiId a : clusters[c].apis) {
+      snap.api_cluster[a] = static_cast<int>(c);
+      ++snap.member_apis;
+    }
+  }
+
+  if (!history_.empty()) {
+    const ClusterSnapshot& prev = history_.back();
+    // A merge: a current cluster whose members came from >= 2 previous
+    // clusters. A split: a previous cluster whose members now live in >= 2
+    // current clusters. APIs that were (or became) uninvolved don't count.
+    std::vector<std::set<int>> sources(static_cast<std::size_t>(snap.clusters));
+    std::vector<std::set<int>> destinations(
+        static_cast<std::size_t>(prev.clusters));
+    for (int a = 0; a < num_apis_; ++a) {
+      const int now = snap.api_cluster[static_cast<std::size_t>(a)];
+      const int before = prev.api_cluster[static_cast<std::size_t>(a)];
+      if (now >= 0 && before >= 0) {
+        sources[static_cast<std::size_t>(now)].insert(before);
+        destinations[static_cast<std::size_t>(before)].insert(now);
+      }
+    }
+    for (const auto& from : sources) snap.merges += from.size() >= 2 ? 1 : 0;
+    for (const auto& to : destinations) snap.splits += to.size() >= 2 ? 1 : 0;
+    total_splits_ += snap.splits;
+    total_merges_ += snap.merges;
+  }
+  history_.push_back(std::move(snap));
+}
+
+}  // namespace topfull::core

@@ -1,0 +1,49 @@
+// Cluster-evolution tracking (paper §4.2 "Re-clustering dynamically").
+//
+// TopFull re-clusters every control tick; clusters are transitive, so they
+// split when an overload resolves and merge when a new overload bridges
+// previously independent groups. The tracker compares consecutive tick
+// partitions and counts those split/merge events — used by the §4.2
+// dynamics bench and available for operational dashboards.
+#pragma once
+
+#include <vector>
+
+#include "core/clustering.hpp"
+
+namespace topfull::core {
+
+/// Summary of one tick's clustering.
+struct ClusterSnapshot {
+  double t_s = 0.0;
+  int clusters = 0;
+  int overloaded_services = 0;
+  int member_apis = 0;
+  /// Partition of APIs: cluster index per API, -1 when uninvolved.
+  std::vector<int> api_cluster;
+  /// Clusters that contain APIs from >= 2 clusters of the previous tick.
+  int merges = 0;
+  /// Previous-tick clusters whose APIs now span >= 2 clusters.
+  int splits = 0;
+};
+
+class ClusterTracker {
+ public:
+  explicit ClusterTracker(int num_apis) : num_apis_(num_apis) {}
+
+  /// Records the clustering of one tick and derives split/merge counts
+  /// relative to the previous recorded tick.
+  void Record(double t_s, const std::vector<Cluster>& clusters);
+
+  const std::vector<ClusterSnapshot>& History() const { return history_; }
+  int TotalSplits() const { return total_splits_; }
+  int TotalMerges() const { return total_merges_; }
+
+ private:
+  int num_apis_;
+  std::vector<ClusterSnapshot> history_;
+  int total_splits_ = 0;
+  int total_merges_ = 0;
+};
+
+}  // namespace topfull::core

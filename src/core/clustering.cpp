@@ -1,0 +1,61 @@
+#include "core/clustering.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "common/union_find.hpp"
+
+namespace topfull::core {
+
+std::vector<Cluster> BuildClusters(const ApiRegistry& registry,
+                                   const std::vector<sim::ServiceId>& overloaded) {
+  UnionFind dsu(static_cast<std::size_t>(registry.num_apis()));
+
+  // Union all APIs that share each overloaded service (Eq. 2).
+  std::vector<bool> in_any(static_cast<std::size_t>(registry.num_apis()), false);
+  for (const sim::ServiceId s : overloaded) {
+    const auto& apis = registry.ApisOf(s);
+    for (const sim::ApiId a : apis) in_any[a] = true;
+    for (std::size_t i = 1; i < apis.size(); ++i) {
+      dsu.Union(static_cast<std::size_t>(apis[0]), static_cast<std::size_t>(apis[i]));
+    }
+  }
+
+  // Group member APIs by their root.
+  std::map<std::size_t, Cluster> by_root;
+  for (sim::ApiId a = 0; a < registry.num_apis(); ++a) {
+    if (!in_any[a]) continue;
+    by_root[dsu.Find(static_cast<std::size_t>(a))].apis.push_back(a);
+  }
+  // Attach each overloaded service to the cluster of its (first) user API.
+  for (const sim::ServiceId s : overloaded) {
+    const auto& apis = registry.ApisOf(s);
+    if (apis.empty()) continue;  // overloaded but unused by any API: ignore
+    by_root[dsu.Find(static_cast<std::size_t>(apis[0]))].overloaded.push_back(s);
+  }
+
+  std::vector<Cluster> clusters;
+  clusters.reserve(by_root.size());
+  for (auto& [root, cluster] : by_root) {
+    std::sort(cluster.apis.begin(), cluster.apis.end());
+    std::sort(cluster.overloaded.begin(), cluster.overloaded.end());
+    // Target selection: overloaded service used by the fewest APIs.
+    int best_count = 0;
+    for (const sim::ServiceId s : cluster.overloaded) {
+      const int count = registry.ApiCount(s);
+      if (cluster.target == sim::kNoService || count < best_count) {
+        cluster.target = s;
+        best_count = count;
+      }
+    }
+    if (cluster.target != sim::kNoService) {
+      for (const sim::ApiId a : cluster.apis) {
+        if (registry.Uses(a, cluster.target)) cluster.candidates.push_back(a);
+      }
+    }
+    clusters.push_back(std::move(cluster));
+  }
+  return clusters;
+}
+
+}  // namespace topfull::core

@@ -1,0 +1,32 @@
+// API clustering for parallel load control (paper §4.2, Eq. 2).
+//
+// Given the set of currently overloaded microservices, APIs that share any
+// overloaded microservice on their execution paths are merged into one
+// cluster (transitively). Each cluster is an independent sub-problem: load
+// control inside it cannot affect overloaded microservices of any other
+// cluster, so clusters are controlled in parallel.
+#pragma once
+
+#include <vector>
+
+#include "core/registry.hpp"
+
+namespace topfull::core {
+
+/// One independent load-control sub-problem.
+struct Cluster {
+  std::vector<sim::ApiId> apis;               ///< member APIs, sorted
+  std::vector<sim::ServiceId> overloaded;     ///< overloaded services, sorted
+  /// The cluster's current mitigation target: the overloaded service used by
+  /// the fewest APIs (§4.1 target-selection rule).
+  sim::ServiceId target = sim::kNoService;
+  /// APIs of the cluster that traverse `target` — Algorithm 1's candidates.
+  std::vector<sim::ApiId> candidates;
+};
+
+/// Builds clusters from the overloaded-service set. O(sum of group sizes *
+/// alpha) using union-find over APIs.
+std::vector<Cluster> BuildClusters(const ApiRegistry& registry,
+                                   const std::vector<sim::ServiceId>& overloaded);
+
+}  // namespace topfull::core

@@ -1,0 +1,136 @@
+// TopFullController: the end-to-end overload controller (paper §4).
+//
+// Every control period (1 s):
+//   1. read the freshly closed metrics window,
+//   2. detect overloaded microservices,
+//   3. cluster the affected APIs (Eq. 2) — re-clustered every tick,
+//   4. in each cluster (in parallel in the real system; the decision logic
+//      is per-cluster-independent here) pick the target = overloaded service
+//      used by the fewest APIs and apply Algorithm 1 with the step chosen by
+//      the cluster's rate controller,
+//   5. separately rate-increase APIs that are rate-limited but currently
+//      traverse no overloaded microservice (the recovery controllers).
+//
+// Admission itself is a per-API token bucket at the entry gateway (§5).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/token_bucket.hpp"
+#include "core/cluster_tracker.hpp"
+#include "core/clustering.hpp"
+#include "core/overload.hpp"
+#include "core/rate_controller.hpp"
+#include "core/registry.hpp"
+#include "sim/app.hpp"
+
+namespace topfull::core {
+
+/// Order in which a cluster's overloaded services are targeted (§4.1: the
+/// paper argues fewest-APIs-first; the alternatives exist for the ablation
+/// bench).
+enum class TargetOrder {
+  kFewestApisFirst,  ///< the paper's rule
+  kMostApisFirst,    ///< adversarial inversion
+  kServiceIdOrder,   ///< arbitrary fixed order
+};
+
+struct TopFullConfig {
+  SimTime period = Seconds(1);
+  OverloadConfig overload;
+  TargetOrder target_order = TargetOrder::kFewestApisFirst;
+  /// Which end-to-end latency percentile feeds the controller state.
+  double latency_percentile = 95.0;
+  /// Ablation switch (§6.2 "w/o cluster"): when false, only one cluster is
+  /// controlled per tick (naive sequential load control).
+  bool enable_clustering = true;
+  /// Respect business priorities in Algorithm 1. With equal priorities all
+  /// candidates are adjusted together.
+  bool respect_priority = true;
+  /// Rate-limit floor (rps) so APIs can always recover.
+  double min_rate = 20.0;
+  /// Rate-limit ceiling.
+  double max_rate = 1e7;
+  /// Token-bucket depth as a fraction of the rate (burst tolerance).
+  double burst_fraction = 0.25;
+  double min_burst = 4.0;
+};
+
+class TopFullController : public sim::EntryAdmission {
+ public:
+  /// `prototype` supplies per-cluster/per-API controller instances via
+  /// Clone(); pass an RlRateController for TopFull proper, a
+  /// MimdRateController / AimdRateController for the ablations.
+  TopFullController(sim::Application* app, std::unique_ptr<RateController> prototype,
+                    TopFullConfig config = {});
+
+  /// Registers the periodic control loop. Call after Application::Finalize()
+  /// (so the metrics window closes before each control tick).
+  void Start();
+
+  /// One control tick (exposed for tests and for the RL application env).
+  void Tick();
+
+  // sim::EntryAdmission:
+  bool Admit(sim::ApiId api, SimTime now) override;
+
+  // --- Introspection ---------------------------------------------------------
+  /// Current rate limit; +infinity semantics (uncapped) reported as nullopt.
+  std::optional<double> RateLimit(sim::ApiId api) const;
+  const std::vector<Cluster>& LastClusters() const { return last_clusters_; }
+  const ApiRegistry& registry() const { return registry_; }
+  const TopFullConfig& config() const { return config_; }
+
+  /// Overrides the rate limit directly (used by the RL training env).
+  void ForceRateLimit(sim::ApiId api, double rate);
+
+  /// Control state of an API set against the latest metrics window (what a
+  /// rate controller for that set would observe). Public for the RL
+  /// training environment and for tests.
+  ControlState StateOf(const std::vector<sim::ApiId>& apis) const;
+
+  /// Total control decisions taken (for overhead accounting).
+  std::uint64_t Decisions() const { return decisions_; }
+
+  /// Attaches a cluster-evolution tracker (not owned); every tick's
+  /// clustering is recorded for the re-clustering dynamics analysis.
+  void SetClusterTracker(ClusterTracker* tracker) { tracker_ = tracker; }
+
+ private:
+  struct ApiControl {
+    bool capped = false;
+    double rate = 0.0;
+    TokenBucket bucket{1e18, 1e18};
+  };
+
+  /// Applies Algorithm 1 to `candidates` with multiplicative step `action`.
+  void AdjustRate(const std::vector<sim::ApiId>& candidates, double action);
+  void SetRate(sim::ApiId api, double rate);
+  /// Starts controlling an uncapped API: seeds its limit from the admitted
+  /// rate observed in the last window.
+  void EnsureCapped(sim::ApiId api, const sim::Snapshot& snap);
+  ControlState StateOf(const std::vector<sim::ApiId>& apis,
+                       const sim::Snapshot& snap) const;
+  double LatencyOf(const sim::ApiWindow& w) const;
+  RateController& ClusterController(sim::ServiceId target);
+  RateController& RecoveryController(sim::ApiId api);
+
+  sim::Application* app_;
+  ApiRegistry registry_;
+  std::unique_ptr<RateController> prototype_;
+  TopFullConfig config_;
+  std::vector<ApiControl> controls_;
+  std::map<sim::ServiceId, std::unique_ptr<RateController>> cluster_controllers_;
+  std::map<sim::ApiId, std::unique_ptr<RateController>> recovery_controllers_;
+  std::vector<Cluster> last_clusters_;
+  ClusterTracker* tracker_ = nullptr;
+  std::vector<bool> flagged_;  ///< hysteresis state (when enabled)
+  std::size_t sequential_cursor_ = 0;  // for the w/o-clustering ablation
+  std::uint64_t decisions_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace topfull::core

@@ -1,0 +1,39 @@
+// Overload detection from the per-window service metrics.
+//
+// The paper flags a microservice as overloaded when its resource utilisation
+// exceeds a predetermined threshold (§4.2); we additionally (and optionally)
+// treat a sustained per-service queueing delay as overload, which catches
+// saturation that CPU accounting alone can miss (e.g. pods crash-looping).
+#pragma once
+
+#include <vector>
+
+#include "sim/metrics.hpp"
+
+namespace topfull::core {
+
+struct OverloadConfig {
+  double util_threshold = 0.95;
+  bool use_queue_delay = true;
+  double queue_delay_threshold_s = 0.2;
+  /// Optional hysteresis: once flagged, a service stays overloaded until
+  /// its utilisation falls below this exit threshold (two-threshold
+  /// detector; stabilises cluster membership while a bottleneck is being
+  /// held at capacity). <= 0 disables (stateless detection).
+  double util_exit_threshold = -1.0;
+};
+
+inline std::vector<sim::ServiceId> DetectOverloaded(const sim::Snapshot& snap,
+                                                    const OverloadConfig& config) {
+  std::vector<sim::ServiceId> out;
+  for (std::size_t s = 0; s < snap.services.size(); ++s) {
+    const auto& w = snap.services[s];
+    const bool util_over = w.cpu_utilization > config.util_threshold;
+    const bool delay_over =
+        config.use_queue_delay && w.avg_queue_delay_s > config.queue_delay_threshold_s;
+    if (util_over || delay_over) out.push_back(static_cast<sim::ServiceId>(s));
+  }
+  return out;
+}
+
+}  // namespace topfull::core

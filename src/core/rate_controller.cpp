@@ -1,0 +1,14 @@
+#include "core/rate_controller.hpp"
+
+#include "rl/observation.hpp"
+
+namespace topfull::core {
+
+double RlRateController::DecideStep(const ControlState& state) {
+  const std::vector<double> obs = rl::MakeObservation(
+      state.goodput, state.rate_limit, state.latency_s, state.slo_s);
+  const double action = policy_->MeanAction(obs);
+  return std::clamp(action, -0.5, 0.5);
+}
+
+}  // namespace topfull::core

@@ -1,0 +1,107 @@
+// Rate-controller policies: given the end-to-end state of a set of candidate
+// APIs, decide the multiplicative step applied to their entry rate limits.
+//
+// - RlRateController: the paper's contribution — a trained PPO policy
+//   (deterministic mean action at deployment).
+// - MimdRateController: the static threshold-based multiplicative
+//   increase/decrease ablation (§6.2) and the DAGOR-style fixed-step
+//   controller of Fig. 13 (configurable step sizes).
+// - AimdRateController: the Breakwater-style controller used for
+//   TopFull(BW) (§6.3): additive increase below the delay target,
+//   multiplicative decrease proportional to the overload above it.
+#pragma once
+
+#include <algorithm>
+#include <memory>
+
+#include "rl/policy.hpp"
+
+namespace topfull::core {
+
+/// Observed state of the candidate API set for one decision.
+struct ControlState {
+  double goodput = 0.0;     ///< sum of the candidates' goodput (rps)
+  double rate_limit = 0.0;  ///< sum of the candidates' current rate limits
+  double latency_s = 0.0;   ///< highest e2e percentile latency among them
+  double slo_s = 1.0;
+};
+
+class RateController {
+ public:
+  virtual ~RateController() = default;
+
+  /// Returns the multiplicative step in [-0.5, 0.5]; the caller applies
+  /// rate *= (1 + step) per Algorithm 1.
+  virtual double DecideStep(const ControlState& state) = 0;
+
+  /// Fresh instance with the same configuration (per-cluster controllers).
+  virtual std::unique_ptr<RateController> Clone() const = 0;
+
+  /// Clears adaptation state (episode boundaries in training).
+  virtual void Reset() {}
+};
+
+/// RL-based controller: wraps a (shared, already-trained) policy.
+class RlRateController : public RateController {
+ public:
+  explicit RlRateController(const rl::GaussianPolicy* policy) : policy_(policy) {}
+
+  double DecideStep(const ControlState& state) override;
+  std::unique_ptr<RateController> Clone() const override {
+    return std::make_unique<RlRateController>(policy_);
+  }
+
+ private:
+  const rl::GaussianPolicy* policy_;
+};
+
+/// Threshold-based multiplicative increase / decrease.
+/// Defaults are the paper's ablation: -0.05 above the SLO, +0.01 below it.
+class MimdRateController : public RateController {
+ public:
+  MimdRateController(double decrease_step = 0.05, double increase_step = 0.01)
+      : decrease_(decrease_step), increase_(increase_step) {}
+
+  double DecideStep(const ControlState& state) override {
+    return state.latency_s > state.slo_s ? -decrease_ : increase_;
+  }
+  std::unique_ptr<RateController> Clone() const override {
+    return std::make_unique<MimdRateController>(decrease_, increase_);
+  }
+
+ private:
+  double decrease_;
+  double increase_;
+};
+
+/// Breakwater-style AIMD on the rate limit (TopFull(BW), §6.3).
+struct AimdConfig {
+  double additive_rps = 20.0;  ///< increase per decision below the target
+  double beta = 0.4;           ///< multiplicative-decrease aggressiveness
+  double target_fraction = 0.8;  ///< delay target as a fraction of the SLO
+  double max_decrease = 0.5;
+};
+
+class AimdRateController : public RateController {
+ public:
+  explicit AimdRateController(AimdConfig config = {}) : config_(config) {}
+
+  double DecideStep(const ControlState& state) override {
+    const double target = config_.target_fraction * state.slo_s;
+    if (state.latency_s <= target) {
+      // Additive increase expressed as a multiplicative step.
+      if (state.rate_limit <= 0.0) return 0.0;
+      return std::min(0.5, config_.additive_rps / state.rate_limit);
+    }
+    const double overload = (state.latency_s - target) / target;
+    return -std::min(config_.max_decrease, config_.beta * overload);
+  }
+  std::unique_ptr<RateController> Clone() const override {
+    return std::make_unique<AimdRateController>(config_);
+  }
+
+ private:
+  AimdConfig config_;
+};
+
+}  // namespace topfull::core

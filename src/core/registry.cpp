@@ -1,0 +1,22 @@
+#include "core/registry.hpp"
+
+#include <algorithm>
+
+namespace topfull::core {
+
+ApiRegistry::ApiRegistry(const sim::Application& app) {
+  api_services_.resize(app.NumApis());
+  service_apis_.resize(app.NumServices());
+  for (sim::ApiId a = 0; a < app.NumApis(); ++a) {
+    const auto& involved = app.api(a).involved_services();
+    api_services_[a].assign(involved.begin(), involved.end());
+    for (const sim::ServiceId s : involved) service_apis_[s].push_back(a);
+  }
+}
+
+bool ApiRegistry::Uses(sim::ApiId api, sim::ServiceId service) const {
+  const auto& services = api_services_[api];
+  return std::binary_search(services.begin(), services.end(), service);
+}
+
+}  // namespace topfull::core

@@ -1,0 +1,44 @@
+// Execution-path registry: the static API <-> microservice membership map.
+//
+// Built once from the application's API specs (the production system builds
+// it from distributed traces, §5). Branching APIs are registered as involved
+// in every service of every possible path (§4.2).
+#pragma once
+
+#include <vector>
+
+#include "sim/app.hpp"
+
+namespace topfull::core {
+
+class ApiRegistry {
+ public:
+  explicit ApiRegistry(const sim::Application& app);
+
+  /// Services an API's (union of) execution paths traverse.
+  const std::vector<sim::ServiceId>& ServicesOf(sim::ApiId api) const {
+    return api_services_[api];
+  }
+
+  /// APIs whose execution paths traverse a service.
+  const std::vector<sim::ApiId>& ApisOf(sim::ServiceId service) const {
+    return service_apis_[service];
+  }
+
+  /// Number of distinct APIs using the service (the target-selection key:
+  /// TopFull resolves the overloaded service used by the fewest APIs first).
+  int ApiCount(sim::ServiceId service) const {
+    return static_cast<int>(service_apis_[service].size());
+  }
+
+  bool Uses(sim::ApiId api, sim::ServiceId service) const;
+
+  int num_apis() const { return static_cast<int>(api_services_.size()); }
+  int num_services() const { return static_cast<int>(service_apis_.size()); }
+
+ private:
+  std::vector<std::vector<sim::ServiceId>> api_services_;
+  std::vector<std::vector<sim::ApiId>> service_apis_;
+};
+
+}  // namespace topfull::core

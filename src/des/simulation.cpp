@@ -1,0 +1,50 @@
+#include "des/simulation.hpp"
+
+#include <cassert>
+#include <memory>
+#include <utility>
+
+namespace topfull::des {
+
+void Simulation::ScheduleAt(SimTime when, Callback fn) {
+  assert(when >= now_ && "cannot schedule in the past");
+  queue_.push(Event{when < now_ ? now_ : when, next_seq_++, std::move(fn)});
+}
+
+void Simulation::SchedulePeriodic(SimTime start, SimTime period, Callback fn) {
+  // Re-arms itself after each firing. Shared callback keeps one copy alive.
+  auto shared = std::make_shared<Callback>(std::move(fn));
+  struct Rearm {
+    Simulation* sim;
+    SimTime period;
+    std::shared_ptr<Callback> fn;
+    void operator()() const {
+      (*fn)();
+      sim->ScheduleAfter(period, Rearm{sim, period, fn});
+    }
+  };
+  ScheduleAt(start, Rearm{this, period, shared});
+}
+
+void Simulation::RunUntil(SimTime end) {
+  while (!queue_.empty() && queue_.top().when <= end) {
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.when;
+    ++events_processed_;
+    ev.fn();
+  }
+  if (now_ < end) now_ = end;
+}
+
+bool Simulation::Step() {
+  if (queue_.empty()) return false;
+  Event ev = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  now_ = ev.when;
+  ++events_processed_;
+  ev.fn();
+  return true;
+}
+
+}  // namespace topfull::des

@@ -1,0 +1,68 @@
+// Discrete-event simulation engine.
+//
+// A Simulation owns a time-ordered event queue. Components schedule
+// callbacks at absolute or relative times; ties are broken by insertion
+// order so runs are fully deterministic. The engine is single-threaded by
+// design — determinism and reproducibility outrank parallel speed for the
+// reproduction experiments.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/sim_time.hpp"
+
+namespace topfull::des {
+
+class Simulation {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Current simulation time.
+  SimTime Now() const { return now_; }
+
+  /// Schedules `fn` at absolute time `when` (>= Now()).
+  void ScheduleAt(SimTime when, Callback fn);
+
+  /// Schedules `fn` after `delay` (>= 0) from now.
+  void ScheduleAfter(SimTime delay, Callback fn) { ScheduleAt(now_ + delay, std::move(fn)); }
+
+  /// Schedules `fn` every `period`, starting at `start`, until the
+  /// simulation ends. The callback sees the Simulation clock advance.
+  void SchedulePeriodic(SimTime start, SimTime period, Callback fn);
+
+  /// Runs events until the queue is empty or time would exceed `end`.
+  /// The clock is left at `end` afterwards.
+  void RunUntil(SimTime end);
+
+  /// Processes a single event; returns false if the queue is empty.
+  bool Step();
+
+  /// Number of events processed so far.
+  std::uint64_t EventsProcessed() const { return events_processed_; }
+
+  /// Pending event count (for tests).
+  std::size_t PendingEvents() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    SimTime when;
+    std::uint64_t seq;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t events_processed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace topfull::des

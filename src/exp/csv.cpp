@@ -1,0 +1,45 @@
+#include "exp/csv.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+namespace topfull::exp {
+
+bool WriteTimelineCsv(const sim::Application& app, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "t_s";
+  for (sim::ApiId a = 0; a < app.NumApis(); ++a) {
+    const std::string& name = app.api(a).name();
+    out << ",offered_" << name << ",admitted_" << name << ",good_" << name
+        << ",p95_ms_" << name;
+  }
+  for (int s = 0; s < app.NumServices(); ++s) {
+    out << ",util_" << app.service(s).name();
+  }
+  out << '\n';
+  for (const auto& snap : app.metrics().Timeline()) {
+    out << snap.t_end_s;
+    for (const auto& api : snap.apis) {
+      out << ',' << api.offered << ',' << api.admitted << ',' << api.good << ','
+          << api.latency_p95_ms;
+    }
+    for (const auto& svc : snap.services) out << ',' << svc.cpu_utilization;
+    out << '\n';
+  }
+  return static_cast<bool>(out);
+}
+
+void MaybeExportTimeline(const sim::Application& app, const std::string& name) {
+  const char* dir = std::getenv("TOPFULL_CSV_DIR");
+  if (dir == nullptr || *dir == '\0') return;
+  const std::string path = std::string(dir) + "/" + name + ".csv";
+  if (WriteTimelineCsv(app, path)) {
+    std::fprintf(stderr, "[csv] wrote %s\n", path.c_str());
+  } else {
+    std::fprintf(stderr, "[csv] FAILED to write %s\n", path.c_str());
+  }
+}
+
+}  // namespace topfull::exp

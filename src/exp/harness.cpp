@@ -1,0 +1,97 @@
+#include "exp/harness.hpp"
+
+#include <cassert>
+
+namespace topfull::exp {
+
+std::string VariantName(Variant variant) {
+  switch (variant) {
+    case Variant::kNoControl: return "no-control";
+    case Variant::kTopFull: return "TopFull";
+    case Variant::kTopFullMimd: return "TopFull(MIMD)";
+    case Variant::kTopFullNoCluster: return "TopFull(w/o cluster)";
+    case Variant::kTopFullBw: return "TopFull(BW)";
+    case Variant::kDagor: return "DAGOR";
+    case Variant::kBreakwater: return "Breakwater";
+    case Variant::kWisp: return "WISP";
+  }
+  return "unknown";
+}
+
+void Controllers::Attach(Variant variant, sim::Application& app,
+                         const rl::GaussianPolicy* policy,
+                         core::TopFullConfig config, double mimd_decrease,
+                         double mimd_increase) {
+  switch (variant) {
+    case Variant::kNoControl:
+      break;
+    case Variant::kTopFull: {
+      assert(policy != nullptr);
+      topfull_ = std::make_unique<core::TopFullController>(
+          &app, std::make_unique<core::RlRateController>(policy), config);
+      topfull_->Start();
+      break;
+    }
+    case Variant::kTopFullMimd: {
+      topfull_ = std::make_unique<core::TopFullController>(
+          &app, std::make_unique<core::MimdRateController>(mimd_decrease, mimd_increase),
+          config);
+      topfull_->Start();
+      break;
+    }
+    case Variant::kTopFullNoCluster: {
+      assert(policy != nullptr);
+      config.enable_clustering = false;
+      topfull_ = std::make_unique<core::TopFullController>(
+          &app, std::make_unique<core::RlRateController>(policy), config);
+      topfull_->Start();
+      break;
+    }
+    case Variant::kTopFullBw: {
+      topfull_ = std::make_unique<core::TopFullController>(
+          &app, std::make_unique<core::AimdRateController>(), config);
+      topfull_->Start();
+      break;
+    }
+    case Variant::kDagor: {
+      dagor_ = std::make_unique<baselines::DagorAdmission>(&app);
+      dagor_->Install();
+      break;
+    }
+    case Variant::kBreakwater: {
+      breakwater_ = std::make_unique<baselines::BreakwaterAdmission>(&app);
+      breakwater_->Install();
+      break;
+    }
+    case Variant::kWisp: {
+      wisp_ = std::make_unique<baselines::WispAdmission>(&app);
+      wisp_->Install();
+      break;
+    }
+  }
+}
+
+workload::ClosedLoopConfig UniformUsers(const sim::Application& app) {
+  workload::ClosedLoopConfig config;
+  config.mix.weights.assign(static_cast<std::size_t>(app.NumApis()), 1.0);
+  return config;
+}
+
+double TotalGoodput(const sim::Application& app, double from_s, double to_s) {
+  return app.metrics().AvgTotalGoodput(from_s, to_s);
+}
+
+std::vector<double> PerApiGoodputRow(const sim::Application& app, double from_s,
+                                     double to_s) {
+  std::vector<double> row;
+  double total = 0.0;
+  for (sim::ApiId a = 0; a < app.NumApis(); ++a) {
+    const double g = app.metrics().AvgGoodput(a, from_s, to_s);
+    row.push_back(g);
+    total += g;
+  }
+  row.push_back(total);
+  return row;
+}
+
+}  // namespace topfull::exp

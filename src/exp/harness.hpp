@@ -1,0 +1,69 @@
+// Shared experiment harness: attaching a named overload-control variant to
+// an application, and small reporting helpers used by every bench binary.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "baselines/breakwater.hpp"
+#include "baselines/dagor.hpp"
+#include "baselines/wisp.hpp"
+#include "core/controller.hpp"
+#include "rl/policy.hpp"
+#include "sim/app.hpp"
+#include "workload/generators.hpp"
+
+namespace topfull::exp {
+
+/// The overload-control variants compared across the paper's figures.
+enum class Variant {
+  kNoControl,         ///< nothing installed
+  kTopFull,           ///< full system, RL rate controller
+  kTopFullMimd,       ///< ablation: static MIMD steps instead of RL (§6.2)
+  kTopFullNoCluster,  ///< ablation: sequential control, no parallel clusters
+  kTopFullBw,         ///< TopFull(BW): Breakwater-style AIMD at entry (§6.3)
+  kDagor,             ///< DAGOR baseline (per-pod priority admission)
+  kBreakwater,        ///< Breakwater baseline (per-pod credits + AQM)
+  kWisp,              ///< WISP baseline (per-pod limits, upstream shedding)
+};
+
+std::string VariantName(Variant variant);
+
+/// Attaches a variant's controller(s) to an application and keeps them
+/// alive. `policy` must outlive this object for the RL variants.
+/// `mimd_decrease`/`mimd_increase` customise the fixed-step controller
+/// (Fig. 13 sweeps the decrease step).
+class Controllers {
+ public:
+  Controllers() = default;
+
+  void Attach(Variant variant, sim::Application& app,
+              const rl::GaussianPolicy* policy,
+              core::TopFullConfig config = {},
+              double mimd_decrease = 0.05, double mimd_increase = 0.01);
+
+  core::TopFullController* topfull() { return topfull_.get(); }
+  baselines::DagorAdmission* dagor() { return dagor_.get(); }
+  baselines::BreakwaterAdmission* breakwater() { return breakwater_.get(); }
+  baselines::WispAdmission* wisp() { return wisp_.get(); }
+
+ private:
+  std::unique_ptr<core::TopFullController> topfull_;
+  std::unique_ptr<baselines::DagorAdmission> dagor_;
+  std::unique_ptr<baselines::BreakwaterAdmission> breakwater_;
+  std::unique_ptr<baselines::WispAdmission> wisp_;
+};
+
+/// Closed-loop user config with a uniform mix over all APIs of `app`
+/// (the paper's Locust setup: N users, 1 request/second each).
+workload::ClosedLoopConfig UniformUsers(const sim::Application& app);
+
+/// Sum of AvgGoodput over all APIs in [from_s, to_s).
+double TotalGoodput(const sim::Application& app, double from_s, double to_s = -1.0);
+
+/// Per-API goodput averages in [from_s, to_s) as a row of doubles, with the
+/// total appended.
+std::vector<double> PerApiGoodputRow(const sim::Application& app, double from_s,
+                                     double to_s = -1.0);
+
+}  // namespace topfull::exp

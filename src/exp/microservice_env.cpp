@@ -1,0 +1,109 @@
+#include "exp/microservice_env.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "rl/observation.hpp"
+
+namespace topfull::exp {
+
+MicroserviceEnv::MicroserviceEnv(MicroserviceEnvConfig config)
+    : config_(std::move(config)) {
+  assert(config_.factory && "an application factory is required");
+}
+
+MicroserviceEnv::~MicroserviceEnv() = default;
+
+std::vector<double> MicroserviceEnv::Reset(std::uint64_t seed) {
+  app_ = config_.factory(seed);
+  assert(!config_.api_rate_ranges.empty());
+  action_slot_ = std::make_shared<double>(0.0);
+  controller_ = std::make_unique<core::TopFullController>(
+      app_.get(), std::make_unique<ExternalActionController>(action_slot_),
+      config_.controller);
+  controller_->Start();
+
+  traffic_ = std::make_unique<workload::TrafficDriver>(app_.get());
+  Rng rng(seed * 0x9E3779B97F4A7C15ULL + 0xD6E8FEB86659FD93ULL);
+  const bool surge = rng.Bernoulli(config_.surge_prob);
+  const SimTime surge_at =
+      config_.warmup + Seconds(rng.Uniform(5, config_.steps_per_episode * 0.6));
+  const double surge_factor = rng.Uniform(1.5, 3.0);
+  for (sim::ApiId a = 0; a < app_->NumApis(); ++a) {
+    const auto& range =
+        config_.api_rate_ranges[static_cast<std::size_t>(a) %
+                                config_.api_rate_ranges.size()];
+    const double rate = rng.Uniform(range.first, range.second);
+    workload::Schedule schedule = workload::Schedule::Constant(rate);
+    if (surge) schedule.Then(surge_at, rate * surge_factor);
+    traffic_->AddOpenLoop(a, std::move(schedule));
+  }
+  if (rng.Bernoulli(config_.scaleup_prob)) {
+    // Autoscaler-style mid-episode capacity increase on a random service.
+    const auto svc = static_cast<sim::ServiceId>(
+        rng.UniformInt(0, app_->NumServices() - 1));
+    const SimTime when = config_.warmup +
+                         Seconds(rng.Uniform(10, config_.steps_per_episode * 0.8));
+    sim::Application* app = app_.get();
+    app_->sim().ScheduleAt(when, [app, svc]() {
+      auto& service = app->service(svc);
+      service.SetPodCount(service.TotalPods() * 2, Seconds(5));
+    });
+  }
+
+  app_->RunFor(config_.warmup);
+  step_ = 0;
+  prev_goodput_ = TotalGoodput();
+  return Observation();
+}
+
+double MicroserviceEnv::TotalGoodput() const {
+  const auto& snap = app_->metrics().Latest();
+  double total = 0.0;
+  for (const auto& api : snap.apis) total += static_cast<double>(api.good);
+  return total;
+}
+
+core::ControlState MicroserviceEnv::CurrentState() const {
+  // Mirror what the deployed controller observes: the candidate APIs of the
+  // first live cluster; otherwise every rate-limited API; otherwise all.
+  const auto& clusters = controller_->LastClusters();
+  std::vector<sim::ApiId> apis;
+  if (!clusters.empty() && !clusters.front().candidates.empty()) {
+    apis = clusters.front().candidates;
+  } else {
+    for (sim::ApiId a = 0; a < app_->NumApis(); ++a) {
+      if (controller_->RateLimit(a).has_value()) apis.push_back(a);
+    }
+    if (apis.empty()) {
+      for (sim::ApiId a = 0; a < app_->NumApis(); ++a) apis.push_back(a);
+    }
+  }
+  return controller_->StateOf(apis);
+}
+
+std::vector<double> MicroserviceEnv::Observation() const {
+  const core::ControlState state = CurrentState();
+  return rl::MakeObservation(state.goodput, state.rate_limit, state.latency_s,
+                             state.slo_s);
+}
+
+rl::StepResult MicroserviceEnv::Step(double action) {
+  *action_slot_ = std::clamp(action, -0.5, 0.5);
+  app_->RunFor(Seconds(1));
+  ++step_;
+
+  rl::StepResult result;
+  const double goodput = TotalGoodput();
+  const core::ControlState state = CurrentState();
+  const double violation =
+      std::max(0.0, (state.latency_s - state.slo_s) / state.slo_s);
+  result.reward =
+      (goodput - prev_goodput_) / config_.goodput_scale - config_.rho * violation;
+  prev_goodput_ = goodput;
+  result.obs = Observation();
+  result.done = step_ >= config_.steps_per_episode;
+  return result;
+}
+
+}  // namespace topfull::exp

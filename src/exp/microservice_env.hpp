@@ -1,0 +1,79 @@
+// Application-backed RL environment (the paper's "specialization" stage).
+//
+// Each episode builds a fresh simulated application, drives it with a
+// randomly drawn per-API workload, and lets the agent steer the deployed
+// TopFullController: the controller's rate controllers are replaced by a
+// pass-through that returns the externally supplied action, so training
+// exercises exactly the deployment code path (clustering, Algorithm 1,
+// recovery). Observation/action/reward match the graph simulator, which is
+// what makes Sim2real transfer work.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/controller.hpp"
+#include "rl/env.hpp"
+#include "sim/app.hpp"
+#include "workload/generators.hpp"
+
+namespace topfull::exp {
+
+/// RateController that returns an externally set action (shared slot).
+class ExternalActionController : public core::RateController {
+ public:
+  explicit ExternalActionController(std::shared_ptr<double> slot)
+      : slot_(std::move(slot)) {}
+  double DecideStep(const core::ControlState&) override { return *slot_; }
+  std::unique_ptr<core::RateController> Clone() const override {
+    return std::make_unique<ExternalActionController>(slot_);
+  }
+
+ private:
+  std::shared_ptr<double> slot_;
+};
+
+struct MicroserviceEnvConfig {
+  /// Builds a fresh application instance for an episode.
+  std::function<std::unique_ptr<sim::Application>(std::uint64_t seed)> factory;
+  /// Per-API open-loop rate ranges (rps) sampled per episode.
+  std::vector<std::pair<double, double>> api_rate_ranges;
+  double rho = 1.0;               ///< Eq. 3 penalty coefficient
+  double goodput_scale = 1000.0;  ///< reward normalisation
+  /// Mid-episode disturbances, mirroring the pre-training simulator: a
+  /// sudden demand surge and/or an autoscaler-style capacity increase.
+  double surge_prob = 0.4;
+  double scaleup_prob = 0.4;
+  int steps_per_episode = 50;
+  SimTime warmup = Seconds(3);
+  core::TopFullConfig controller;
+};
+
+class MicroserviceEnv : public rl::Env {
+ public:
+  explicit MicroserviceEnv(MicroserviceEnvConfig config);
+  ~MicroserviceEnv() override;
+
+  std::vector<double> Reset(std::uint64_t seed) override;
+  rl::StepResult Step(double action) override;
+  int ObsDim() const override { return 2; }
+
+  /// The live application of the current episode (tests/inspection).
+  sim::Application* app() { return app_.get(); }
+
+ private:
+  core::ControlState CurrentState() const;
+  std::vector<double> Observation() const;
+  double TotalGoodput() const;
+
+  MicroserviceEnvConfig config_;
+  std::unique_ptr<sim::Application> app_;
+  std::unique_ptr<workload::TrafficDriver> traffic_;
+  std::unique_ptr<core::TopFullController> controller_;
+  std::shared_ptr<double> action_slot_;
+  double prev_goodput_ = 0.0;
+  int step_ = 0;
+};
+
+}  // namespace topfull::exp

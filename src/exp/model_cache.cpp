@@ -1,0 +1,79 @@
+#include "exp/model_cache.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+
+#include "rl/graph_sim_env.hpp"
+
+namespace topfull::exp {
+namespace {
+
+int EnvInt(const char* name, int fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) return fallback;
+  const int parsed = std::atoi(value);
+  return parsed > 0 ? parsed : fallback;
+}
+
+}  // namespace
+
+std::string ModelDir() {
+  const std::string dir = std::string(TOPFULL_SOURCE_DIR) + "/models";
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  return dir;
+}
+
+int PretrainEpisodes() { return EnvInt("TOPFULL_PRETRAIN_EPISODES", 16000); }
+int FinetuneEpisodes() { return EnvInt("TOPFULL_FINETUNE_EPISODES", 160); }
+
+std::shared_ptr<rl::GaussianPolicy> TrainBasePolicy(int episodes, std::uint64_t seed,
+                                                    rl::TrainResult* result_out) {
+  Rng init_rng(seed);
+  auto policy = std::make_shared<rl::GaussianPolicy>(rl::PolicyConfig{}, init_rng);
+  rl::GraphSimEnv env({}, /*base_seed=*/seed);
+  rl::PpoTrainer trainer(policy.get(), rl::PpoConfig{}, seed ^ 0xBEEF);
+  // Fixed validation scenarios (paper: "validating the checkpointed RL
+  // models on a fixed set of scenarios in the simulator").
+  rl::GraphSimEnv validation_env({}, /*base_seed=*/seed ^ 0x5A5A5A5A);
+  auto validate = [&validation_env](rl::GaussianPolicy& p) {
+    return rl::EvaluatePolicy(p, validation_env, /*episodes=*/16,
+                              /*seed0=*/9000, /*steps_per_episode=*/50);
+  };
+  const rl::TrainResult result = trainer.Train(env, episodes, validate,
+                                               /*checkpoint_every=*/400);
+  if (result_out != nullptr) *result_out = result;
+  return policy;
+}
+
+std::shared_ptr<rl::GaussianPolicy> GetPretrainedPolicy() {
+  const std::string path = ModelDir() + "/base_policy.txt";
+  {
+    Rng rng(1);
+    auto policy = std::make_shared<rl::GaussianPolicy>(rl::PolicyConfig{}, rng);
+    if (policy->LoadFile(path)) return policy;
+  }
+  const int episodes = PretrainEpisodes();
+  std::fprintf(stderr,
+               "[model-cache] training base policy on the graph simulator "
+               "(%d episodes; set TOPFULL_PRETRAIN_EPISODES to change)...\n",
+               episodes);
+  auto policy = TrainBasePolicy(episodes);
+  policy->SaveFile(path);
+  std::fprintf(stderr, "[model-cache] saved %s\n", path.c_str());
+  return policy;
+}
+
+std::shared_ptr<rl::GaussianPolicy> LoadCachedPolicy(const std::string& name) {
+  Rng rng(1);
+  auto policy = std::make_shared<rl::GaussianPolicy>(rl::PolicyConfig{}, rng);
+  if (!policy->LoadFile(ModelDir() + "/" + name + ".txt")) return nullptr;
+  return policy;
+}
+
+bool SaveCachedPolicy(const rl::GaussianPolicy& policy, const std::string& name) {
+  return policy.SaveFile(ModelDir() + "/" + name + ".txt");
+}
+
+}  // namespace topfull::exp

@@ -1,0 +1,45 @@
+// Pre-trained / fine-tuned policy cache.
+//
+// The paper pre-trains the PPO policy on the graph simulator (48 000
+// episodes) and fine-tunes per application (800 episodes). Bench binaries
+// share trained policies through text checkpoints under <repo>/models/;
+// the first bench that needs a model trains and caches it. Episode counts
+// are reduced by default so the whole suite runs in minutes — override with
+// the TOPFULL_PRETRAIN_EPISODES / TOPFULL_FINETUNE_EPISODES environment
+// variables for paper-scale training.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "rl/policy.hpp"
+#include "rl/ppo.hpp"
+
+namespace topfull::exp {
+
+/// Directory used for cached checkpoints (<repo>/models).
+std::string ModelDir();
+
+/// Default pre-training episode count (env-overridable).
+int PretrainEpisodes();
+/// Default fine-tuning episode count (env-overridable).
+int FinetuneEpisodes();
+
+/// Returns the shared pre-trained base policy: loads models/base_policy.txt
+/// when present, otherwise trains it on GraphSimEnv (with validation-based
+/// checkpoint selection) and saves it.
+std::shared_ptr<rl::GaussianPolicy> GetPretrainedPolicy();
+
+/// Trains a fresh policy on GraphSimEnv for `episodes` episodes (no cache).
+std::shared_ptr<rl::GaussianPolicy> TrainBasePolicy(int episodes,
+                                                    std::uint64_t seed = 1234,
+                                                    rl::TrainResult* result = nullptr);
+
+/// Loads a cached policy by name (e.g. "transfer_tt"); returns nullptr when
+/// the cache file is absent or malformed.
+std::shared_ptr<rl::GaussianPolicy> LoadCachedPolicy(const std::string& name);
+
+/// Saves a policy under models/<name>.txt.
+bool SaveCachedPolicy(const rl::GaussianPolicy& policy, const std::string& name);
+
+}  // namespace topfull::exp

@@ -1,0 +1,34 @@
+// RL environment interface.
+//
+// Episodic, single-scalar-action environments (the rate-control problem):
+// observation is a small vector, action is one continuous multiplicative
+// step. Implemented by GraphSimEnv (pre-training, §4.3) and by the
+// application-backed MicroserviceEnv (specialisation, in src/exp).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace topfull::rl {
+
+struct StepResult {
+  std::vector<double> obs;
+  double reward = 0.0;
+  bool done = false;
+};
+
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  /// Starts a new episode; `seed` randomises the scenario (DAG shapes,
+  /// capacities, demand). Returns the initial observation.
+  virtual std::vector<double> Reset(std::uint64_t seed) = 0;
+
+  /// Applies one action and advances the environment.
+  virtual StepResult Step(double action) = 0;
+
+  virtual int ObsDim() const = 0;
+};
+
+}  // namespace topfull::rl

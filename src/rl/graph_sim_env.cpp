@@ -1,0 +1,206 @@
+#include "rl/graph_sim_env.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "rl/observation.hpp"
+
+namespace topfull::rl {
+
+GraphSimEnv::GraphSimEnv(GraphSimConfig config, std::uint64_t base_seed)
+    : config_(config), base_seed_(base_seed), rng_(base_seed) {}
+
+std::vector<double> GraphSimEnv::Reset(std::uint64_t seed) {
+  rng_ = Rng(base_seed_ ^ (seed * 0x9E3779B97F4A7C15ULL + 0x2545F4914F6CDD1DULL));
+  nodes_.clear();
+  dags_.clear();
+  step_ = 0;
+
+  const int num_dags =
+      static_cast<int>(rng_.UniformInt(config_.min_dags, config_.max_dags));
+  for (int d = 0; d < num_dags; ++d) {
+    Dag dag;
+    const int num_nodes =
+        static_cast<int>(rng_.UniformInt(config_.min_nodes, config_.max_nodes));
+    for (int n = 0; n < num_nodes; ++n) {
+      int idx;
+      if (!nodes_.empty() && rng_.Bernoulli(config_.node_share_prob)) {
+        idx = static_cast<int>(
+            rng_.UniformInt(0, static_cast<std::int64_t>(nodes_.size()) - 1));
+        if (std::find(dag.nodes.begin(), dag.nodes.end(), idx) != dag.nodes.end()) {
+          continue;  // avoid the same node twice in one path
+        }
+      } else {
+        Node node;
+        node.capacity = rng_.Uniform(config_.capacity_lo, config_.capacity_hi);
+        node.base_latency_ms =
+            rng_.Uniform(config_.base_latency_lo_ms, config_.base_latency_hi_ms);
+        nodes_.push_back(node);
+        idx = static_cast<int>(nodes_.size()) - 1;
+      }
+      dag.nodes.push_back(idx);
+    }
+    if (dag.nodes.empty()) {
+      Node node;
+      node.capacity = rng_.Uniform(config_.capacity_lo, config_.capacity_hi);
+      node.base_latency_ms =
+          rng_.Uniform(config_.base_latency_lo_ms, config_.base_latency_hi_ms);
+      nodes_.push_back(node);
+      dag.nodes.push_back(static_cast<int>(nodes_.size()) - 1);
+    }
+    dags_.push_back(std::move(dag));
+  }
+
+  // Demand relative to each DAG's bottleneck capacity: some under, some over.
+  for (auto& dag : dags_) {
+    double bottleneck = 1e18;
+    for (const int n : dag.nodes) bottleneck = std::min(bottleneck, nodes_[n].capacity);
+    dag.demand = rng_.Uniform(config_.demand_lo, config_.demand_hi) * bottleneck;
+  }
+
+  // Mid-episode disturbances (teach surge reaction / autoscaler recovery).
+  surge_step_ = rng_.Bernoulli(config_.surge_prob)
+                    ? static_cast<int>(rng_.UniformInt(5, config_.steps_per_episode - 10))
+                    : -1;
+  surge_factor_ = rng_.Uniform(1.5, 3.0);
+  scaleup_step_ = rng_.Bernoulli(config_.scaleup_prob)
+                      ? static_cast<int>(rng_.UniformInt(10, config_.steps_per_episode - 5))
+                      : -1;
+  scaleup_factor_ = rng_.Uniform(1.5, 2.5);
+
+  // Most episodes start uncapped (the limit equals total offered demand);
+  // some start deeply throttled to teach fast recovery.
+  rate_limit_ = total_demand();
+  if (rng_.Bernoulli(config_.undershoot_start_prob)) {
+    rate_limit_ *= rng_.Uniform(0.02, 0.5);
+  }
+  Simulate();
+  return Observation();
+}
+
+double GraphSimEnv::total_demand() const {
+  double sum = 0.0;
+  for (const auto& dag : dags_) sum += dag.demand;
+  return sum;
+}
+
+double GraphSimEnv::BottleneckCapacity() const {
+  // Sustainable total goodput bound: sum over dags of per-dag bottleneck,
+  // capped by shared-node capacities (approximation for reporting only).
+  double sum = 0.0;
+  for (const auto& dag : dags_) {
+    double bottleneck = 1e18;
+    for (const int n : dag.nodes) bottleneck = std::min(bottleneck, nodes_[n].capacity);
+    sum += bottleneck;
+  }
+  return sum;
+}
+
+void GraphSimEnv::Simulate() {
+  // Split the aggregate rate limit across DAGs in proportion to demand.
+  const double demand = total_demand();
+  const double admit_total = std::min(demand, rate_limit_);
+  std::vector<double> admitted(dags_.size(), 0.0);
+  for (std::size_t d = 0; d < dags_.size(); ++d) {
+    admitted[d] = demand > 0.0 ? admit_total * dags_[d].demand / demand : 0.0;
+  }
+
+  // Node arrivals.
+  std::vector<double> arrivals(nodes_.size(), 0.0);
+  for (std::size_t d = 0; d < dags_.size(); ++d) {
+    for (const int n : dags_[d].nodes) arrivals[n] += admitted[d];
+  }
+
+  // Backlog dynamics (1 s step): served = min(capacity, backlog + arrivals).
+  std::vector<double> delay_ms(nodes_.size(), 0.0);
+  std::vector<double> pass_share(nodes_.size(), 1.0);
+  for (std::size_t n = 0; n < nodes_.size(); ++n) {
+    Node& node = nodes_[n];
+    const double offered = node.backlog + arrivals[n];
+    // Rule 1 (§4.3): past saturation, efficiency falls as pressure rises —
+    // an overloaded node serves *less* when pushed harder, so the goodput
+    // peak sits exactly at offered == capacity.
+    const double pressure =
+        node.capacity > 0.0 ? std::max(0.0, offered / node.capacity - 1.0) : 0.0;
+    const double effective_capacity =
+        node.capacity / (1.0 + config_.thrash * pressure);
+    const double served = std::min(effective_capacity, offered);
+    node.backlog = std::min(offered - served, node.capacity * config_.max_backlog_s);
+    const double overload = node.capacity > 0.0 ? node.backlog / node.capacity : 0.0;
+    // Stochastic queueing delay is negligible at low utilisation and grows
+    // sharply past ~0.85 (Erlang-C-like u^6/(1-u) knee) — without this the
+    // agent would learn that sitting at capacity is latency-free, which no
+    // real queueing system offers.
+    const double util =
+        node.capacity > 0.0 ? std::min(arrivals[n] / node.capacity, 0.995) : 0.0;
+    const double u6 = util * util * util * util * util * util;
+    const double queue_ms = node.base_latency_ms * u6 / (1.0 - util) * 2.0;
+    double noise = 0.0;
+    if (config_.noise > 0.0 && (overload > 0.0 || util > 0.5)) {
+      // Rule: noise proportional to the scale of the overload condition.
+      noise = rng_.Normal(0.0, config_.noise * (overload + util * util)) * 1000.0;
+    }
+    delay_ms[n] =
+        std::max(0.0, node.base_latency_ms + queue_ms + overload * 1000.0 + noise);
+    pass_share[n] = offered > 0.0 ? served / offered : 1.0;
+  }
+
+  // Per-DAG end-to-end latency and goodput.
+  double total_good = 0.0;
+  double max_latency_s = 0.0;
+  for (std::size_t d = 0; d < dags_.size(); ++d) {
+    double latency_ms = 0.0;
+    double through = admitted[d];
+    for (const int n : dags_[d].nodes) {
+      latency_ms += delay_ms[n];
+      through *= pass_share[n];
+    }
+    const double latency_s = latency_ms / 1000.0;
+    max_latency_s = std::max(max_latency_s, latency_s);
+    // Responses count as good while the path meets the SLO; past it the
+    // good fraction decays (requests increasingly finish late).
+    double ok = 1.0;
+    if (latency_s > config_.slo_s) {
+      ok = std::max(0.0, 1.0 - 2.0 * (latency_s - config_.slo_s) / config_.slo_s);
+    }
+    total_good += through * ok;
+  }
+  last_goodput_ = total_good;
+  last_latency_s_ = max_latency_s;
+}
+
+std::vector<double> GraphSimEnv::Observation() const {
+  return MakeObservation(last_goodput_, rate_limit_, last_latency_s_, config_.slo_s);
+}
+
+StepResult GraphSimEnv::Step(double action) {
+  const double clipped = std::clamp(action, -0.5, 0.5);
+  const double prev_good = last_goodput_;
+
+  // Disturbances fire at their scheduled step.
+  if (step_ == surge_step_) {
+    for (auto& dag : dags_) dag.demand *= surge_factor_;
+  }
+  if (step_ == scaleup_step_) {
+    for (auto& node : nodes_) node.capacity *= scaleup_factor_;
+  }
+
+  rate_limit_ *= (1.0 + clipped);
+  const double floor = 0.01 * BottleneckCapacity();
+  const double ceil = 3.0 * std::max(total_demand(), BottleneckCapacity());
+  rate_limit_ = std::clamp(rate_limit_, std::max(1.0, floor), ceil);
+
+  Simulate();
+  ++step_;
+
+  StepResult result;
+  result.obs = Observation();
+  const double delta_good = (last_goodput_ - prev_good) / config_.goodput_scale;
+  const double violation =
+      std::max(0.0, (last_latency_s_ - config_.slo_s) / config_.slo_s);
+  result.reward = delta_good - config_.rho * violation;
+  result.done = step_ >= config_.steps_per_episode;
+  return result;
+}
+
+}  // namespace topfull::rl

@@ -1,0 +1,92 @@
+// The paper's pre-training graph simulator (§4.3 "Simulator's design
+// principle").
+//
+// Each episode randomly generates 1-3 DAGs (API execution paths) of 1-5
+// nodes (microservices), possibly sharing nodes. Every node has a random
+// base latency and load capacity and keeps a backlog: when arrivals exceed
+// capacity the backlog grows, latency rises with it (plus noise proportional
+// to the overload), and goodput falls — the three behaviour rules of the
+// paper. The agent controls one aggregate entry rate limit with a
+// multiplicative step; reward is Eq. 3 (delta-goodput minus SLO-violation
+// penalty).
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "rl/env.hpp"
+
+namespace topfull::rl {
+
+struct GraphSimConfig {
+  int min_dags = 1, max_dags = 3;      // paper: 1-3 DAGs
+  int min_nodes = 1, max_nodes = 5;    // paper: 1-5 nodes per DAG
+  double node_share_prob = 0.4;        ///< chance a node is reused across DAGs
+  double capacity_lo = 300.0, capacity_hi = 3000.0;  // rps
+  double base_latency_lo_ms = 2.0, base_latency_hi_ms = 30.0;
+  double demand_lo = 0.6, demand_hi = 2.5;  ///< x bottleneck capacity
+  double slo_s = 1.0;
+  double rho = 0.5;              ///< Eq. 3 penalty coefficient
+  double goodput_scale = 300.0; ///< reward normalisation (krps)
+  double max_backlog_s = 2.0;    ///< queued work cap (timeout drops)
+  /// Service-efficiency loss under overload (the paper's rule 1: an
+  /// overloaded node's goodput *decreases* as its incoming rate rises).
+  /// served = capacity / (1 + thrash * overload_ratio).
+  double thrash = 0.4;
+  double noise = 0.05;           ///< latency noise, scaled by overload
+  double surge_prob = 0.35;      ///< mid-episode demand surge
+  double scaleup_prob = 0.35;    ///< mid-episode capacity increase (autoscaler)
+  /// Probability an episode starts deeply rate-limited (recovery training:
+  /// the controller must climb back fast after an overload was resolved or
+  /// an autoscaler added capacity - teaches rapid upward adaptation).
+  double undershoot_start_prob = 0.5;
+  int steps_per_episode = 50;
+};
+
+class GraphSimEnv : public Env {
+ public:
+  explicit GraphSimEnv(GraphSimConfig config = {}, std::uint64_t base_seed = 1);
+
+  std::vector<double> Reset(std::uint64_t seed) override;
+  StepResult Step(double action) override;
+  int ObsDim() const override { return 2; }
+
+  // Introspection for tests.
+  double rate_limit() const { return rate_limit_; }
+  double total_demand() const;
+  double last_goodput() const { return last_goodput_; }
+  double last_latency_s() const { return last_latency_s_; }
+  double BottleneckCapacity() const;
+
+ private:
+  struct Node {
+    double capacity = 0.0;
+    double base_latency_ms = 0.0;
+    double backlog = 0.0;  // queued requests
+  };
+  struct Dag {
+    std::vector<int> nodes;  // indices into nodes_
+    double demand = 0.0;     // offered rps
+  };
+
+  /// Advances the queueing dynamics by one 1 s step given the current rate
+  /// limit; refreshes last_goodput_ / last_latency_s_.
+  void Simulate();
+  std::vector<double> Observation() const;
+
+  GraphSimConfig config_;
+  std::uint64_t base_seed_;
+  Rng rng_;
+  std::vector<Node> nodes_;
+  std::vector<Dag> dags_;
+  double rate_limit_ = 0.0;
+  double last_goodput_ = 0.0;
+  double last_latency_s_ = 0.0;
+  int step_ = 0;
+  int surge_step_ = -1;
+  double surge_factor_ = 1.0;
+  int scaleup_step_ = -1;
+  double scaleup_factor_ = 1.0;
+};
+
+}  // namespace topfull::rl

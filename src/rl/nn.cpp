@@ -1,0 +1,136 @@
+#include "rl/nn.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace topfull::rl {
+
+Mlp::Mlp(std::vector<int> sizes, Rng& rng) : sizes_(std::move(sizes)) {
+  assert(sizes_.size() >= 2);
+  layers_.resize(sizes_.size() - 1);
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    Layer& layer = layers_[l];
+    layer.in = sizes_[l];
+    layer.out = sizes_[l + 1];
+    layer.w.resize(static_cast<std::size_t>(layer.in) * layer.out);
+    layer.b.assign(layer.out, 0.0);
+    layer.gw.assign(layer.w.size(), 0.0);
+    layer.gb.assign(layer.b.size(), 0.0);
+    // Xavier/Glorot uniform.
+    const double bound = std::sqrt(6.0 / static_cast<double>(layer.in + layer.out));
+    for (auto& w : layer.w) w = rng.Uniform(-bound, bound);
+  }
+}
+
+std::vector<double> Mlp::Forward(const std::vector<double>& x, Cache* cache) const {
+  assert(static_cast<int>(x.size()) == sizes_.front());
+  std::vector<double> a = x;
+  if (cache != nullptr) {
+    cache->activations.clear();
+    cache->activations.push_back(a);
+  }
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    const Layer& layer = layers_[l];
+    std::vector<double> z(layer.out, 0.0);
+    for (int o = 0; o < layer.out; ++o) {
+      double acc = layer.b[o];
+      const double* row = &layer.w[static_cast<std::size_t>(o) * layer.in];
+      for (int i = 0; i < layer.in; ++i) acc += row[i] * a[i];
+      z[o] = acc;
+    }
+    const bool hidden = l + 1 < layers_.size();
+    if (hidden) {
+      for (auto& v : z) v = std::tanh(v);
+    }
+    a = std::move(z);
+    if (cache != nullptr) cache->activations.push_back(a);
+  }
+  return a;
+}
+
+std::vector<double> Mlp::Backward(const Cache& cache, const std::vector<double>& dy) {
+  assert(cache.activations.size() == layers_.size() + 1);
+  std::vector<double> delta = dy;  // dL/d(activation of current layer)
+  for (std::size_t li = layers_.size(); li-- > 0;) {
+    Layer& layer = layers_[li];
+    const std::vector<double>& a_in = cache.activations[li];
+    const std::vector<double>& a_out = cache.activations[li + 1];
+    // For hidden layers, activation is tanh: dz = da * (1 - a^2).
+    std::vector<double> dz = delta;
+    const bool hidden = li + 1 < layers_.size();
+    if (hidden) {
+      for (int o = 0; o < layer.out; ++o) dz[o] *= 1.0 - a_out[o] * a_out[o];
+    }
+    for (int o = 0; o < layer.out; ++o) {
+      layer.gb[o] += dz[o];
+      double* grow = &layer.gw[static_cast<std::size_t>(o) * layer.in];
+      for (int i = 0; i < layer.in; ++i) grow[i] += dz[o] * a_in[i];
+    }
+    std::vector<double> dx(layer.in, 0.0);
+    for (int o = 0; o < layer.out; ++o) {
+      const double* row = &layer.w[static_cast<std::size_t>(o) * layer.in];
+      for (int i = 0; i < layer.in; ++i) dx[i] += row[i] * dz[o];
+    }
+    delta = std::move(dx);
+  }
+  return delta;
+}
+
+void Mlp::ZeroGrad() {
+  for (auto& layer : layers_) {
+    std::fill(layer.gw.begin(), layer.gw.end(), 0.0);
+    std::fill(layer.gb.begin(), layer.gb.end(), 0.0);
+  }
+}
+
+std::size_t Mlp::ParamCount() const {
+  std::size_t n = 0;
+  for (const auto& layer : layers_) n += layer.w.size() + layer.b.size();
+  return n;
+}
+
+void Mlp::CopyParamsTo(std::vector<double>& out) const {
+  out.clear();
+  out.reserve(ParamCount());
+  for (const auto& layer : layers_) {
+    out.insert(out.end(), layer.w.begin(), layer.w.end());
+    out.insert(out.end(), layer.b.begin(), layer.b.end());
+  }
+}
+
+void Mlp::SetParams(const std::vector<double>& params) {
+  assert(params.size() == ParamCount());
+  std::size_t k = 0;
+  for (auto& layer : layers_) {
+    for (auto& w : layer.w) w = params[k++];
+    for (auto& b : layer.b) b = params[k++];
+  }
+}
+
+void Mlp::CopyGradsTo(std::vector<double>& out) const {
+  out.clear();
+  out.reserve(ParamCount());
+  for (const auto& layer : layers_) {
+    out.insert(out.end(), layer.gw.begin(), layer.gw.end());
+    out.insert(out.end(), layer.gb.begin(), layer.gb.end());
+  }
+}
+
+Adam::Adam(std::size_t dim, double lr, double beta1, double beta2, double eps)
+    : lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps), m_(dim, 0.0), v_(dim, 0.0) {}
+
+void Adam::Step(std::vector<double>& params, const std::vector<double>& grads) {
+  assert(params.size() == m_.size() && grads.size() == m_.size());
+  ++t_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    m_[i] = beta1_ * m_[i] + (1.0 - beta1_) * grads[i];
+    v_[i] = beta2_ * v_[i] + (1.0 - beta2_) * grads[i] * grads[i];
+    const double mhat = m_[i] / bc1;
+    const double vhat = v_[i] / bc2;
+    params[i] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+  }
+}
+
+}  // namespace topfull::rl

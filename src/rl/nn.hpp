@@ -1,0 +1,79 @@
+// Minimal neural-network building blocks for the PPO rate controller.
+//
+// The paper's policy is tiny (2-dim state, 1-dim action, RLlib default
+// 2x64 tanh hidden layers), so a small dense MLP with manual backprop and an
+// Adam optimiser is a faithful CPU reimplementation of the RLlib setup.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace topfull::rl {
+
+/// Fully connected multi-layer perceptron with tanh hidden activations and a
+/// linear output layer. Parameters are stored flat per layer; gradients are
+/// accumulated into a parallel structure by Backward.
+class Mlp {
+ public:
+  /// `sizes` = {in, hidden..., out}. Weights are Xavier-initialised.
+  Mlp(std::vector<int> sizes, Rng& rng);
+
+  /// Activations cache produced by Forward and consumed by Backward.
+  struct Cache {
+    std::vector<std::vector<double>> activations;  // a[0]=input .. a[L]=output
+  };
+
+  /// Computes the output for `x` (and the cache when `cache` non-null).
+  std::vector<double> Forward(const std::vector<double>& x, Cache* cache = nullptr) const;
+
+  /// Backpropagates dL/dy, accumulating parameter gradients (into the
+  /// internal grad buffers) and returning dL/dx.
+  std::vector<double> Backward(const Cache& cache, const std::vector<double>& dy);
+
+  /// Zeroes accumulated gradients.
+  void ZeroGrad();
+
+  /// Number of scalar parameters.
+  std::size_t ParamCount() const;
+
+  /// Flattened views used by the optimiser and checkpointing.
+  void CopyParamsTo(std::vector<double>& out) const;
+  void SetParams(const std::vector<double>& params);
+  void CopyGradsTo(std::vector<double>& out) const;
+
+  const std::vector<int>& sizes() const { return sizes_; }
+
+ private:
+  struct Layer {
+    int in = 0, out = 0;
+    std::vector<double> w;       // out x in, row-major
+    std::vector<double> b;       // out
+    std::vector<double> gw, gb;  // accumulated gradients
+  };
+
+  std::vector<int> sizes_;
+  std::vector<Layer> layers_;
+};
+
+/// Adam optimiser over a flat parameter vector.
+class Adam {
+ public:
+  explicit Adam(std::size_t dim, double lr = 5e-5, double beta1 = 0.9,
+                double beta2 = 0.999, double eps = 1e-8);
+
+  /// Applies one update: params -= lr * mhat / (sqrt(vhat) + eps).
+  void Step(std::vector<double>& params, const std::vector<double>& grads);
+
+  void set_lr(double lr) { lr_ = lr; }
+  double lr() const { return lr_; }
+
+ private:
+  double lr_, beta1_, beta2_, eps_;
+  std::uint64_t t_ = 0;
+  std::vector<double> m_, v_;
+};
+
+}  // namespace topfull::rl

@@ -1,0 +1,29 @@
+// Canonical observation encoding shared by training environments and the
+// deployed controller.
+//
+// The paper's state (§4.3): 1) ratio of goodput to the current rate limit of
+// the candidate APIs, 2) their highest end-to-end percentile latency. We
+// normalise latency by the SLO and clip both features so the policy sees the
+// same scale in the graph simulator, in the application environment, and in
+// deployment.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+namespace topfull::rl {
+
+inline constexpr double kMaxLatencyFactor = 5.0;
+
+/// Builds the 2-dim observation: [goodput/limit in [0, 2], latency/SLO in
+/// [0, kMaxLatencyFactor]].
+inline std::vector<double> MakeObservation(double goodput, double rate_limit,
+                                           double latency_s, double slo_s) {
+  const double ratio =
+      rate_limit > 0.0 ? std::clamp(goodput / rate_limit, 0.0, 2.0) : 0.0;
+  const double lat =
+      slo_s > 0.0 ? std::clamp(latency_s / slo_s, 0.0, kMaxLatencyFactor) : 0.0;
+  return {ratio, lat};
+}
+
+}  // namespace topfull::rl

@@ -1,0 +1,164 @@
+#include "rl/policy.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+namespace topfull::rl {
+namespace {
+
+std::vector<int> NetSizes(const PolicyConfig& config) {
+  std::vector<int> sizes;
+  sizes.push_back(config.obs_dim);
+  for (const int h : config.hidden) sizes.push_back(h);
+  sizes.push_back(1);
+  return sizes;
+}
+
+constexpr double kHalfLog2Pi = 0.9189385332046727;  // 0.5 * log(2*pi)
+
+}  // namespace
+
+GaussianPolicy::GaussianPolicy(PolicyConfig config, Rng& rng)
+    : config_(std::move(config)),
+      mean_net_(NetSizes(config_), rng),
+      value_net_(NetSizes(config_), rng),
+      log_std_(config_.init_log_std) {}
+
+GaussianPolicy::Eval GaussianPolicy::Evaluate(const std::vector<double>& obs) const {
+  Eval eval;
+  const std::vector<double> out = mean_net_.Forward(obs, &eval.cache);
+  eval.raw_out = out[0];
+  const double center = 0.5 * (config_.action_low + config_.action_high);
+  const double half = 0.5 * (config_.action_high - config_.action_low);
+  eval.mean = center + half * std::tanh(eval.raw_out);
+  eval.log_std = log_std_;
+  return eval;
+}
+
+double GaussianPolicy::MeanAction(const std::vector<double>& obs) const {
+  return Evaluate(obs).mean;
+}
+
+double GaussianPolicy::SampleAction(const std::vector<double>& obs, Rng& rng,
+                                    double* raw) const {
+  const Eval eval = Evaluate(obs);
+  const double std = std::exp(eval.log_std);
+  const double sample = rng.Normal(eval.mean, std);
+  if (raw != nullptr) *raw = sample;
+  return std::clamp(sample, config_.action_low, config_.action_high);
+}
+
+double GaussianPolicy::LogProb(double a, double mean, double log_std) {
+  const double std = std::exp(log_std);
+  const double z = (a - mean) / std;
+  return -0.5 * z * z - log_std - kHalfLog2Pi;
+}
+
+void GaussianPolicy::Accumulate(const Eval& eval, double d_mean, double d_log_std) {
+  // mean = center + half * tanh(raw_out) => dmean/draw = half * (1 - tanh^2).
+  const double half = 0.5 * (config_.action_high - config_.action_low);
+  const double t = std::tanh(eval.raw_out);
+  const double d_raw = d_mean * half * (1.0 - t * t);
+  mean_net_.Backward(eval.cache, {d_raw});
+  g_log_std_ += d_log_std;
+}
+
+double GaussianPolicy::Value(const std::vector<double>& obs, Mlp::Cache* cache) const {
+  return value_net_.Forward(obs, cache)[0];
+}
+
+void GaussianPolicy::AccumulateValue(const Mlp::Cache& cache, double d_value) {
+  value_net_.Backward(cache, {d_value});
+}
+
+void GaussianPolicy::ZeroGrad() {
+  mean_net_.ZeroGrad();
+  value_net_.ZeroGrad();
+  g_log_std_ = 0.0;
+}
+
+std::size_t GaussianPolicy::ParamCount() const {
+  return mean_net_.ParamCount() + 1 + value_net_.ParamCount();
+}
+
+void GaussianPolicy::CopyParamsTo(std::vector<double>& out) const {
+  std::vector<double> tmp;
+  mean_net_.CopyParamsTo(out);
+  out.push_back(log_std_);
+  value_net_.CopyParamsTo(tmp);
+  out.insert(out.end(), tmp.begin(), tmp.end());
+}
+
+void GaussianPolicy::SetParams(const std::vector<double>& params) {
+  assert(params.size() == ParamCount());
+  const std::size_t m = mean_net_.ParamCount();
+  std::vector<double> mean_params(params.begin(), params.begin() + m);
+  mean_net_.SetParams(mean_params);
+  log_std_ = params[m];
+  std::vector<double> value_params(params.begin() + m + 1, params.end());
+  value_net_.SetParams(value_params);
+}
+
+void GaussianPolicy::CopyGradsTo(std::vector<double>& out) const {
+  std::vector<double> tmp;
+  mean_net_.CopyGradsTo(out);
+  out.push_back(g_log_std_);
+  value_net_.CopyGradsTo(tmp);
+  out.insert(out.end(), tmp.begin(), tmp.end());
+}
+
+void GaussianPolicy::Save(std::ostream& os) const {
+  os << "topfull-policy-v1\n";
+  os << config_.obs_dim << ' ' << config_.hidden.size();
+  for (const int h : config_.hidden) os << ' ' << h;
+  os << '\n';
+  os << config_.action_low << ' ' << config_.action_high << '\n';
+  std::vector<double> params;
+  CopyParamsTo(params);
+  os << params.size() << '\n';
+  os.precision(17);
+  for (const double p : params) os << p << '\n';
+}
+
+bool GaussianPolicy::Load(std::istream& is) {
+  std::string magic;
+  if (!(is >> magic) || magic != "topfull-policy-v1") return false;
+  int obs_dim = 0;
+  std::size_t num_hidden = 0;
+  if (!(is >> obs_dim >> num_hidden)) return false;
+  std::vector<int> hidden(num_hidden);
+  for (auto& h : hidden) {
+    if (!(is >> h)) return false;
+  }
+  double low = 0.0, high = 0.0;
+  if (!(is >> low >> high)) return false;
+  if (obs_dim != config_.obs_dim || hidden != config_.hidden) return false;
+  std::size_t n = 0;
+  if (!(is >> n) || n != ParamCount()) return false;
+  std::vector<double> params(n);
+  for (auto& p : params) {
+    if (!(is >> p)) return false;
+  }
+  config_.action_low = low;
+  config_.action_high = high;
+  SetParams(params);
+  return true;
+}
+
+bool GaussianPolicy::SaveFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  Save(out);
+  return static_cast<bool>(out);
+}
+
+bool GaussianPolicy::LoadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return false;
+  return Load(in);
+}
+
+}  // namespace topfull::rl

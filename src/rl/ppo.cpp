@@ -1,0 +1,241 @@
+#include "rl/ppo.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace topfull::rl {
+
+PpoTrainer::PpoTrainer(GaussianPolicy* policy, PpoConfig config, std::uint64_t seed)
+    : policy_(policy),
+      config_(config),
+      rng_(seed),
+      optimizer_(policy->ParamCount(), config.lr),
+      kl_coeff_(config.kl_coeff) {}
+
+double PpoTrainer::CollectRollout(Env& env, std::vector<Sample>& batch) {
+  double reward_sum = 0.0;
+  for (int e = 0; e < config_.episodes_per_iter; ++e) {
+    std::vector<double> obs = env.Reset(episode_counter_++);
+    std::vector<Sample> episode;
+    std::vector<double> rewards;
+    std::vector<double> values;
+    double episode_reward = 0.0;
+    bool done = false;
+    for (int t = 0; t < config_.steps_per_episode && !done; ++t) {
+      const GaussianPolicy::Eval eval = policy_->Evaluate(obs);
+      const double std = std::exp(eval.log_std);
+      const double raw = rng_.Normal(eval.mean, std);
+      const double clipped =
+          std::clamp(raw, policy_->config().action_low, policy_->config().action_high);
+      Sample s;
+      s.obs = obs;
+      s.raw_action = raw;
+      s.mean_old = eval.mean;
+      s.log_std_old = eval.log_std;
+      s.logp_old = GaussianPolicy::LogProb(raw, eval.mean, eval.log_std);
+      values.push_back(policy_->Value(obs));
+      const StepResult result = env.Step(clipped);
+      rewards.push_back(result.reward);
+      episode_reward += result.reward;
+      obs = result.obs;
+      done = result.done;
+      episode.push_back(std::move(s));
+    }
+    // GAE-lambda advantages; terminal bootstrap with V(s_T) when the
+    // episode was truncated by the step limit rather than `done`.
+    const double v_last = done ? 0.0 : policy_->Value(obs);
+    const int n = static_cast<int>(episode.size());
+    double gae = 0.0;
+    for (int t = n - 1; t >= 0; --t) {
+      const double v_next = (t == n - 1) ? v_last : values[t + 1];
+      const double delta = rewards[t] + config_.gamma * v_next - values[t];
+      gae = delta + config_.gamma * config_.gae_lambda * gae;
+      episode[t].advantage = gae;
+      episode[t].target_return = gae + values[t];
+    }
+    reward_sum += episode_reward;
+    for (auto& s : episode) batch.push_back(std::move(s));
+  }
+  return reward_sum / static_cast<double>(config_.episodes_per_iter);
+}
+
+void PpoTrainer::Update(std::vector<Sample>& batch, IterStats& stats) {
+  // Normalise advantages across the batch.
+  double mean = 0.0;
+  for (const auto& s : batch) mean += s.advantage;
+  mean /= static_cast<double>(batch.size());
+  double var = 0.0;
+  for (const auto& s : batch) var += (s.advantage - mean) * (s.advantage - mean);
+  var /= static_cast<double>(batch.size());
+  const double denom = std::sqrt(var) + 1e-8;
+  for (auto& s : batch) s.advantage = (s.advantage - mean) / denom;
+
+  std::vector<std::size_t> order(batch.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::vector<double> params, grads;
+
+  double last_policy_loss = 0.0;
+  double last_value_loss = 0.0;
+  for (int epoch = 0; epoch < config_.sgd_iters; ++epoch) {
+    // Fisher-Yates shuffle with our deterministic RNG.
+    for (std::size_t i = order.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(rng_.UniformInt(0, static_cast<std::int64_t>(i) - 1));
+      std::swap(order[i - 1], order[j]);
+    }
+    for (std::size_t begin = 0; begin < order.size();
+         begin += static_cast<std::size_t>(config_.minibatch_size)) {
+      const std::size_t end =
+          std::min(order.size(), begin + static_cast<std::size_t>(config_.minibatch_size));
+      const double inv_n = 1.0 / static_cast<double>(end - begin);
+      policy_->ZeroGrad();
+      double policy_loss = 0.0;
+      double value_loss = 0.0;
+      for (std::size_t k = begin; k < end; ++k) {
+        const Sample& s = batch[order[k]];
+        const GaussianPolicy::Eval eval = policy_->Evaluate(s.obs);
+        const double std_new = std::exp(eval.log_std);
+        const double logp = GaussianPolicy::LogProb(s.raw_action, eval.mean, eval.log_std);
+        const double ratio = std::exp(logp - s.logp_old);
+        // Clipped surrogate. Gradient flows only when unclipped branch is
+        // active (standard PPO subgradient).
+        const bool clipped = (s.advantage >= 0.0 && ratio > 1.0 + config_.clip) ||
+                             (s.advantage < 0.0 && ratio < 1.0 - config_.clip);
+        const double surrogate =
+            std::min(ratio * s.advantage,
+                     std::clamp(ratio, 1.0 - config_.clip, 1.0 + config_.clip) * s.advantage);
+        policy_loss += -surrogate;
+        double d_logp = clipped ? 0.0 : -s.advantage * ratio;
+
+        // Adaptive-KL penalty vs. the rollout policy.
+        const double std_old = std::exp(s.log_std_old);
+        const double mu_diff = s.mean_old - eval.mean;
+        const double kl = (eval.log_std - s.log_std_old) +
+                          (std_old * std_old + mu_diff * mu_diff) /
+                              (2.0 * std_new * std_new) -
+                          0.5;
+        policy_loss += kl_coeff_ * kl;
+        const double dkl_dmean = (eval.mean - s.mean_old) / (std_new * std_new);
+        const double dkl_dlogstd =
+            1.0 - (std_old * std_old + mu_diff * mu_diff) / (std_new * std_new);
+
+        // d logp / d mean, d logp / d log_std.
+        const double z = (s.raw_action - eval.mean) / std_new;
+        const double dlogp_dmean = z / std_new;
+        const double dlogp_dlogstd = z * z - 1.0;
+
+        double d_mean = (d_logp * dlogp_dmean + kl_coeff_ * dkl_dmean) * inv_n;
+        double d_logstd = (d_logp * dlogp_dlogstd + kl_coeff_ * dkl_dlogstd) * inv_n;
+        // Entropy bonus: H = log_std + 0.5*log(2*pi*e).
+        d_logstd += -config_.entropy_coeff * inv_n;
+        policy_->Accumulate(eval, d_mean, d_logstd);
+
+        // Value loss.
+        Mlp::Cache vcache;
+        const double v = policy_->Value(s.obs, &vcache);
+        const double verr = v - s.target_return;
+        value_loss += config_.vf_coeff * verr * verr;
+        policy_->AccumulateValue(vcache, 2.0 * config_.vf_coeff * verr * inv_n);
+      }
+      last_policy_loss = policy_loss * inv_n;
+      last_value_loss = value_loss * inv_n;
+      policy_->CopyParamsTo(params);
+      policy_->CopyGradsTo(grads);
+      if (config_.grad_clip > 0.0) {
+        double norm2 = 0.0;
+        for (const double g : grads) norm2 += g * g;
+        const double norm = std::sqrt(norm2);
+        if (norm > config_.grad_clip) {
+          const double scale = config_.grad_clip / norm;
+          for (auto& g : grads) g *= scale;
+        }
+      }
+      optimizer_.Step(params, grads);
+      policy_->SetParams(params);
+    }
+  }
+
+  // Measure KL(old || new) over the whole batch and adapt the coefficient
+  // (RLlib rule: outside [0.5, 2.0]x target -> halve / x1.5).
+  double kl_sum = 0.0;
+  for (const auto& s : batch) {
+    const GaussianPolicy::Eval eval = policy_->Evaluate(s.obs);
+    const double std_new = std::exp(eval.log_std);
+    const double std_old = std::exp(s.log_std_old);
+    const double mu_diff = s.mean_old - eval.mean;
+    kl_sum += (eval.log_std - s.log_std_old) +
+              (std_old * std_old + mu_diff * mu_diff) / (2.0 * std_new * std_new) - 0.5;
+  }
+  const double mean_kl = kl_sum / static_cast<double>(batch.size());
+  if (mean_kl > 2.0 * config_.kl_target) {
+    kl_coeff_ *= 1.5;
+  } else if (mean_kl < 0.5 * config_.kl_target) {
+    kl_coeff_ *= 0.5;
+  }
+  stats.mean_kl = mean_kl;
+  stats.kl_coeff = kl_coeff_;
+  stats.policy_loss = last_policy_loss;
+  stats.value_loss = last_value_loss;
+}
+
+IterStats PpoTrainer::TrainIteration(Env& env) {
+  IterStats stats;
+  std::vector<Sample> batch;
+  batch.reserve(static_cast<std::size_t>(config_.episodes_per_iter) *
+                static_cast<std::size_t>(config_.steps_per_episode));
+  stats.mean_episode_reward = CollectRollout(env, batch);
+  stats.episodes = config_.episodes_per_iter;
+  if (!batch.empty()) Update(batch, stats);
+  return stats;
+}
+
+TrainResult PpoTrainer::Train(Env& env, int total_episodes,
+                              const std::function<double(GaussianPolicy&)>& validate,
+                              int checkpoint_every) {
+  TrainResult result;
+  result.best_validation_score = -1e300;
+  int episodes_since_checkpoint = 0;
+  while (result.episodes_trained < total_episodes) {
+    const IterStats stats = TrainIteration(env);
+    result.episodes_trained += stats.episodes;
+    episodes_since_checkpoint += stats.episodes;
+    result.history.push_back(stats);
+    if (validate && episodes_since_checkpoint >= checkpoint_every) {
+      episodes_since_checkpoint = 0;
+      const double score = validate(*policy_);
+      if (score > result.best_validation_score) {
+        result.best_validation_score = score;
+        policy_->CopyParamsTo(result.best_params);
+      }
+    }
+  }
+  if (validate) {
+    const double score = validate(*policy_);
+    if (score > result.best_validation_score) {
+      result.best_validation_score = score;
+      policy_->CopyParamsTo(result.best_params);
+    }
+    if (!result.best_params.empty()) policy_->SetParams(result.best_params);
+  }
+  return result;
+}
+
+double EvaluatePolicy(GaussianPolicy& policy, Env& env, int episodes,
+                      std::uint64_t seed0, int steps_per_episode) {
+  double total = 0.0;
+  for (int e = 0; e < episodes; ++e) {
+    std::vector<double> obs = env.Reset(seed0 + static_cast<std::uint64_t>(e));
+    bool done = false;
+    for (int t = 0; t < steps_per_episode && !done; ++t) {
+      const double action = policy.MeanAction(obs);
+      const StepResult r = env.Step(action);
+      total += r.reward;
+      obs = r.obs;
+      done = r.done;
+    }
+  }
+  return total / static_cast<double>(episodes);
+}
+
+}  // namespace topfull::rl

@@ -1,0 +1,97 @@
+// Proximal Policy Optimization (clipped surrogate + adaptive KL penalty),
+// following RLlib's PPO with the hyper-parameters of the paper's Table 1.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "rl/env.hpp"
+#include "rl/policy.hpp"
+
+namespace topfull::rl {
+
+/// Training hyper-parameters (defaults = paper Table 1 / RLlib defaults).
+struct PpoConfig {
+  int steps_per_episode = 50;  // Table 1: steps in episode
+  double lr = 5e-5;            // Table 1: learning rate
+  double kl_coeff = 0.2;       // Table 1: KL coefficient (adaptive)
+  double kl_target = 0.01;     // Table 1: KL target
+  int minibatch_size = 128;    // Table 1: minibatch size
+  double clip = 0.3;           // Table 1: PPO clip parameter
+  double gamma = 0.9;   // strong-ish discount: with the Eq.-3 delta-goodput reward,
+                       // returns telescope, so the discount is what makes
+                       // reaching high goodput SOONER worth anything.
+  double gae_lambda = 0.9;
+  int episodes_per_iter = 8;  // rollout batch = episodes_per_iter * steps
+  int sgd_iters = 10;         // epochs over the rollout per iteration
+  double vf_coeff = 0.5;
+  double entropy_coeff = 0.0;
+  double grad_clip = 10.0;  ///< global-norm gradient clip (0 disables)
+};
+
+struct IterStats {
+  double mean_episode_reward = 0.0;
+  double mean_kl = 0.0;
+  double kl_coeff = 0.0;
+  double policy_loss = 0.0;
+  double value_loss = 0.0;
+  int episodes = 0;
+};
+
+struct TrainResult {
+  int episodes_trained = 0;
+  double best_validation_score = 0.0;
+  std::vector<double> best_params;  ///< empty when no validation was given
+  std::vector<IterStats> history;
+};
+
+class PpoTrainer {
+ public:
+  PpoTrainer(GaussianPolicy* policy, PpoConfig config, std::uint64_t seed);
+
+  /// Collects one rollout batch from `env` and performs the PPO update.
+  IterStats TrainIteration(Env& env);
+
+  /// Trains for `total_episodes`, checkpointing every `checkpoint_every`
+  /// episodes and scoring each checkpoint with `validate` (higher is
+  /// better). The best checkpoint's parameters are restored into the
+  /// policy at the end (paper: "select the pre-trained model by validating
+  /// the checkpointed RL models on a fixed set of scenarios").
+  TrainResult Train(Env& env, int total_episodes,
+                    const std::function<double(GaussianPolicy&)>& validate = {},
+                    int checkpoint_every = 50);
+
+  const PpoConfig& config() const { return config_; }
+  double kl_coeff() const { return kl_coeff_; }
+
+ private:
+  struct Sample {
+    std::vector<double> obs;
+    double raw_action = 0.0;
+    double logp_old = 0.0;
+    double mean_old = 0.0;
+    double log_std_old = 0.0;
+    double advantage = 0.0;
+    double target_return = 0.0;
+  };
+
+  /// Runs episodes, filling `batch`; returns mean episode reward.
+  double CollectRollout(Env& env, std::vector<Sample>& batch);
+  void Update(std::vector<Sample>& batch, IterStats& stats);
+
+  GaussianPolicy* policy_;
+  PpoConfig config_;
+  Rng rng_;
+  Adam optimizer_;
+  std::uint64_t episode_counter_ = 0;
+  double kl_coeff_;
+};
+
+/// Runs `policy` deterministically on `env` for `episodes` episodes starting
+/// from `seed0` and returns the mean total episode reward. The standard
+/// validation score.
+double EvaluatePolicy(GaussianPolicy& policy, Env& env, int episodes,
+                      std::uint64_t seed0, int steps_per_episode);
+
+}  // namespace topfull::rl

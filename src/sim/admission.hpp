@@ -1,0 +1,31 @@
+// Admission-control extension points of the simulator.
+//
+// TopFull acts only at the entry gateway (EntryAdmission). The baselines
+// (DAGOR, Breakwater) act at every microservice (ServiceAdmission), which is
+// exactly the architectural difference the paper studies.
+#pragma once
+
+#include "common/sim_time.hpp"
+#include "sim/types.hpp"
+
+namespace topfull::sim {
+
+/// Gateway-side admission: consulted once per client request.
+class EntryAdmission {
+ public:
+  virtual ~EntryAdmission() = default;
+  /// Returns true to admit the request into the application.
+  virtual bool Admit(ApiId api, SimTime now) = 0;
+};
+
+/// Per-microservice admission: consulted for every sub-request arriving at a
+/// service, before it is enqueued on a pod.
+class ServiceAdmission {
+ public:
+  virtual ~ServiceAdmission() = default;
+  /// Returns true to let the sub-request onto `pod_index` of `service`.
+  virtual bool Admit(const RequestInfo& info, ServiceId service, int pod_index,
+                     SimTime now) = 0;
+};
+
+}  // namespace topfull::sim

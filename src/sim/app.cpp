@@ -1,0 +1,172 @@
+#include "sim/app.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace topfull::sim {
+
+struct Application::Request {
+  RequestInfo info;
+  SimTime start = 0;
+  const ExecutionPath* path = nullptr;
+  DoneFn on_done;
+  bool finalized = false;
+};
+
+Application::Application(std::string name, std::uint64_t seed, AppConfig config)
+    : name_(std::move(name)), config_(config), rng_(seed) {}
+
+ServiceId Application::AddService(ServiceConfig config) {
+  assert(!finalized_ && "cannot add services after Finalize()");
+  const auto id = static_cast<ServiceId>(services_.size());
+  Rng service_rng = rng_.Fork(HashLabel(config.name) ^ static_cast<std::uint64_t>(id));
+  services_.push_back(std::make_unique<Service>(&sim_, id, std::move(config), service_rng));
+  return id;
+}
+
+ApiId Application::AddApi(ApiSpec spec) {
+  assert(!finalized_ && "cannot add APIs after Finalize()");
+  const auto id = static_cast<ApiId>(apis_.size());
+  apis_.push_back(std::move(spec));
+  return id;
+}
+
+void Application::Finalize() {
+  assert(!finalized_);
+  finalized_ = true;
+  for (auto& api : apis_) api.Finalize();
+  metrics_ = std::make_unique<MetricsCollector>(NumApis(), config_.slo);
+  // Metric collection loop. Registered before any controller loop so that
+  // within every tick, controllers observe the freshly closed window.
+  sim_.SchedulePeriodic(config_.metrics_period, config_.metrics_period, [this]() {
+    std::vector<ServiceWindow> windows;
+    windows.reserve(services_.size());
+    for (auto& svc : services_) {
+      const ServiceWindowStats w = svc->CollectWindow(config_.metrics_period);
+      windows.push_back(ServiceWindow{w.cpu_utilization, w.avg_queue_delay_s,
+                                      w.max_queue_delay_s, w.running_pods,
+                                      w.total_outstanding});
+    }
+    metrics_->Collect(sim_.Now(), std::move(windows));
+  });
+}
+
+ServiceId Application::FindService(const std::string& name) const {
+  for (const auto& svc : services_) {
+    if (svc->name() == name) return svc->id();
+  }
+  return kNoService;
+}
+
+ApiId Application::FindApi(const std::string& name) const {
+  for (std::size_t i = 0; i < apis_.size(); ++i) {
+    if (apis_[i].name() == name) return static_cast<ApiId>(i);
+  }
+  return kNoApi;
+}
+
+void Application::Submit(ApiId api, DoneFn on_done) {
+  assert(finalized_ && "Finalize() before submitting traffic");
+  metrics_->OnOffered(api);
+  if (entry_ != nullptr && !entry_->Admit(api, sim_.Now())) {
+    metrics_->OnRejectedEntry(api);
+    if (on_done) on_done(Outcome::kRejectedEntry, 0);
+    return;
+  }
+  metrics_->OnAdmitted(api);
+
+  auto req = std::make_shared<Request>();
+  req->info.id = next_request_id_++;
+  req->info.api = api;
+  req->info.business_priority = apis_[api].business_priority();
+  req->info.user_priority = static_cast<int>(rng_.UniformInt(0, 127));
+  req->start = sim_.Now();
+  const auto& spec = apis_[api];
+  req->path = &spec.paths()[spec.SamplePath(rng_.NextDouble())];
+  req->on_done = std::move(on_done);
+  ++inflight_;
+
+  ExecNode(req, &req->path->root,
+           [this, req](bool ok) { FinalizeRequest(req, ok); });
+}
+
+void Application::ExecNode(const std::shared_ptr<Request>& req, const CallNode* node,
+                           Continuation cont) {
+  Service& svc = *services_[node->service];
+  // Synchronous-RPC services hold their worker slot while the request's
+  // downstream subtree runs; the slot is released when the subtree
+  // resolves (success or failure).
+  const bool blocking = svc.config().blocking_rpc && !node->children.empty();
+  std::shared_ptr<Service::HeldDispatch> held;
+  if (blocking) {
+    held = std::make_shared<Service::HeldDispatch>();
+    cont = [held, inner = std::move(cont)](bool ok) {
+      Service::ReleaseHeld(*held);
+      inner(ok);
+    };
+  }
+  // `cont` is captured by copy: on dispatch failure the original is still
+  // needed below (only one of the two paths ever runs).
+  auto on_local_done = [this, req, node, cont](bool ok) mutable {
+    if (!ok) {
+      cont(false);
+      return;
+    }
+    if (node->children.empty()) {
+      cont(true);
+      return;
+    }
+    if (node->parallel) {
+      // Fan out all children; join when every branch resolves. Failed
+      // branches do not cancel their siblings (their work is wasted),
+      // matching real partially-constructed responses.
+      auto remaining = std::make_shared<int>(static_cast<int>(node->children.size()));
+      auto all_ok = std::make_shared<bool>(true);
+      auto joined = std::make_shared<Continuation>(std::move(cont));
+      for (const auto& child : node->children) {
+        ExecNode(req, &child, [remaining, all_ok, joined](bool child_ok) {
+          if (!child_ok) *all_ok = false;
+          if (--*remaining == 0) (*joined)(*all_ok);
+        });
+      }
+    } else {
+      ExecChildren(req, node, 0, std::move(cont));
+    }
+  };
+  const bool dispatched =
+      blocking ? svc.DispatchHeld(req->info, node->work, on_local_done, held)
+               : svc.Dispatch(req->info, node->work, on_local_done);
+  if (!dispatched) cont(false);
+}
+
+void Application::ExecChildren(const std::shared_ptr<Request>& req, const CallNode* node,
+                               std::size_t next_child, Continuation cont) {
+  if (next_child >= node->children.size()) {
+    cont(true);
+    return;
+  }
+  ExecNode(req, &node->children[next_child],
+           [this, req, node, next_child, cont = std::move(cont)](bool ok) mutable {
+             if (!ok) {
+               cont(false);
+               return;
+             }
+             ExecChildren(req, node, next_child + 1, std::move(cont));
+           });
+}
+
+void Application::FinalizeRequest(const std::shared_ptr<Request>& req, bool ok) {
+  if (req->finalized) return;
+  req->finalized = true;
+  --inflight_;
+  const SimTime latency = sim_.Now() - req->start;
+  if (ok) {
+    metrics_->OnCompleted(req->info.api, latency);
+    if (req->on_done) req->on_done(Outcome::kCompleted, latency);
+  } else {
+    metrics_->OnRejectedService(req->info.api);
+    if (req->on_done) req->on_done(Outcome::kRejectedService, latency);
+  }
+}
+
+}  // namespace topfull::sim

@@ -1,0 +1,115 @@
+// Application: a complete simulated microservice deployment.
+//
+// Owns the event engine, the services, the API registry, the entry gateway
+// and the metrics collector, and implements the request lifecycle: entry
+// admission -> call-tree execution across services -> completion/failure
+// accounting. A rejection at any service fails the whole request while the
+// work already done upstream stays spent — the waste/starvation mechanism
+// of Fig. 1.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "des/simulation.hpp"
+#include "sim/call_graph.hpp"
+#include "sim/metrics.hpp"
+#include "sim/service.hpp"
+#include "sim/types.hpp"
+
+namespace topfull::sim {
+
+/// Application-wide knobs.
+struct AppConfig {
+  /// End-to-end latency SLO; completions beyond it do not count as goodput.
+  SimTime slo = Seconds(1);
+  /// Metrics collection window (the paper observes at 1 s granularity).
+  SimTime metrics_period = Seconds(1);
+};
+
+class Application {
+ public:
+  /// Completion callback: outcome and end-to-end latency (0 on rejection).
+  using DoneFn = std::function<void(Outcome, SimTime)>;
+
+  Application(std::string name, std::uint64_t seed, AppConfig config = {});
+
+  // --- Topology construction ----------------------------------------------
+
+  /// Registers a microservice; returns its id.
+  ServiceId AddService(ServiceConfig config);
+
+  /// Registers an external API; returns its id. `spec` may be unfinalised;
+  /// Finalize() completes it.
+  ApiId AddApi(ApiSpec spec);
+
+  /// Must be called once after all services/APIs are added. Starts the
+  /// metrics collection loop (which therefore ticks before any controller
+  /// loop registered afterwards — controllers see fresh windows).
+  void Finalize();
+
+  // --- Entry point ---------------------------------------------------------
+
+  /// Installs the entry admission hook (TopFull's rate limiter). Not owned.
+  void SetEntryAdmission(EntryAdmission* admission) { entry_ = admission; }
+
+  /// Submits one client request for `api` at the current sim time.
+  void Submit(ApiId api, DoneFn on_done = {});
+
+  // --- Access ---------------------------------------------------------------
+
+  des::Simulation& sim() { return sim_; }
+  MetricsCollector& metrics() { return *metrics_; }
+  const MetricsCollector& metrics() const { return *metrics_; }
+
+  Service& service(ServiceId id) { return *services_[id]; }
+  const Service& service(ServiceId id) const { return *services_[id]; }
+  int NumServices() const { return static_cast<int>(services_.size()); }
+
+  const ApiSpec& api(ApiId id) const { return apis_[id]; }
+  ApiSpec& mutable_api(ApiId id) { return apis_[id]; }
+  int NumApis() const { return static_cast<int>(apis_.size()); }
+
+  /// Looks up a service by name; returns kNoService when absent.
+  ServiceId FindService(const std::string& name) const;
+  /// Looks up an API by name; returns kNoApi when absent.
+  ApiId FindApi(const std::string& name) const;
+
+  const std::string& name() const { return name_; }
+  const AppConfig& config() const { return config_; }
+  Rng& rng() { return rng_; }
+
+  /// Runs the simulation for `duration` from the current clock.
+  void RunFor(SimTime duration) { sim_.RunUntil(sim_.Now() + duration); }
+  void RunUntil(SimTime t) { sim_.RunUntil(t); }
+
+  /// In-flight request count (admitted, not yet finalised).
+  int Inflight() const { return inflight_; }
+
+ private:
+  struct Request;
+  using Continuation = std::function<void(bool ok)>;
+
+  void ExecNode(const std::shared_ptr<Request>& req, const CallNode* node,
+                Continuation cont);
+  void ExecChildren(const std::shared_ptr<Request>& req, const CallNode* node,
+                    std::size_t next_child, Continuation cont);
+  void FinalizeRequest(const std::shared_ptr<Request>& req, bool ok);
+
+  std::string name_;
+  AppConfig config_;
+  Rng rng_;
+  des::Simulation sim_;
+  std::vector<std::unique_ptr<Service>> services_;
+  std::vector<ApiSpec> apis_;
+  std::unique_ptr<MetricsCollector> metrics_;
+  EntryAdmission* entry_ = nullptr;
+  RequestId next_request_id_ = 1;
+  int inflight_ = 0;
+  bool finalized_ = false;
+};
+
+}  // namespace topfull::sim

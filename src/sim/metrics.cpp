@@ -1,0 +1,92 @@
+#include "sim/metrics.hpp"
+
+#include <cassert>
+
+namespace topfull::sim {
+
+void MetricsCollector::Resize(int num_apis) {
+  window_.assign(num_apis, ApiWindow{});
+  window_lat_.assign(num_apis, {});
+  totals_.assign(num_apis, ApiTotals{});
+  empty_.apis.assign(num_apis, ApiWindow{});
+}
+
+void MetricsCollector::OnOffered(ApiId api) {
+  ++window_[api].offered;
+  ++totals_[api].offered;
+}
+
+void MetricsCollector::OnRejectedEntry(ApiId api) {
+  ++window_[api].rejected_entry;
+  ++totals_[api].rejected_entry;
+}
+
+void MetricsCollector::OnAdmitted(ApiId api) {
+  ++window_[api].admitted;
+  ++totals_[api].admitted;
+}
+
+void MetricsCollector::OnRejectedService(ApiId api) {
+  ++window_[api].rejected_service;
+  ++totals_[api].rejected_service;
+}
+
+void MetricsCollector::OnCompleted(ApiId api, SimTime latency) {
+  ++window_[api].completed;
+  ++totals_[api].completed;
+  if (latency <= slo_) {
+    ++window_[api].good;
+    ++totals_[api].good;
+  }
+  window_lat_[api].push_back(ToMillis(latency));
+}
+
+const Snapshot& MetricsCollector::Collect(SimTime now,
+                                          std::vector<ServiceWindow> services) {
+  Snapshot snap;
+  snap.t_end_s = ToSeconds(now);
+  snap.services = std::move(services);
+  snap.apis.reserve(window_.size());
+  for (std::size_t i = 0; i < window_.size(); ++i) {
+    ApiWindow w = window_[i];
+    auto& lat = window_lat_[i];
+    if (!lat.empty()) {
+      double sum = 0.0;
+      for (const double v : lat) sum += v;
+      w.latency_mean_ms = sum / static_cast<double>(lat.size());
+      w.latency_p50_ms = Percentile(lat, 50.0);
+      w.latency_p95_ms = Percentile(lat, 95.0);
+      w.latency_p99_ms = Percentile(std::move(lat), 99.0);
+    }
+    snap.apis.push_back(w);
+    window_[i] = ApiWindow{};
+    window_lat_[i].clear();
+  }
+  timeline_.push_back(std::move(snap));
+  return timeline_.back();
+}
+
+const Snapshot& MetricsCollector::Latest() const {
+  return timeline_.empty() ? empty_ : timeline_.back();
+}
+
+double MetricsCollector::AvgGoodput(ApiId api, double from_s, double to_s) const {
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (const auto& snap : timeline_) {
+    if (snap.t_end_s <= from_s) continue;
+    if (to_s >= 0.0 && snap.t_end_s > to_s) break;
+    sum += static_cast<double>(snap.apis[api].good);
+    ++n;
+  }
+  return n > 0 ? sum / static_cast<double>(n) : 0.0;
+}
+
+double MetricsCollector::AvgTotalGoodput(double from_s, double to_s) const {
+  double sum = 0.0;
+  const int apis = static_cast<int>(window_.size());
+  for (ApiId a = 0; a < apis; ++a) sum += AvgGoodput(a, from_s, to_s);
+  return sum;
+}
+
+}  // namespace topfull::sim

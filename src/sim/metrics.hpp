@@ -1,0 +1,104 @@
+// The distributed-tracing / metrics substrate (paper §5).
+//
+// The real system collects per-API traces via Istio and per-microservice
+// resource utilisation via cAdvisor, at 1-second granularity. This collector
+// exposes the same observable surface: for every 1 s window, per-API offered
+// / admitted / completed / goodput counts and end-to-end latency percentiles,
+// and per-service CPU utilisation and queueing delays. Windows are appended
+// to a timeline that experiment harnesses read to print figures.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/sim_time.hpp"
+#include "common/stats.hpp"
+#include "sim/service.hpp"
+#include "sim/types.hpp"
+
+namespace topfull::sim {
+
+/// Per-API counters and latency digest for one window. Counts are raw
+/// per-window totals; with the default 1 s window they read as rates (rps).
+struct ApiWindow {
+  std::uint64_t offered = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t rejected_entry = 0;
+  std::uint64_t rejected_service = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t good = 0;  ///< completed within the SLO.
+  double latency_p50_ms = 0.0;
+  double latency_p95_ms = 0.0;
+  double latency_p99_ms = 0.0;
+  double latency_mean_ms = 0.0;
+};
+
+/// Per-service view for one window (from Service::CollectWindow).
+struct ServiceWindow {
+  double cpu_utilization = 0.0;
+  double avg_queue_delay_s = 0.0;
+  double max_queue_delay_s = 0.0;
+  int running_pods = 0;
+  int outstanding = 0;
+};
+
+/// One timeline entry: everything observed during [t_end - window, t_end).
+struct Snapshot {
+  double t_end_s = 0.0;
+  std::vector<ApiWindow> apis;
+  std::vector<ServiceWindow> services;
+};
+
+/// Whole-run totals per API.
+struct ApiTotals {
+  std::uint64_t offered = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t rejected_entry = 0;
+  std::uint64_t rejected_service = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t good = 0;
+};
+
+class MetricsCollector {
+ public:
+  MetricsCollector(int num_apis, SimTime slo) : slo_(slo) { Resize(num_apis); }
+
+  // --- Recording hooks (called by the request engine) ---------------------
+  void OnOffered(ApiId api);
+  void OnRejectedEntry(ApiId api);
+  void OnAdmitted(ApiId api);
+  void OnRejectedService(ApiId api);
+  void OnCompleted(ApiId api, SimTime latency);
+
+  /// Closes the current window: computes per-API digests, appends the
+  /// snapshot (services stats passed in by the Application), resets window
+  /// counters. Returns the new snapshot.
+  const Snapshot& Collect(SimTime now, std::vector<ServiceWindow> services);
+
+  /// Most recent snapshot; empty timeline yields an all-zero snapshot.
+  const Snapshot& Latest() const;
+
+  const std::vector<Snapshot>& Timeline() const { return timeline_; }
+  const std::vector<ApiTotals>& Totals() const { return totals_; }
+  SimTime slo() const { return slo_; }
+
+  /// Average per-window goodput of `api` over timeline seconds
+  /// [from_s, to_s). Negative `to_s` means "until the end".
+  double AvgGoodput(ApiId api, double from_s = 0.0, double to_s = -1.0) const;
+
+  /// Sum over all APIs of AvgGoodput.
+  double AvgTotalGoodput(double from_s = 0.0, double to_s = -1.0) const;
+
+ private:
+  void Resize(int num_apis);
+
+  SimTime slo_;
+  std::vector<ApiWindow> window_;                 // live counters
+  std::vector<std::vector<double>> window_lat_;   // latencies (ms) per API
+  std::vector<ApiTotals> totals_;
+  std::vector<Snapshot> timeline_;
+  Snapshot empty_;
+};
+
+}  // namespace topfull::sim

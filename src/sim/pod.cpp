@@ -1,0 +1,102 @@
+#include "sim/pod.hpp"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+namespace topfull::sim {
+
+Pod::Pod(des::Simulation* sim, int threads, int max_queue)
+    : sim_(sim), threads_(threads), max_queue_(max_queue) {}
+
+bool Pod::Enqueue(SimTime service_time, DoneFn done) {
+  if (state_ != PodState::kRunning) return false;
+  if (static_cast<int>(queue_.size()) >= max_queue_) return false;
+  queue_.push_back(Job{service_time, sim_->Now(), std::move(done), nullptr});
+  StartNext();
+  return true;
+}
+
+bool Pod::EnqueueHeld(SimTime service_time, DoneFn done, HoldHandle* hold) {
+  if (state_ != PodState::kRunning) return false;
+  if (static_cast<int>(queue_.size()) >= max_queue_) return false;
+  queue_.push_back(Job{service_time, sim_->Now(), std::move(done), hold});
+  StartNext();
+  return true;
+}
+
+void Pod::Release(const HoldHandle& hold) {
+  if (!hold.active || hold.epoch != epoch_) return;  // pod died meanwhile
+  --busy_;
+  StartNext();
+}
+
+void Pod::Start() {
+  if (state_ == PodState::kStarting) state_ = PodState::kRunning;
+}
+
+void Pod::Kill() {
+  state_ = PodState::kKilled;
+  ++epoch_;  // orphan all in-flight completion events
+  busy_ = 0;
+  // Fail queued jobs. Move them out first: their callbacks may re-enter.
+  std::vector<DoneFn> to_fail;
+  to_fail.reserve(queue_.size());
+  for (auto& job : queue_) to_fail.push_back(std::move(job.done));
+  queue_.clear();
+  for (auto& done : to_fail) done(false);
+}
+
+SimTime Pod::HeadOfLineWait() const {
+  if (queue_.empty()) return 0;
+  return sim_->Now() - queue_.front().enqueued_at;
+}
+
+void Pod::StartNext() {
+  while (busy_ < threads_ && !queue_.empty()) {
+    Job job = std::move(queue_.front());
+    queue_.pop_front();
+    ++busy_;
+    const double qdelay = ToSeconds(sim_->Now() - job.enqueued_at);
+    ++window_.started;
+    window_.queue_delay_sum_s += qdelay;
+    window_.queue_delay_max_s = std::max(window_.queue_delay_max_s, qdelay);
+    const std::uint64_t epoch = epoch_;
+    const SimTime service_time = job.service_time;
+    HoldHandle* hold = job.hold;
+    sim_->ScheduleAfter(service_time,
+                        [this, epoch, service_time, hold,
+                         done = std::move(job.done)]() mutable {
+                          OnServiceDone(epoch, service_time, std::move(done), hold);
+                        });
+  }
+}
+
+void Pod::OnServiceDone(std::uint64_t epoch, SimTime service_time, DoneFn done,
+                        HoldHandle* hold) {
+  if (epoch != epoch_) {
+    // The pod was killed while this job was in service; the job already
+    // failed via Kill()'s sweep of queued jobs or is simply lost.
+    done(false);
+    return;
+  }
+  ++window_.completed;
+  const double busy_s = ToSeconds(service_time);
+  window_.busy_seconds += busy_s;
+  total_busy_seconds_ += busy_s;
+  if (hold != nullptr) {
+    // Synchronous RPC: the worker stays blocked until Release().
+    hold->epoch = epoch;
+    hold->active = true;
+  } else {
+    --busy_;
+    StartNext();
+  }
+  done(true);
+}
+
+PodWindowStats Pod::DrainWindowStats() {
+  return std::exchange(window_, PodWindowStats{});
+}
+
+}  // namespace topfull::sim

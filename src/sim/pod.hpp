@@ -1,0 +1,116 @@
+// A pod: one replica of a microservice, modelled as a c-server FIFO queue.
+//
+// Each pod has `threads` worker servers. An accepted job waits in FIFO order
+// for a free server, occupies it for its sampled service time, then invokes
+// its completion callback. Busy time is accounted per pod so the metric
+// collector can compute CPU utilisation — the paper's overload signal.
+//
+// Pods are never destructed while the simulation runs (services keep them and
+// mark state); in-flight completion events are invalidated by an epoch
+// counter when the pod is killed.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "common/sim_time.hpp"
+#include "des/simulation.hpp"
+
+namespace topfull::sim {
+
+/// Pod lifecycle state.
+enum class PodState : std::uint8_t {
+  kStarting,  ///< Scheduled; becomes running after the startup delay.
+  kRunning,   ///< Accepting and serving requests.
+  kKilled,    ///< Crashed or scaled down; serves nothing.
+};
+
+/// Per-window counters drained by the metric collector.
+struct PodWindowStats {
+  double busy_seconds = 0.0;    ///< Server-busy time accrued in the window.
+  std::uint64_t started = 0;    ///< Jobs that entered service.
+  std::uint64_t completed = 0;  ///< Jobs that finished service.
+  double queue_delay_sum_s = 0.0;  ///< Sum of queueing delays of started jobs.
+  double queue_delay_max_s = 0.0;  ///< Max queueing delay of started jobs.
+};
+
+class Pod {
+ public:
+  using DoneFn = std::function<void(bool ok)>;
+
+  /// Token identifying a worker slot kept occupied past local service
+  /// completion (synchronous-RPC mode: the thread blocks on downstream
+  /// calls). Pass back to Release().
+  struct HoldHandle {
+    std::uint64_t epoch = 0;
+    bool active = false;
+  };
+
+  Pod(des::Simulation* sim, int threads, int max_queue);
+
+  /// Attempts to enqueue a job with the given service duration. Returns
+  /// false (and does not take the callback) when the queue is full or the
+  /// pod is not running. `done(true)` fires when service completes;
+  /// `done(false)` fires if the pod dies first.
+  bool Enqueue(SimTime service_time, DoneFn done);
+
+  /// Like Enqueue, but the worker slot stays occupied after the local work
+  /// finishes (a thread blocked on downstream RPCs) until Release() is
+  /// called with the handle stored into `*hold` when `done(true)` fires.
+  bool EnqueueHeld(SimTime service_time, DoneFn done, HoldHandle* hold);
+
+  /// Frees a slot taken by EnqueueHeld. No-op if the pod died in between.
+  void Release(const HoldHandle& hold);
+
+  /// Marks the pod running (startup complete).
+  void Start();
+
+  /// Kills the pod: every queued and in-service job fails immediately.
+  void Kill();
+
+  PodState state() const { return state_; }
+  bool running() const { return state_ == PodState::kRunning; }
+  int threads() const { return threads_; }
+
+  /// Jobs waiting (not yet in service).
+  int QueueLength() const { return static_cast<int>(queue_.size()); }
+  /// Jobs currently in service.
+  int InService() const { return busy_; }
+  /// Waiting + in service; the load-balancing key.
+  int Outstanding() const { return QueueLength() + busy_; }
+
+  /// Age of the head-of-line job (0 when the queue is empty) — the
+  /// instantaneous queueing-delay signal used by Breakwater-style AQM.
+  SimTime HeadOfLineWait() const;
+
+  /// Returns and resets the per-window counters.
+  PodWindowStats DrainWindowStats();
+
+  /// Cumulative busy seconds (for whole-run accounting).
+  double TotalBusySeconds() const { return total_busy_seconds_; }
+
+ private:
+  struct Job {
+    SimTime service_time;
+    SimTime enqueued_at;
+    DoneFn done;
+    HoldHandle* hold = nullptr;  ///< non-null => keep the slot until Release
+  };
+
+  void StartNext();
+  void OnServiceDone(std::uint64_t epoch, SimTime service_time, DoneFn done,
+                     HoldHandle* hold);
+
+  des::Simulation* sim_;
+  int threads_;
+  int max_queue_;
+  PodState state_ = PodState::kStarting;
+  int busy_ = 0;
+  std::uint64_t epoch_ = 0;  ///< Bumped on Kill to invalidate in-flight events.
+  std::deque<Job> queue_;
+  PodWindowStats window_;
+  double total_busy_seconds_ = 0.0;
+};
+
+}  // namespace topfull::sim

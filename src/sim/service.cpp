@@ -1,0 +1,190 @@
+#include "sim/service.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace topfull::sim {
+
+Service::Service(des::Simulation* sim, ServiceId id, ServiceConfig config, Rng rng)
+    : sim_(sim), id_(id), config_(std::move(config)), rng_(rng) {
+  assert(config_.mean_service_ms > 0.0);
+  assert(config_.threads > 0);
+  // Lognormal mu such that the mean equals mean_service_ms.
+  log_mean_ = std::log(config_.mean_service_ms) -
+              0.5 * config_.service_sigma * config_.service_sigma;
+  SetPodCount(config_.initial_pods, /*startup_delay=*/0);
+  if (config_.probe_failures_enabled) StartProbeLoop();
+}
+
+int Service::PickPod() {
+  // Least-outstanding among running pods, round-robin tie-break.
+  int best = -1;
+  const int n = static_cast<int>(pods_.size());
+  if (n == 0) return -1;
+  for (int k = 0; k < n; ++k) {
+    const int i = (rr_cursor_ + k) % n;
+    Pod* pod = pods_[i].get();
+    if (!pod->running()) continue;
+    if (best < 0 || pod->Outstanding() < pods_[best]->Outstanding()) best = i;
+  }
+  ++rr_cursor_;
+  return best;
+}
+
+bool Service::Dispatch(const RequestInfo& info, double work, DoneFn done) {
+  const int pod_index = PickPod();
+  if (pod_index < 0) return false;
+  Pod* pod = pods_[pod_index].get();
+  if (admission_ != nullptr) {
+    if (!admission_->Admit(info, id_, pod_index, sim_->Now())) return false;
+  }
+  const double sigma = config_.service_sigma;
+  const double ms = sigma > 0.0 ? rng_.LogNormal(log_mean_ + std::log(work), sigma)
+                                : config_.mean_service_ms * work;
+  return pod->Enqueue(Millis(ms), std::move(done));
+}
+
+bool Service::DispatchHeld(const RequestInfo& info, double work, DoneFn done,
+                           const std::shared_ptr<HeldDispatch>& held) {
+  const int pod_index = PickPod();
+  if (pod_index < 0) return false;
+  Pod* pod = pods_[pod_index].get();
+  if (admission_ != nullptr) {
+    if (!admission_->Admit(info, id_, pod_index, sim_->Now())) return false;
+  }
+  const double sigma = config_.service_sigma;
+  const double ms = sigma > 0.0 ? rng_.LogNormal(log_mean_ + std::log(work), sigma)
+                                : config_.mean_service_ms * work;
+  held->pod = pod;
+  return pod->EnqueueHeld(Millis(ms), std::move(done), &held->handle);
+}
+
+void Service::SetPodCount(int n, SimTime startup_delay) {
+  n = std::max(0, n);
+  desired_pods_ = n;
+  // Count live pods (running or starting).
+  int live = TotalPods();
+  while (live < n) {
+    pods_.push_back(std::make_unique<Pod>(sim_, config_.threads, config_.max_queue));
+    probe_strikes_.push_back(0);
+    Pod* pod = pods_.back().get();
+    if (startup_delay <= 0) {
+      pod->Start();
+    } else {
+      sim_->ScheduleAfter(startup_delay, [pod]() { pod->Start(); });
+    }
+    ++live;
+  }
+  if (live > n) {
+    // Remove starting pods first, then running pods from the back.
+    for (auto it = pods_.rbegin(); it != pods_.rend() && live > n; ++it) {
+      if ((*it)->state() == PodState::kStarting) {
+        (*it)->Kill();
+        --live;
+      }
+    }
+    for (auto it = pods_.rbegin(); it != pods_.rend() && live > n; ++it) {
+      if ((*it)->running()) {
+        (*it)->Kill();
+        --live;
+      }
+    }
+  }
+}
+
+int Service::KillPods(int n) {
+  int killed = 0;
+  for (auto& pod : pods_) {
+    if (killed >= n) break;
+    if (pod->running()) {
+      pod->Kill();
+      ++killed;
+    }
+  }
+  return killed;
+}
+
+int Service::RunningPods() const {
+  int n = 0;
+  for (const auto& pod : pods_) n += pod->running() ? 1 : 0;
+  return n;
+}
+
+int Service::TotalPods() const {
+  int n = 0;
+  for (const auto& pod : pods_) {
+    n += (pod->state() == PodState::kRunning || pod->state() == PodState::kStarting) ? 1 : 0;
+  }
+  return n;
+}
+
+ServiceWindowStats Service::CollectWindow(SimTime window) {
+  ServiceWindowStats out;
+  double busy = 0.0;
+  double qsum = 0.0;
+  for (auto& pod : pods_) {
+    const PodWindowStats w = pod->DrainWindowStats();
+    busy += w.busy_seconds;
+    qsum += w.queue_delay_sum_s;
+    out.max_queue_delay_s = std::max(out.max_queue_delay_s, w.queue_delay_max_s);
+    out.started += w.started;
+    out.completed += w.completed;
+    if (pod->running()) {
+      ++out.running_pods;
+      out.total_outstanding += pod->Outstanding();
+    }
+  }
+  out.avg_queue_delay_s = out.started > 0 ? qsum / static_cast<double>(out.started) : 0.0;
+  const double denom = ToSeconds(window) * static_cast<double>(config_.threads) *
+                       static_cast<double>(out.running_pods);
+  if (denom > 0.0) {
+    out.cpu_utilization = std::clamp(busy / denom, 0.0, 1.0);
+  } else {
+    out.cpu_utilization = (out.started > 0 || out.total_outstanding > 0) ? 1.0 : 0.0;
+  }
+  return out;
+}
+
+double Service::CapacityRps() const {
+  return static_cast<double>(RunningPods()) * static_cast<double>(config_.threads) /
+         (config_.mean_service_ms / 1000.0);
+}
+
+void Service::SetProbeFailures(bool enabled) {
+  config_.probe_failures_enabled = enabled;
+  if (enabled) StartProbeLoop();
+}
+
+void Service::StartProbeLoop() {
+  if (probe_loop_running_) return;
+  probe_loop_running_ = true;
+  sim_->SchedulePeriodic(config_.probe_period, config_.probe_period,
+                         [this]() { RunProbe(); });
+}
+
+void Service::RunProbe() {
+  if (!config_.probe_failures_enabled) return;
+  for (std::size_t i = 0; i < pods_.size(); ++i) {
+    Pod* pod = pods_[i].get();
+    if (!pod->running()) continue;
+    if (pod->QueueLength() > config_.probe_queue_threshold) {
+      if (++probe_strikes_[i] >= config_.probe_failure_count) {
+        pod->Kill();
+        probe_strikes_[i] = 0;
+        ++probe_kills_;
+        // The deployment controller replaces the crashed pod after the
+        // restart delay (if the service is still under its desired count).
+        sim_->ScheduleAfter(config_.restart_delay, [this]() {
+          if (TotalPods() < desired_pods_) {
+            SetPodCount(desired_pods_, /*startup_delay=*/Seconds(1));
+          }
+        });
+      }
+    } else {
+      probe_strikes_[i] = 0;
+    }
+  }
+}
+
+}  // namespace topfull::sim

@@ -1,0 +1,159 @@
+// A microservice: a named pool of pods plus dispatch, scaling, and failure
+// machinery.
+//
+// Capacity model: each running pod serves with `threads` parallel servers and
+// a lognormal service time with mean `mean_service_ms` (scaled by the call
+// node's work factor), i.e. one pod sustains threads / mean_service_time
+// requests per second at 100 % CPU.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/sim_time.hpp"
+#include "des/simulation.hpp"
+#include "sim/admission.hpp"
+#include "sim/pod.hpp"
+#include "sim/types.hpp"
+
+namespace topfull::sim {
+
+/// Static configuration of a microservice.
+struct ServiceConfig {
+  std::string name;
+  /// Mean service time per request in milliseconds (before work scaling).
+  double mean_service_ms = 10.0;
+  /// Lognormal sigma of the service time (0 = deterministic).
+  double service_sigma = 0.25;
+  /// Worker servers per pod.
+  int threads = 8;
+  /// Per-pod queue capacity; arrivals beyond it are shed (503).
+  int max_queue = 512;
+  /// Initial replica count.
+  int initial_pods = 1;
+  /// vCPUs consumed by one pod (used by the cluster/autoscaler model).
+  double vcpus_per_pod = 1.0;
+  /// Synchronous (thread-per-request) RPC mode: the worker thread stays
+  /// blocked while its request awaits downstream calls, so a slow
+  /// downstream eats this service's concurrency — the classic cascade
+  /// amplifier. Off by default (async RPC servers, like the paper's gRPC
+  /// services with async handlers).
+  bool blocking_rpc = false;
+  /// Liveness-probe failure model (Fig. 15): when enabled, a pod whose
+  /// queue stays above `probe_queue_threshold` for `probe_failure_count`
+  /// consecutive probes is killed and restarted after `restart_delay`.
+  bool probe_failures_enabled = false;
+  SimTime probe_period = Seconds(5);
+  int probe_queue_threshold = 400;
+  int probe_failure_count = 3;
+  SimTime restart_delay = Seconds(15);
+};
+
+/// Utilisation and queue snapshot for one collection window.
+struct ServiceWindowStats {
+  double cpu_utilization = 0.0;  ///< busy server time / available server time.
+  double avg_queue_delay_s = 0.0;
+  double max_queue_delay_s = 0.0;
+  std::uint64_t started = 0;
+  std::uint64_t completed = 0;
+  int running_pods = 0;
+  int total_outstanding = 0;  ///< queued + in-service jobs across pods.
+};
+
+class Service {
+ public:
+  using DoneFn = Pod::DoneFn;
+
+  Service(des::Simulation* sim, ServiceId id, ServiceConfig config, Rng rng);
+
+  /// Dispatches one sub-request doing `work`× the base service time.
+  /// Returns false when shed (admission denied, queue full, or no running
+  /// pod); `done` is only retained on success.
+  bool Dispatch(const RequestInfo& info, double work, DoneFn done);
+
+  /// Worker-slot token for blocking-RPC dispatches; call ReleaseHeld once
+  /// the request's downstream subtree has completed.
+  struct HeldDispatch {
+    Pod* pod = nullptr;
+    Pod::HoldHandle handle;
+  };
+
+  /// Like Dispatch, but the worker slot stays occupied after local service
+  /// completes until ReleaseHeld(*held). `held` must outlive the call
+  /// (the request engine keeps it on the heap).
+  bool DispatchHeld(const RequestInfo& info, double work, DoneFn done,
+                    const std::shared_ptr<HeldDispatch>& held);
+
+  static void ReleaseHeld(HeldDispatch& held) {
+    if (held.pod != nullptr) held.pod->Release(held.handle);
+    held.pod = nullptr;
+  }
+
+  /// Installs a per-service admission controller (baselines). Not owned.
+  void SetAdmission(ServiceAdmission* admission) { admission_ = admission; }
+
+  // --- Scaling -------------------------------------------------------------
+
+  /// Scales to `n` pods. New pods become running after `startup_delay`;
+  /// removed pods are killed immediately (their queued jobs fail).
+  void SetPodCount(int n, SimTime startup_delay = 0);
+
+  /// Kills `n` running pods (failure injection, Fig. 18). Returns the
+  /// number actually killed.
+  int KillPods(int n);
+
+  int RunningPods() const;
+  int DesiredPods() const { return desired_pods_; }
+  /// Pods that exist in any live state (running or starting).
+  int TotalPods() const;
+
+  /// Direct pod access (baseline controllers read per-pod queue signals).
+  /// Indices are stable: killed pods remain as tombstones.
+  int PodCount() const { return static_cast<int>(pods_.size()); }
+  Pod& pod(int index) { return *pods_[index]; }
+  const Pod& pod(int index) const { return *pods_[index]; }
+
+  // --- Metrics -------------------------------------------------------------
+
+  /// Drains per-pod counters accumulated since the previous call and
+  /// returns the aggregated window view. `window` is the elapsed time the
+  /// counters cover.
+  ServiceWindowStats CollectWindow(SimTime window);
+
+  /// Estimated sustainable throughput in requests/second at work=1.
+  double CapacityRps() const;
+
+  const ServiceConfig& config() const { return config_; }
+  ServiceId id() const { return id_; }
+  const std::string& name() const { return config_.name; }
+
+  /// Enables/disables the liveness-probe failure model at runtime.
+  void SetProbeFailures(bool enabled);
+
+  /// Total number of probe-triggered pod kills (for reporting).
+  int ProbeKills() const { return probe_kills_; }
+
+ private:
+  /// Index of the least-loaded running pod, or -1 when none is running.
+  int PickPod();
+  void StartProbeLoop();
+  void RunProbe();
+
+  des::Simulation* sim_;
+  ServiceId id_;
+  ServiceConfig config_;
+  Rng rng_;
+  ServiceAdmission* admission_ = nullptr;
+  std::vector<std::unique_ptr<Pod>> pods_;
+  std::vector<int> probe_strikes_;  ///< consecutive failed probes per pod.
+  int desired_pods_ = 0;
+  int rr_cursor_ = 0;
+  int probe_kills_ = 0;
+  bool probe_loop_running_ = false;
+  double log_mean_;  ///< precomputed lognormal mu for the base service time.
+};
+
+}  // namespace topfull::sim

@@ -1,0 +1,43 @@
+// Shared identifiers and request-level types of the microservice simulator.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "common/sim_time.hpp"
+
+namespace topfull::sim {
+
+/// Index of an external API within an Application.
+using ApiId = int;
+
+/// Index of a microservice within an Application.
+using ServiceId = int;
+
+/// Unique id of a client request instance.
+using RequestId = std::uint64_t;
+
+inline constexpr ServiceId kNoService = -1;
+inline constexpr ApiId kNoApi = -1;
+
+/// Why a request terminated.
+enum class Outcome : std::uint8_t {
+  kCompleted,        ///< All call-tree nodes responded.
+  kRejectedEntry,    ///< Shed by the entry rate limiter (TopFull).
+  kRejectedService,  ///< Shed by a per-service admission controller or a
+                     ///< full pod queue anywhere along the path.
+};
+
+/// Immutable per-request facts consulted by admission controllers.
+struct RequestInfo {
+  RequestId id = 0;
+  ApiId api = kNoApi;
+  /// Business priority of the API. Smaller value = higher priority
+  /// (priority 1 outranks priority 2), mirroring DAGOR's convention.
+  int business_priority = 0;
+  /// DAGOR-style user priority in [0, 127], assigned at entry and inherited
+  /// by every sub-request of this request.
+  int user_priority = 0;
+};
+
+}  // namespace topfull::sim

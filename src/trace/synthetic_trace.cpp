@@ -1,0 +1,240 @@
+#include "trace/synthetic_trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "common/rng.hpp"
+#include "common/union_find.hpp"
+
+namespace topfull::trace {
+namespace {
+
+/// Samples an index in [0, n) with Zipf(s) popularity using inverse-CDF on a
+/// precomputed cumulative table.
+class ZipfSampler {
+ public:
+  ZipfSampler(int n, double s) : cdf_(static_cast<std::size_t>(n)) {
+    double acc = 0.0;
+    for (int i = 0; i < n; ++i) {
+      acc += 1.0 / std::pow(static_cast<double>(i + 1), s);
+      cdf_[static_cast<std::size_t>(i)] = acc;
+    }
+    total_ = acc;
+  }
+
+  int Sample(Rng& rng) const {
+    const double u = rng.NextDouble() * total_;
+    const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    return static_cast<int>(it - cdf_.begin());
+  }
+
+ private:
+  std::vector<double> cdf_;
+  double total_ = 0.0;
+};
+
+std::vector<int> OverloadedServices(const SyntheticTrace& trace, double threshold) {
+  std::vector<int> out;
+  for (int s = 0; s < trace.num_services; ++s) {
+    if (trace.cpu_util[static_cast<std::size_t>(s)] > threshold) out.push_back(s);
+  }
+  return out;
+}
+
+/// service -> APIs traversing it, restricted to the given services.
+std::map<int, std::vector<int>> ApisByService(const SyntheticTrace& trace,
+                                              const std::vector<int>& services) {
+  std::set<int> wanted(services.begin(), services.end());
+  std::map<int, std::vector<int>> result;
+  for (const int s : services) result[s];  // ensure entries exist
+  for (std::size_t a = 0; a < trace.api_paths.size(); ++a) {
+    for (const int s : trace.api_paths[a]) {
+      if (wanted.count(s) > 0) result[s].push_back(static_cast<int>(a));
+    }
+  }
+  for (auto& [s, apis] : result) {
+    std::sort(apis.begin(), apis.end());
+    apis.erase(std::unique(apis.begin(), apis.end()), apis.end());
+  }
+  return result;
+}
+
+}  // namespace
+
+SyntheticTrace GenerateTrace(const TraceConfig& config, std::uint64_t seed) {
+  Rng rng(seed);
+  SyntheticTrace trace;
+  trace.num_services = config.num_services;
+  trace.api_paths.resize(static_cast<std::size_t>(config.num_apis));
+  trace.cpu_util.assign(static_cast<std::size_t>(config.num_services), 0.0);
+
+  // Popularity permutation: rank r of Zipf maps to a random service id, so
+  // hot services are scattered across the id space.
+  std::vector<int> perm(static_cast<std::size_t>(config.num_services));
+  for (int i = 0; i < config.num_services; ++i) perm[static_cast<std::size_t>(i)] = i;
+  for (std::size_t i = perm.size(); i > 1; --i) {
+    const auto j = static_cast<std::size_t>(
+        rng.UniformInt(0, static_cast<std::int64_t>(i) - 1));
+    std::swap(perm[i - 1], perm[j]);
+  }
+
+  ZipfSampler zipf(config.num_services, config.zipf_exponent);
+
+  // Backbone segments: short chains shared verbatim across API paths.
+  // Segments take *disjoint* services from the moderately-popular rank
+  // band — a sub-chain belongs to one application, so two different
+  // segments never share a microservice (this keeps the sharing groups of
+  // the overload analysis small, as in the real trace).
+  std::vector<std::vector<int>> segments(
+      static_cast<std::size_t>(config.num_segments));
+  {
+    std::size_t rank = 100;  // skip the global top: those stay standalone
+    for (auto& segment : segments) {
+      const int len = static_cast<int>(
+          rng.UniformInt(config.segment_len_lo, config.segment_len_hi));
+      for (int k = 0; k < len && rank < perm.size(); ++k) {
+        segment.push_back(perm[rank++]);
+      }
+    }
+  }
+  ZipfSampler segment_zipf(config.num_segments, 1.0);
+
+  for (auto& path : trace.api_paths) {
+    const int len = static_cast<int>(
+        rng.UniformInt(config.min_path_len, config.max_path_len));
+    std::set<int> used;
+    if (rng.Bernoulli(config.segment_prob)) {
+      const auto& segment = segments[static_cast<std::size_t>(segment_zipf.Sample(rng))];
+      used.insert(segment.begin(), segment.end());
+      if (rng.Bernoulli(config.second_segment_prob)) {
+        const auto& extra =
+            segments[static_cast<std::size_t>(segment_zipf.Sample(rng))];
+        used.insert(extra.begin(), extra.end());
+      }
+    }
+    while (static_cast<int>(used.size()) < len) {
+      used.insert(perm[static_cast<std::size_t>(zipf.Sample(rng))]);
+    }
+    path.assign(used.begin(), used.end());
+  }
+
+  // Baseline utilisation.
+  for (auto& util : trace.cpu_util) util = rng.Uniform(0.05, 0.75);
+
+  // Mark ~target_overloaded services as overloaded. A fraction arrives as
+  // correlated incidents — two services on one API's execution path
+  // saturating together (overload propagates along call chains) — and the
+  // rest are independent services picked uniformly (with 23k services,
+  // these are almost surely unpopular and isolated).
+  std::set<int> overloaded;
+  Rng orng = rng.Fork("overload");
+  const int correlated_target = static_cast<int>(
+      config.correlated_fraction * config.target_overloaded);
+  int guard = 0;
+  while (static_cast<int>(overloaded.size()) < correlated_target && ++guard < 100000) {
+    // A whole backbone segment saturates together (overload propagates
+    // along the shared call chain); the busier segments saturate first.
+    const int pool = std::min(config.hot_segment_pool, config.num_segments);
+    const auto& segment = segments[static_cast<std::size_t>(
+        orng.UniformInt(0, pool - 1))];
+    overloaded.insert(segment.begin(), segment.end());
+  }
+  while (static_cast<int>(overloaded.size()) < config.target_overloaded) {
+    // Independent saturations on mid-popularity standalone services: busy
+    // enough that a few APIs are involved, rare enough that they stay
+    // isolated from every other overloaded microservice.
+    const auto lo = std::min<std::int64_t>(1000, config.num_services / 4);
+    const auto hi = std::min<std::int64_t>(8000, config.num_services - 1);
+    const auto rank = static_cast<std::size_t>(orng.UniformInt(lo, std::max(lo, hi)));
+    overloaded.insert(perm[rank]);
+  }
+  for (const int s : overloaded) {
+    trace.cpu_util[static_cast<std::size_t>(s)] = orng.Uniform(0.82, 0.99);
+  }
+  return trace;
+}
+
+StarvationAnalysis AnalyzeStarvation(const SyntheticTrace& trace,
+                                     double util_threshold) {
+  StarvationAnalysis result;
+  const std::vector<int> overloaded = OverloadedServices(trace, util_threshold);
+  result.overloaded_services = static_cast<int>(overloaded.size());
+  const auto by_service = ApisByService(trace, overloaded);
+
+  // Per API: which overloaded services it touches.
+  std::map<int, std::vector<int>> api_overloaded;
+  for (const auto& [s, apis] : by_service) {
+    for (const int a : apis) api_overloaded[a].push_back(s);
+  }
+  result.apis_involved = static_cast<int>(api_overloaded.size());
+  for (const auto& [a, services] : api_overloaded) {
+    if (services.size() < 2) continue;  // needs multiple overloaded services
+    // ... and at least one contending API at some overloaded service.
+    bool contended = false;
+    for (const int s : services) {
+      if (by_service.at(s).size() > 1) {
+        contended = true;
+        break;
+      }
+    }
+    if (contended) ++result.vulnerable_apis;
+  }
+  result.vulnerable_fraction =
+      result.apis_involved > 0
+          ? static_cast<double>(result.vulnerable_apis) / result.apis_involved
+          : 0.0;
+  return result;
+}
+
+ClusteringAnalysis AnalyzeClustering(const SyntheticTrace& trace,
+                                     double util_threshold) {
+  ClusteringAnalysis result;
+  const std::vector<int> overloaded = OverloadedServices(trace, util_threshold);
+  result.overloaded_services = static_cast<int>(overloaded.size());
+  if (overloaded.empty()) return result;
+  const auto by_service = ApisByService(trace, overloaded);
+
+  // Union overloaded services that share any API (Eq. 2 on the service
+  // side: two constraints belong to one sub-problem iff an API links them).
+  std::map<int, std::size_t> index;
+  for (std::size_t i = 0; i < overloaded.size(); ++i) index[overloaded[i]] = i;
+  UnionFind dsu(overloaded.size());
+  std::map<int, int> first_service_of_api;  // api -> overloaded service seen
+  for (const auto& [s, apis] : by_service) {
+    for (const int a : apis) {
+      const auto it = first_service_of_api.find(a);
+      if (it == first_service_of_api.end()) {
+        first_service_of_api[a] = s;
+      } else {
+        dsu.Union(index[it->second], index[s]);
+      }
+    }
+  }
+
+  std::map<std::size_t, int> cluster_sizes;
+  for (std::size_t i = 0; i < overloaded.size(); ++i) ++cluster_sizes[dsu.Find(i)];
+  result.clusters = static_cast<int>(cluster_sizes.size());
+  result.avg_constraints_per_cluster =
+      static_cast<double>(overloaded.size()) / static_cast<double>(result.clusters);
+
+  int isolated = 0;
+  double sharing_group_total = 0.0;
+  int sharing = 0;
+  for (std::size_t i = 0; i < overloaded.size(); ++i) {
+    const std::size_t size = dsu.SizeOf(i);
+    if (size == 1) {
+      ++isolated;
+    } else {
+      ++sharing;
+      sharing_group_total += static_cast<double>(size);
+    }
+  }
+  result.isolated_fraction =
+      static_cast<double>(isolated) / static_cast<double>(overloaded.size());
+  result.avg_sharing_group = sharing > 0 ? sharing_group_total / sharing : 0.0;
+  return result;
+}
+
+}  // namespace topfull::trace

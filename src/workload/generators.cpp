@@ -1,0 +1,110 @@
+#include "workload/generators.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace topfull::workload {
+
+sim::ApiId ApiMix::Sample(double u) const {
+  double total = 0.0;
+  for (const double w : weights) total += w;
+  assert(total > 0.0 && "API mix must have positive total weight");
+  double acc = 0.0;
+  const double target = u * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (target < acc) return static_cast<sim::ApiId>(i);
+  }
+  return static_cast<sim::ApiId>(weights.size() - 1);
+}
+
+ClosedLoopPool::ClosedLoopPool(sim::Application* app, ClosedLoopConfig config,
+                               Schedule users, Rng rng)
+    : app_(app), config_(std::move(config)), users_(std::move(users)), rng_(rng) {}
+
+void ClosedLoopPool::Start() {
+  if (started_) return;
+  started_ = true;
+  Reconcile();
+  app_->sim().SchedulePeriodic(app_->sim().Now() + config_.reconcile_period,
+                               config_.reconcile_period, [this]() { Reconcile(); });
+}
+
+void ClosedLoopPool::Reconcile() {
+  target_users_ = static_cast<int>(users_.At(app_->sim().Now()));
+  // Ramp-down is gradual: excess users terminate at their next loop
+  // boundary (a user whose index >= target exits instead of re-issuing).
+  while (live_users_ < target_users_) {
+    const int index = live_users_++;
+    UserLoop(index);
+  }
+}
+
+void ClosedLoopPool::UserLoop(int user_index) {
+  if (user_index >= target_users_) {
+    --live_users_;
+    return;
+  }
+  const sim::ApiId api = config_.mix.Sample(rng_.NextDouble());
+  // state: 0 = waiting, 1 = responded, 2 = client timed out.
+  auto state = std::make_shared<int>(0);
+  app_->Submit(api, [this, user_index, state](sim::Outcome, SimTime) {
+    if (*state == 0) {
+      *state = 1;
+      UserThink(user_index);
+    } else {
+      *state = 1;  // response arrived after the client gave up; work wasted
+    }
+  });
+  if (*state != 0) return;  // resolved synchronously (e.g. entry rejection)
+  app_->sim().ScheduleAfter(config_.client_timeout, [this, user_index, state]() {
+    if (*state == 0) {
+      *state = 2;
+      UserThink(user_index);
+    }
+  });
+}
+
+void ClosedLoopPool::UserThink(int user_index) {
+  const double jitter = 1.0 + config_.think_jitter * rng_.Uniform(-1.0, 1.0);
+  const auto think = static_cast<SimTime>(
+      std::max(0.0, static_cast<double>(config_.think) * jitter));
+  app_->sim().ScheduleAfter(think, [this, user_index]() { UserLoop(user_index); });
+}
+
+OpenLoopGenerator::OpenLoopGenerator(sim::Application* app, sim::ApiId api,
+                                     Schedule rate, Rng rng)
+    : app_(app), api_(api), rate_(std::move(rate)), rng_(rng) {}
+
+void OpenLoopGenerator::Start() { ScheduleNext(); }
+
+void OpenLoopGenerator::ScheduleNext() {
+  const double rate = rate_.At(app_->sim().Now());
+  if (rate <= 0.0) {
+    // Idle; poll for the schedule turning on.
+    app_->sim().ScheduleAfter(Millis(100), [this]() { ScheduleNext(); });
+    return;
+  }
+  const SimTime gap = std::max<SimTime>(1, Seconds(rng_.Exponential(1.0 / rate)));
+  app_->sim().ScheduleAfter(gap, [this]() {
+    app_->Submit(api_);
+    ScheduleNext();
+  });
+}
+
+ClosedLoopPool& TrafficDriver::AddClosedLoop(ClosedLoopConfig config, Schedule users) {
+  pools_.push_back(std::make_unique<ClosedLoopPool>(
+      app_, std::move(config), std::move(users), app_->rng().Fork("closed-loop")));
+  pools_.back()->Start();
+  return *pools_.back();
+}
+
+OpenLoopGenerator& TrafficDriver::AddOpenLoop(sim::ApiId api, Schedule rate) {
+  open_.push_back(std::make_unique<OpenLoopGenerator>(
+      app_, api, std::move(rate),
+      app_->rng().Fork(HashLabel("open-loop") ^ static_cast<std::uint64_t>(api))));
+  open_.back()->Start();
+  return *open_.back();
+}
+
+}  // namespace topfull::workload

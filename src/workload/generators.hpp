@@ -1,0 +1,99 @@
+// Traffic generators.
+//
+// ClosedLoopPool models Locust: a scheduled number of concurrent users, each
+// repeatedly issuing one request (API sampled from a weighted mix), waiting
+// for the response up to a client timeout, then thinking ~1 s — "N users
+// invoking 1 request per second" (§6). OpenLoopGenerator issues Poisson
+// arrivals at a scheduled rate for experiments that need precise offered
+// load per API.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sim/app.hpp"
+#include "workload/schedule.hpp"
+
+namespace topfull::workload {
+
+/// Weighted per-API request mix. Weights need not be normalised.
+struct ApiMix {
+  std::vector<double> weights;  ///< indexed by ApiId; missing tail = 0.
+
+  /// Samples an ApiId given a uniform [0,1) draw.
+  sim::ApiId Sample(double u) const;
+};
+
+struct ClosedLoopConfig {
+  ApiMix mix;
+  /// Mean think time between a user's requests.
+  SimTime think = Seconds(1);
+  /// Uniform jitter fraction applied to think time (0.1 = +/-10 %).
+  double think_jitter = 0.1;
+  /// Client-side wait deadline; the user moves on after this even if the
+  /// request is still being processed (the server work is then wasted).
+  SimTime client_timeout = Seconds(5);
+  /// How often the pool reconciles the live user count to the schedule.
+  SimTime reconcile_period = Seconds(1);
+};
+
+/// A pool of closed-loop users whose size follows a Schedule.
+class ClosedLoopPool {
+ public:
+  ClosedLoopPool(sim::Application* app, ClosedLoopConfig config, Schedule users,
+                 Rng rng);
+
+  /// Begins spawning users at the current sim time.
+  void Start();
+
+  int LiveUsers() const { return live_users_; }
+
+ private:
+  void Reconcile();
+  void UserLoop(int user_index);
+  void UserThink(int user_index);
+
+  sim::Application* app_;
+  ClosedLoopConfig config_;
+  Schedule users_;
+  Rng rng_;
+  int live_users_ = 0;
+  int target_users_ = 0;
+  bool started_ = false;
+};
+
+/// Open-loop Poisson arrivals for one API at a scheduled rate (rps).
+class OpenLoopGenerator {
+ public:
+  OpenLoopGenerator(sim::Application* app, sim::ApiId api, Schedule rate, Rng rng);
+
+  void Start();
+
+ private:
+  void ScheduleNext();
+
+  sim::Application* app_;
+  sim::ApiId api_;
+  Schedule rate_;
+  Rng rng_;
+};
+
+/// Convenience owner for a set of generators driving one Application.
+class TrafficDriver {
+ public:
+  explicit TrafficDriver(sim::Application* app) : app_(app) {}
+
+  /// Adds and starts a closed-loop pool.
+  ClosedLoopPool& AddClosedLoop(ClosedLoopConfig config, Schedule users);
+
+  /// Adds and starts an open-loop generator for `api`.
+  OpenLoopGenerator& AddOpenLoop(sim::ApiId api, Schedule rate);
+
+ private:
+  sim::Application* app_;
+  std::vector<std::unique_ptr<ClosedLoopPool>> pools_;
+  std::vector<std::unique_ptr<OpenLoopGenerator>> open_;
+};
+
+}  // namespace topfull::workload

@@ -1,0 +1,55 @@
+#include "workload/schedule.hpp"
+
+#include <algorithm>
+
+namespace topfull::workload {
+
+Schedule Schedule::Constant(double v) {
+  Schedule s;
+  s.points_.push_back({0, v});
+  return s;
+}
+
+Schedule Schedule::Spike(double base, SimTime start, SimTime duration, double high) {
+  Schedule s = Constant(base);
+  s.Then(start, high).Then(start + duration, base);
+  return s;
+}
+
+Schedule Schedule::Ramp(double from, double to, SimTime start, SimTime duration,
+                        SimTime step) {
+  Schedule s = Constant(from);
+  if (duration <= 0 || step <= 0) {
+    s.Then(start, to);
+    return s;
+  }
+  const auto steps = static_cast<int>(duration / step);
+  for (int i = 1; i <= steps; ++i) {
+    const double frac = static_cast<double>(i) / static_cast<double>(steps);
+    s.Then(start + i * step, from + (to - from) * frac);
+  }
+  return s;
+}
+
+Schedule& Schedule::Then(SimTime t, double v) {
+  const auto it = std::lower_bound(
+      points_.begin(), points_.end(), t,
+      [](const Point& p, SimTime when) { return p.t < when; });
+  if (it != points_.end() && it->t == t) {
+    it->v = v;
+  } else {
+    points_.insert(it, {t, v});
+  }
+  return *this;
+}
+
+double Schedule::At(SimTime t) const {
+  double value = 0.0;
+  for (const auto& p : points_) {
+    if (p.t > t) break;
+    value = p.v;
+  }
+  return value;
+}
+
+}  // namespace topfull::workload

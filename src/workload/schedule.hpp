@@ -1,0 +1,43 @@
+// Piecewise-constant time schedules for offered load and user counts.
+//
+// A Schedule maps sim time to a value (requests/second, user count, ...).
+// Experiments compose them fluently:
+//   Schedule::Constant(500).Then(Seconds(60), 3000)        // step surge
+//   Schedule::Spike(100, Seconds(120), Seconds(120), 900)  // 2-min spike
+#pragma once
+
+#include <vector>
+
+#include "common/sim_time.hpp"
+
+namespace topfull::workload {
+
+class Schedule {
+ public:
+  /// Value `v` from t=0 onward.
+  static Schedule Constant(double v);
+
+  /// Base value, jumping to `high` during [start, start+duration).
+  static Schedule Spike(double base, SimTime start, SimTime duration, double high);
+
+  /// Linear ramp from `from` to `to` over [start, start+duration), stepped
+  /// at `step` granularity, holding `to` afterwards.
+  static Schedule Ramp(double from, double to, SimTime start, SimTime duration,
+                       SimTime step = Seconds(1));
+
+  /// Adds a breakpoint: value becomes `v` from time `t` onward. Breakpoints
+  /// may be added in any order.
+  Schedule& Then(SimTime t, double v);
+
+  /// Value at time `t` (the most recent breakpoint at or before `t`).
+  double At(SimTime t) const;
+
+ private:
+  struct Point {
+    SimTime t;
+    double v;
+  };
+  std::vector<Point> points_;  // kept sorted by t
+};
+
+}  // namespace topfull::workload

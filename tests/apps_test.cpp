@@ -1,0 +1,172 @@
+// Tests for the three benchmark applications: topology counts match the
+// paper, the designed bottlenecks are where they should be, and the demo
+// generator is deterministic.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "apps/alibaba_demo.hpp"
+#include "apps/online_boutique.hpp"
+#include "apps/train_ticket.hpp"
+
+namespace topfull::apps {
+namespace {
+
+TEST(BoutiqueTest, ElevenServicesFiveApis) {
+  auto app = MakeOnlineBoutique({});
+  EXPECT_EQ(app->NumServices(), 11);  // paper: Online Boutique has 11
+  EXPECT_EQ(app->NumApis(), 5);
+  EXPECT_EQ(app->FindApi("postcheckout"), kPostCheckout);
+  EXPECT_EQ(app->FindApi("getproduct"), kGetProduct);
+  EXPECT_EQ(app->FindApi("emptycart"), kEmptyCart);
+}
+
+TEST(BoutiqueTest, ExecutionPathsMatchFig3) {
+  auto app = MakeOnlineBoutique({});
+  const auto& checkout_api = app->api(kPostCheckout);
+  EXPECT_TRUE(checkout_api.Uses(app->FindService("checkout")));
+  EXPECT_TRUE(checkout_api.Uses(app->FindService("productcatalog")));
+  EXPECT_TRUE(checkout_api.Uses(app->FindService("payment")));
+  EXPECT_FALSE(checkout_api.Uses(app->FindService("recommendation")));
+  const auto& product_api = app->api(kGetProduct);
+  EXPECT_TRUE(product_api.Uses(app->FindService("recommendation")));
+  EXPECT_TRUE(product_api.Uses(app->FindService("productcatalog")));
+  EXPECT_FALSE(product_api.Uses(app->FindService("checkout")));
+}
+
+TEST(BoutiqueTest, RecommendationAndCheckoutAreSmallest) {
+  // The designed bottlenecks of the Fig. 3 overload scenario.
+  auto app = MakeOnlineBoutique({});
+  const double rec = app->service(app->FindService("recommendation")).CapacityRps();
+  const double checkout = app->service(app->FindService("checkout")).CapacityRps();
+  for (int s = 0; s < app->NumServices(); ++s) {
+    const double capacity = app->service(s).CapacityRps();
+    if (app->service(s).name() == "recommendation" ||
+        app->service(s).name() == "checkout") {
+      continue;
+    }
+    EXPECT_GT(capacity, rec);
+    EXPECT_GT(capacity, checkout);
+  }
+}
+
+TEST(BoutiqueTest, DistinctPrioritiesOption) {
+  BoutiqueOptions options;
+  options.distinct_priorities = true;
+  auto app = MakeOnlineBoutique(options);
+  EXPECT_LT(app->api(kPostCheckout).business_priority(),
+            app->api(kGetProduct).business_priority());
+  EXPECT_LT(app->api(kGetProduct).business_priority(),
+            app->api(kPostCart).business_priority());
+  auto flat = MakeOnlineBoutique({});
+  EXPECT_EQ(flat->api(kPostCheckout).business_priority(),
+            flat->api(kPostCart).business_priority());
+}
+
+TEST(BoutiqueTest, CapacityScaleMultipliesPods) {
+  BoutiqueOptions options;
+  options.capacity_scale = 2.0;
+  auto scaled = MakeOnlineBoutique(options);
+  auto base = MakeOnlineBoutique({});
+  for (int s = 0; s < base->NumServices(); ++s) {
+    EXPECT_GE(scaled->service(s).RunningPods(), base->service(s).RunningPods());
+  }
+}
+
+TEST(BoutiqueTest, ProbeFailuresOnlyWhenEnabled) {
+  auto plain = MakeOnlineBoutique({});
+  EXPECT_FALSE(plain->service(plain->FindService("recommendation"))
+                   .config().probe_failures_enabled);
+  BoutiqueOptions options;
+  options.probe_failures = true;
+  auto probed = MakeOnlineBoutique(options);
+  EXPECT_TRUE(probed->service(probed->FindService("recommendation"))
+                  .config().probe_failures_enabled);
+}
+
+TEST(TrainTicketTest, FortyOneServicesSixApis) {
+  auto app = MakeTrainTicket({});
+  EXPECT_EQ(app->NumServices(), 41);  // paper: Train Ticket has 41
+  EXPECT_EQ(app->NumApis(), 6);
+  EXPECT_EQ(app->FindApi("high_speed_ticket"), kHighSpeedTicket);
+  EXPECT_EQ(app->FindApi("query_payment"), kQueryPayment);
+}
+
+TEST(TrainTicketTest, StationHas35Pods) {
+  // Fig. 18 deletes 25 of the 35 ts-station pods.
+  auto app = MakeTrainTicket({});
+  EXPECT_EQ(app->service(app->FindService("ts-station")).RunningPods(), 35);
+}
+
+TEST(TrainTicketTest, TicketQueriesShareBasicChain) {
+  auto app = MakeTrainTicket({});
+  const sim::ServiceId basic = app->FindService("ts-basic");
+  const sim::ServiceId station = app->FindService("ts-station");
+  EXPECT_TRUE(app->api(kHighSpeedTicket).Uses(basic));
+  EXPECT_TRUE(app->api(kNormalSpeedTicket).Uses(basic));
+  EXPECT_TRUE(app->api(kQueryOrder).Uses(station));
+  // The two ticket queries ride different travel services (independent
+  // clusters under surge).
+  EXPECT_TRUE(app->api(kHighSpeedTicket).Uses(app->FindService("ts-travel")));
+  EXPECT_FALSE(app->api(kHighSpeedTicket).Uses(app->FindService("ts-travel2")));
+  EXPECT_TRUE(app->api(kNormalSpeedTicket).Uses(app->FindService("ts-travel2")));
+}
+
+TEST(AlibabaDemoTest, PaperShapeCounts) {
+  const AlibabaDemo demo = MakeAlibabaDemo({});
+  EXPECT_EQ(demo.app->NumServices(), 127);  // paper: 127 microservices
+  EXPECT_EQ(demo.app->NumApis(), 25);       // paper: 25 APIs
+  EXPECT_EQ(demo.overloadable.size(), 13u);  // paper: 13 overloadable
+  int paths = 0;
+  int branching = 0;
+  int max_branches = 0;
+  for (sim::ApiId a = 0; a < demo.app->NumApis(); ++a) {
+    const int n = static_cast<int>(demo.app->api(a).paths().size());
+    paths += n;
+    branching += n > 1 ? 1 : 0;
+    max_branches = std::max(max_branches, n);
+  }
+  EXPECT_EQ(paths, 43);        // paper: 43 execution paths in total
+  EXPECT_EQ(branching, 8);     // paper: 8 APIs have branching paths
+  EXPECT_EQ(max_branches, 6);  // paper: up to 6 paths
+}
+
+TEST(AlibabaDemoTest, OverloadableServicesHaveSmallCapacity) {
+  const AlibabaDemo demo = MakeAlibabaDemo({});
+  std::set<sim::ServiceId> hot(demo.overloadable.begin(), demo.overloadable.end());
+  for (const sim::ServiceId s : demo.overloadable) {
+    EXPECT_LT(demo.app->service(s).CapacityRps(), 600.0);
+  }
+  double cold_min = 1e18;
+  for (int s = 0; s < demo.app->NumServices(); ++s) {
+    if (hot.count(s) == 0) {
+      cold_min = std::min(cold_min, demo.app->service(s).CapacityRps());
+    }
+  }
+  EXPECT_GT(cold_min, 2000.0);
+}
+
+TEST(AlibabaDemoTest, EveryPathTouchesAnOverloadableService) {
+  const AlibabaDemo demo = MakeAlibabaDemo({});
+  std::set<sim::ServiceId> hot(demo.overloadable.begin(), demo.overloadable.end());
+  for (sim::ApiId a = 0; a < demo.app->NumApis(); ++a) {
+    for (const auto& path : demo.app->api(a).paths()) {
+      bool touches = false;
+      for (const sim::ServiceId s : path.services) touches = touches || hot.count(s) > 0;
+      EXPECT_TRUE(touches) << "api " << a;
+    }
+  }
+}
+
+TEST(AlibabaDemoTest, DeterministicForSameSeed) {
+  const AlibabaDemo a = MakeAlibabaDemo({});
+  const AlibabaDemo b = MakeAlibabaDemo({});
+  ASSERT_EQ(a.app->NumApis(), b.app->NumApis());
+  for (sim::ApiId i = 0; i < a.app->NumApis(); ++i) {
+    EXPECT_EQ(a.app->api(i).involved_services(), b.app->api(i).involved_services());
+  }
+  EXPECT_EQ(a.overloadable, b.overloadable);
+}
+
+}  // namespace
+}  // namespace topfull::apps

@@ -1,0 +1,156 @@
+// Unit tests for the cluster (VM pool) model and the HPA.
+#include <gtest/gtest.h>
+
+#include "autoscale/cluster.hpp"
+#include "autoscale/hpa.hpp"
+#include "workload/generators.hpp"
+
+namespace topfull::autoscale {
+namespace {
+
+TEST(ClusterTest, ReserveWithinCapacity) {
+  des::Simulation sim;
+  ClusterConfig config;
+  config.vcpus_per_vm = 10;
+  config.initial_vms = 1;
+  Cluster cluster(&sim, config);
+  EXPECT_TRUE(cluster.Reserve(6));
+  EXPECT_TRUE(cluster.Reserve(4));
+  EXPECT_FALSE(cluster.Reserve(0.5));
+  cluster.Release(4);
+  EXPECT_TRUE(cluster.Reserve(3));
+  EXPECT_DOUBLE_EQ(cluster.UsedVcpus(), 9.0);
+}
+
+TEST(ClusterTest, VmBootTakesStartupTime) {
+  des::Simulation sim;
+  ClusterConfig config;
+  config.vcpus_per_vm = 10;
+  config.initial_vms = 1;
+  config.max_vms = 2;
+  config.vm_startup = Seconds(40);
+  Cluster cluster(&sim, config);
+  EXPECT_TRUE(cluster.Reserve(10));
+  EXPECT_FALSE(cluster.Reserve(1));
+  EXPECT_TRUE(cluster.RequestVm());
+  EXPECT_EQ(cluster.PendingVms(), 1);
+  sim.RunUntil(Seconds(39));
+  EXPECT_FALSE(cluster.Reserve(1));  // still booting
+  sim.RunUntil(Seconds(41));
+  EXPECT_EQ(cluster.ReadyVms(), 2);
+  EXPECT_TRUE(cluster.Reserve(1));
+}
+
+TEST(ClusterTest, RefusesBeyondMaxVms) {
+  des::Simulation sim;
+  ClusterConfig config;
+  config.initial_vms = 1;
+  config.max_vms = 2;
+  Cluster cluster(&sim, config);
+  EXPECT_TRUE(cluster.RequestVm());
+  EXPECT_FALSE(cluster.RequestVm());  // 1 ready + 1 pending = max
+}
+
+struct HpaFixture {
+  std::unique_ptr<sim::Application> app;
+  std::unique_ptr<Cluster> cluster;
+  std::unique_ptr<HorizontalPodAutoscaler> hpa;
+  std::unique_ptr<workload::TrafficDriver> traffic;
+
+  explicit HpaFixture(double rate_rps, HpaConfig hpa_config = {},
+                      ClusterConfig cluster_config = {}) {
+    app = std::make_unique<sim::Application>("hpa-test", 5);
+    sim::ServiceConfig svc;
+    svc.name = "svc";
+    svc.threads = 4;
+    svc.mean_service_ms = 10.0;  // 400 rps per pod
+    svc.initial_pods = 1;
+    app->AddService(svc);
+    sim::ApiSpec api("api", 1);
+    api.AddPath(sim::ExecutionPath{sim::Chain({0}), 1.0, {}});
+    app->AddApi(std::move(api));
+    app->Finalize();
+    cluster = std::make_unique<Cluster>(&app->sim(), cluster_config);
+    hpa = std::make_unique<HorizontalPodAutoscaler>(app.get(), cluster.get(),
+                                                    hpa_config);
+    hpa->Start();
+    traffic = std::make_unique<workload::TrafficDriver>(app.get());
+    traffic->AddOpenLoop(0, workload::Schedule::Constant(rate_rps));
+  }
+};
+
+TEST(HpaTest, ScalesUpUnderLoad) {
+  HpaConfig config;
+  config.pod_startup = Seconds(5);
+  HpaFixture fx(/*rate_rps=*/700.0, config);  // ~1.75x one pod's capacity
+  fx.app->RunFor(Seconds(120));
+  EXPECT_GE(fx.app->service(0).RunningPods(), 2);
+  // Reserved vCPUs track the scale-up.
+  EXPECT_GE(fx.hpa->ReservedVcpus(), 2.0);
+}
+
+TEST(HpaTest, StableWhenNearTarget) {
+  HpaConfig config;
+  // One pod at ~60% utilization == target: no scaling.
+  HpaFixture fx(/*rate_rps=*/240.0, config);
+  fx.app->RunFor(Seconds(120));
+  EXPECT_EQ(fx.app->service(0).TotalPods(), 1);
+}
+
+TEST(HpaTest, ScaleDownNeedsStability) {
+  HpaConfig config;
+  config.scale_down_stable_syncs = 4;
+  config.sync_period = Seconds(10);
+  // Load vanishes at t=120 s via the schedule (generators stay alive).
+  HpaFixture fx(/*rate_rps=*/0.0, config);
+  fx.traffic->AddOpenLoop(0, workload::Schedule::Constant(700).Then(Seconds(120), 1));
+  fx.app->RunFor(Seconds(120));
+  const int peak = fx.app->service(0).TotalPods();
+  EXPECT_GE(peak, 2);
+  // Within the stabilisation window nothing shrinks yet.
+  fx.app->RunFor(Seconds(25));
+  EXPECT_EQ(fx.app->service(0).TotalPods(), peak);
+  // Well past it, the HPA scales down.
+  fx.app->RunFor(Seconds(180));
+  EXPECT_LT(fx.app->service(0).TotalPods(), peak);
+}
+
+TEST(HpaTest, VcpuExhaustionDelaysScaleUp) {
+  HpaConfig hpa_config;
+  hpa_config.pod_startup = Seconds(2);
+  hpa_config.sync_period = Seconds(5);
+  ClusterConfig cluster_config;
+  cluster_config.vcpus_per_vm = 2;  // tiny VMs: 1 pod already uses 1 vCPU
+  cluster_config.initial_vms = 1;
+  cluster_config.max_vms = 3;
+  cluster_config.vm_startup = Seconds(50);
+  HpaFixture fx(/*rate_rps=*/1600.0, hpa_config, cluster_config);
+  fx.app->RunFor(Seconds(40));
+  // Only one extra pod fits before the vCPU pool runs dry.
+  EXPECT_LE(fx.app->service(0).TotalPods(), 2);
+  fx.app->RunFor(Seconds(120));
+  // After VM boot, scaling resumes.
+  EXPECT_GE(fx.app->service(0).TotalPods(), 3);
+  EXPECT_GE(fx.cluster->ReadyVms(), 2);
+}
+
+TEST(HpaTest, ExcludedServiceIsNotScaled) {
+  HpaConfig config;
+  HpaFixture fx(/*rate_rps=*/900.0, config);
+  fx.hpa->Exclude(0);
+  fx.app->RunFor(Seconds(120));
+  EXPECT_EQ(fx.app->service(0).TotalPods(), 1);
+}
+
+TEST(HpaTest, RespectsMaxPods) {
+  HpaConfig config;
+  config.pod_startup = Seconds(1);
+  config.sync_period = Seconds(5);
+  HpaFixture fx(/*rate_rps=*/4000.0, config);
+  fx.hpa->SetLimits(0, 1, 3);
+  fx.app->RunFor(Seconds(120));
+  EXPECT_LE(fx.app->service(0).TotalPods(), 3);
+}
+
+}  // namespace
+}  // namespace topfull::autoscale

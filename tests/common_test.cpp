@@ -1,0 +1,224 @@
+// Unit tests for src/common: RNG determinism and distributions, streaming
+// stats, percentiles, EWMA, token bucket, union-find, schedules/tables.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/rng.hpp"
+#include "common/sim_time.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "common/token_bucket.hpp"
+#include "common/union_find.hpp"
+
+namespace topfull {
+namespace {
+
+TEST(SimTimeTest, Conversions) {
+  EXPECT_EQ(Seconds(1), 1'000'000);
+  EXPECT_EQ(Millis(1), 1'000);
+  EXPECT_DOUBLE_EQ(ToSeconds(Seconds(2.5)), 2.5);
+  EXPECT_DOUBLE_EQ(ToMillis(Millis(12.0)), 12.0);
+  EXPECT_EQ(Seconds(0.001), Millis(1));
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.NextU64() == b.NextU64() ? 1 : 0;
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.NextDouble();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRangeInclusive) {
+  Rng rng(9);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.UniformInt(3, 7));
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_EQ(*seen.begin(), 3);
+  EXPECT_EQ(*seen.rbegin(), 7);
+}
+
+TEST(RngTest, ExponentialMeanApproximatelyCorrect) {
+  Rng rng(11);
+  StreamingStats stats;
+  for (int i = 0; i < 50000; ++i) stats.Add(rng.Exponential(5.0));
+  EXPECT_NEAR(stats.mean(), 5.0, 0.15);
+}
+
+TEST(RngTest, NormalMomentsApproximatelyCorrect) {
+  Rng rng(13);
+  StreamingStats stats;
+  for (int i = 0; i < 50000; ++i) stats.Add(rng.Normal(2.0, 3.0));
+  EXPECT_NEAR(stats.mean(), 2.0, 0.1);
+  EXPECT_NEAR(stats.stddev(), 3.0, 0.1);
+}
+
+TEST(RngTest, LogNormalMeanMatchesFormula) {
+  Rng rng(15);
+  const double mu = std::log(10.0) - 0.5 * 0.25 * 0.25;
+  StreamingStats stats;
+  for (int i = 0; i < 50000; ++i) stats.Add(rng.LogNormal(mu, 0.25));
+  EXPECT_NEAR(stats.mean(), 10.0, 0.3);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(17);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(RngTest, ForkedStreamsAreIndependentAndDeterministic) {
+  Rng parent1(42), parent2(42);
+  Rng child1 = parent1.Fork("worker");
+  Rng child2 = parent2.Fork("worker");
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(child1.NextU64(), child2.NextU64());
+  Rng other = parent1.Fork("other");
+  EXPECT_NE(other.NextU64(), child1.NextU64());
+}
+
+TEST(StreamingStatsTest, MeanVarianceMinMax) {
+  StreamingStats stats;
+  for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stats.Add(v);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_NEAR(stats.variance(), 4.571428, 1e-5);
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+  EXPECT_EQ(stats.count(), 8u);
+  EXPECT_DOUBLE_EQ(stats.sum(), 40.0);
+}
+
+TEST(StreamingStatsTest, EmptyIsZero) {
+  StreamingStats stats;
+  EXPECT_DOUBLE_EQ(stats.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+  EXPECT_EQ(stats.count(), 0u);
+}
+
+TEST(PercentileTest, InterpolatesBetweenRanks) {
+  std::vector<double> values{10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(Percentile(values, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(Percentile(values, 100.0), 40.0);
+  EXPECT_DOUBLE_EQ(Percentile(values, 50.0), 25.0);
+}
+
+TEST(PercentileTest, EmptyReturnsFallback) {
+  EXPECT_DOUBLE_EQ(Percentile({}, 50.0, -1.0), -1.0);
+}
+
+TEST(WindowedSamplesTest, ExpiresOldSamples) {
+  WindowedSamples window(Seconds(1));
+  window.Add(Millis(100), 1.0);
+  window.Add(Millis(600), 2.0);
+  window.Add(Millis(1500), 3.0);
+  window.Expire(Millis(1500));  // cutoff 500 ms: only the t=100ms sample goes
+  EXPECT_EQ(window.Count(), 2u);
+  EXPECT_DOUBLE_EQ(window.Mean(), 2.5);
+}
+
+TEST(WindowedSamplesTest, PercentileOfLiveWindow) {
+  WindowedSamples window(Seconds(10));
+  for (int i = 1; i <= 100; ++i) window.Add(Millis(i), static_cast<double>(i));
+  EXPECT_NEAR(window.Percentile(95.0), 95.05, 0.5);
+}
+
+TEST(EwmaTest, ConvergesTowardsConstant) {
+  Ewma ewma(0.5);
+  EXPECT_FALSE(ewma.initialized());
+  ewma.Add(10.0);
+  EXPECT_DOUBLE_EQ(ewma.value(), 10.0);
+  for (int i = 0; i < 20; ++i) ewma.Add(20.0);
+  EXPECT_NEAR(ewma.value(), 20.0, 0.01);
+}
+
+TEST(TokenBucketTest, AdmitsUpToBurstInstantly) {
+  TokenBucket bucket(100.0, 5.0);
+  int admitted = 0;
+  for (int i = 0; i < 10; ++i) admitted += bucket.TryAdmit(0) ? 1 : 0;
+  EXPECT_EQ(admitted, 5);
+}
+
+TEST(TokenBucketTest, RefillsAtConfiguredRate) {
+  TokenBucket bucket(100.0, 5.0);
+  for (int i = 0; i < 5; ++i) bucket.TryAdmit(0);
+  EXPECT_FALSE(bucket.TryAdmit(0));
+  // After 50 ms at 100 rps, ~5 tokens are back.
+  int admitted = 0;
+  for (int i = 0; i < 10; ++i) admitted += bucket.TryAdmit(Millis(50)) ? 1 : 0;
+  EXPECT_EQ(admitted, 5);
+}
+
+TEST(TokenBucketTest, LongRunAdmissionTracksRate) {
+  TokenBucket bucket(250.0, 10.0);
+  int admitted = 0;
+  for (SimTime t = 0; t < Seconds(10); t += Millis(1)) {
+    admitted += bucket.TryAdmit(t) ? 1 : 0;
+  }
+  EXPECT_NEAR(admitted, 2500, 15);
+}
+
+TEST(TokenBucketTest, ZeroRateAdmitsOnlyBurst) {
+  TokenBucket bucket(0.0, 3.0);
+  int admitted = 0;
+  for (SimTime t = 0; t < Seconds(5); t += Millis(10)) {
+    admitted += bucket.TryAdmit(t) ? 1 : 0;
+  }
+  EXPECT_EQ(admitted, 3);
+}
+
+TEST(TokenBucketTest, SetRateTakesEffect) {
+  TokenBucket bucket(10.0, 1.0);
+  bucket.SetRate(1000.0);
+  int admitted = 0;
+  for (SimTime t = 0; t < Seconds(1); t += Millis(1)) {
+    admitted += bucket.TryAdmit(t) ? 1 : 0;
+  }
+  EXPECT_NEAR(admitted, 1000, 10);
+}
+
+TEST(UnionFindTest, BasicUnions) {
+  UnionFind dsu(6);
+  EXPECT_TRUE(dsu.Union(0, 1));
+  EXPECT_TRUE(dsu.Union(2, 3));
+  EXPECT_FALSE(dsu.Union(1, 0));
+  EXPECT_TRUE(dsu.Connected(0, 1));
+  EXPECT_FALSE(dsu.Connected(0, 2));
+  EXPECT_TRUE(dsu.Union(1, 3));
+  EXPECT_TRUE(dsu.Connected(0, 2));
+  EXPECT_EQ(dsu.SizeOf(3), 4u);
+  EXPECT_EQ(dsu.SizeOf(5), 1u);
+}
+
+TEST(TableTest, RendersAlignedColumns) {
+  Table table("caption");
+  table.SetHeader({"name", "value"});
+  table.AddRow({"a", "1"});
+  table.AddRow("b", {2.5}, 1);
+  const std::string out = table.Render();
+  EXPECT_NE(out.find("caption"), std::string::npos);
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("2.5"), std::string::npos);
+}
+
+TEST(FmtTest, Precision) {
+  EXPECT_EQ(Fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(Fmt(2.0, 0), "2");
+}
+
+}  // namespace
+}  // namespace topfull

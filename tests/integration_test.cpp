@@ -1,0 +1,174 @@
+// Integration tests: full-stack scenarios across modules (apps + workload +
+// controllers + autoscaler). These are miniature versions of the bench
+// experiments with assertions instead of tables.
+#include <gtest/gtest.h>
+
+#include "apps/alibaba_demo.hpp"
+#include "apps/online_boutique.hpp"
+#include "apps/train_ticket.hpp"
+#include "autoscale/hpa.hpp"
+#include "exp/harness.hpp"
+#include "exp/model_cache.hpp"
+
+namespace topfull {
+namespace {
+
+double RunBoutique(exp::Variant variant, const rl::GaussianPolicy* policy,
+                   int users, double duration_s, std::uint64_t seed = 101) {
+  apps::BoutiqueOptions options;
+  options.seed = seed;
+  auto app = apps::MakeOnlineBoutique(options);
+  exp::Controllers controllers;
+  controllers.Attach(variant, *app, policy);
+  workload::TrafficDriver traffic(app.get());
+  traffic.AddClosedLoop(exp::UniformUsers(*app),
+                        workload::Schedule::Constant(users));
+  app->RunFor(Seconds(duration_s));
+  return exp::TotalGoodput(*app, duration_s * 0.3, duration_s);
+}
+
+TEST(IntegrationTest, MimdControlBeatsNoControlUnderOverload) {
+  // The full entry-control loop (with the deterministic MIMD controller, so
+  // no trained model is needed) versus no control at all.
+  const double none = RunBoutique(exp::Variant::kNoControl, nullptr, 4200, 90);
+  const double mimd = RunBoutique(exp::Variant::kTopFullMimd, nullptr, 4200, 90);
+  EXPECT_GT(mimd, 1.3 * none);
+}
+
+TEST(IntegrationTest, DagorControlBeatsNoControlUnderOverload) {
+  const double none = RunBoutique(exp::Variant::kNoControl, nullptr, 4200, 90);
+  const double dagor = RunBoutique(exp::Variant::kDagor, nullptr, 4200, 90);
+  EXPECT_GT(dagor, 1.3 * none);
+}
+
+TEST(IntegrationTest, BreakwaterControlBeatsNoControlUnderOverload) {
+  const double none = RunBoutique(exp::Variant::kNoControl, nullptr, 4200, 90);
+  const double bw = RunBoutique(exp::Variant::kBreakwater, nullptr, 4200, 90);
+  EXPECT_GT(bw, 1.3 * none);
+}
+
+TEST(IntegrationTest, LightLoadIsUntouchedByEveryVariant) {
+  // At 15 % utilisation no controller should shed anything material.
+  for (const auto variant :
+       {exp::Variant::kNoControl, exp::Variant::kTopFullMimd, exp::Variant::kDagor,
+        exp::Variant::kBreakwater, exp::Variant::kTopFullBw}) {
+    const double goodput = RunBoutique(variant, nullptr, 400, 60);
+    EXPECT_NEAR(goodput, 400.0, 60.0) << exp::VariantName(variant);
+  }
+}
+
+TEST(IntegrationTest, FullStackDeterminism) {
+  const double a = RunBoutique(exp::Variant::kTopFullMimd, nullptr, 3000, 60, 7);
+  const double b = RunBoutique(exp::Variant::kTopFullMimd, nullptr, 3000, 60, 7);
+  EXPECT_DOUBLE_EQ(a, b);
+  const double c = RunBoutique(exp::Variant::kTopFullMimd, nullptr, 3000, 60, 8);
+  EXPECT_NE(a, c);  // different seed, different sample path
+}
+
+TEST(IntegrationTest, TrainTicketSurgeWithHpaScalesAndRecovers) {
+  apps::TrainTicketOptions options;
+  options.seed = 103;
+  auto app = apps::MakeTrainTicket(options);
+  autoscale::Cluster cluster(&app->sim(), {});
+  autoscale::HorizontalPodAutoscaler hpa(app.get(), &cluster, {});
+  hpa.Start();
+  workload::TrafficDriver traffic(app.get());
+  traffic.AddClosedLoop(exp::UniformUsers(*app),
+                        workload::Schedule::Constant(600).Then(Seconds(30), 2600));
+  const int travel_before =
+      app->service(app->FindService("ts-travel")).RunningPods();
+  app->RunFor(Seconds(200));
+  EXPECT_GT(app->service(app->FindService("ts-travel")).RunningPods(), travel_before);
+  // Fully scaled: goodput approaches the offered demand.
+  EXPECT_GT(exp::TotalGoodput(*app, 150, 200), 2200.0);
+}
+
+TEST(IntegrationTest, PodFailureCollapsesStationApisWithoutControl) {
+  // 460 rps/API is fine with 35 station pods; once 25 die, the station
+  // arrivals (~2300/s at half work) exceed the survivors' ~1660/s.
+  apps::TrainTicketOptions options;
+  options.seed = 107;
+  auto app = apps::MakeTrainTicket(options);
+  workload::TrafficDriver traffic(app.get());
+  for (sim::ApiId a = 0; a < app->NumApis(); ++a) {
+    traffic.AddOpenLoop(a, workload::Schedule::Constant(460));
+  }
+  const sim::ServiceId station = app->FindService("ts-station");
+  app->RunFor(Seconds(30));
+  const double before = exp::TotalGoodput(*app, 15, 30);
+  EXPECT_GT(before, 1500.0);  // mostly-healthy baseline (offered = 2760)
+  app->service(station).KillPods(25);
+  app->RunFor(Seconds(45));
+  const double during = exp::TotalGoodput(*app, 45, 75);
+  EXPECT_LT(during, 0.85 * before);  // station-crossing APIs degrade
+  // Recovery restores goodput.
+  app->service(station).SetPodCount(35, Seconds(1));
+  app->RunFor(Seconds(40));
+  EXPECT_GT(exp::TotalGoodput(*app, 95, 115), 0.85 * before);
+}
+
+TEST(IntegrationTest, MimdEntryControlHoldsGoodputThroughPodFailure) {
+  apps::TrainTicketOptions options;
+  options.seed = 107;
+  auto app = apps::MakeTrainTicket(options);
+  exp::Controllers controllers;
+  controllers.Attach(exp::Variant::kTopFullMimd, *app, nullptr);
+  workload::TrafficDriver traffic(app.get());
+  for (sim::ApiId a = 0; a < app->NumApis(); ++a) {
+    traffic.AddOpenLoop(a, workload::Schedule::Constant(430));
+  }
+  const sim::ServiceId station = app->FindService("ts-station");
+  app->sim().ScheduleAt(Seconds(20), [&app, station]() {
+    app->service(station).KillPods(25);
+  });
+  app->RunFor(Seconds(80));
+  // 10 station pods sustain ~830 work-units/s; the controller should keep a
+  // healthy share of total goodput flowing (vs near-collapse uncontrolled).
+  EXPECT_GT(exp::TotalGoodput(*app, 50, 80), 1200.0);
+}
+
+TEST(IntegrationTest, AlibabaDemoRunsUnderControlAtScale) {
+  // 127 services, 25 APIs: smoke the full pipeline (clustering over many
+  // hot services, parallel decisions) and check improvement vs no control.
+  apps::AlibabaDemoOptions options;
+  auto run = [&](bool control) {
+    auto demo = apps::MakeAlibabaDemo(options);
+    exp::Controllers controllers;
+    if (control) {
+      controllers.Attach(exp::Variant::kTopFullMimd, *demo.app, nullptr);
+    }
+    workload::TrafficDriver traffic(demo.app.get());
+    traffic.AddClosedLoop(exp::UniformUsers(*demo.app),
+                          workload::Schedule::Constant(6000));
+    demo.app->RunFor(Seconds(60));
+    return exp::TotalGoodput(*demo.app, 25, 60);
+  };
+  const double none = run(false);
+  const double controlled = run(true);
+  EXPECT_GT(controlled, 1.15 * none);
+  EXPECT_GT(controlled, 1000.0);
+}
+
+TEST(IntegrationTest, SequentialAblationStillControlsEventually) {
+  apps::BoutiqueOptions options;
+  options.seed = 113;
+  auto app = apps::MakeOnlineBoutique(options);
+  core::TopFullConfig config;
+  config.enable_clustering = false;
+  core::TopFullController controller(
+      app.get(), std::make_unique<core::MimdRateController>(0.1, 0.02), config);
+  controller.Start();
+  workload::TrafficDriver traffic(app.get());
+  traffic.AddClosedLoop(exp::UniformUsers(*app), workload::Schedule::Constant(4200));
+  app->RunFor(Seconds(120));
+  // Slower than parallel control, but all implicated APIs end up capped.
+  int capped = 0;
+  for (sim::ApiId a = 0; a < app->NumApis(); ++a) {
+    capped += controller.RateLimit(a).has_value() ? 1 : 0;
+  }
+  EXPECT_GE(capped, 3);
+  EXPECT_GT(exp::TotalGoodput(*app, 60, 120), 1200.0);
+}
+
+}  // namespace
+}  // namespace topfull

@@ -1,0 +1,390 @@
+// Property-based tests: parameterised sweeps asserting invariants over
+// randomised inputs (seeded — failures reproduce exactly).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/token_bucket.hpp"
+#include "common/union_find.hpp"
+#include "core/clustering.hpp"
+#include "des/simulation.hpp"
+#include "rl/graph_sim_env.hpp"
+#include "rl/observation.hpp"
+#include "rl/nn.hpp"
+#include "sim/app.hpp"
+#include "workload/schedule.hpp"
+
+namespace topfull {
+namespace {
+
+// --- Token bucket: long-run admission tracks the configured rate -------------
+
+class TokenBucketRateSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(TokenBucketRateSweep, LongRunAdmissionMatchesRate) {
+  const double rate = GetParam();
+  TokenBucket bucket(rate, std::max(2.0, rate / 10.0));
+  Rng rng(static_cast<std::uint64_t>(rate) + 17);
+  int admitted = 0;
+  SimTime now = 0;
+  // Random arrival pattern much denser than the rate.
+  while (now < Seconds(20)) {
+    now += static_cast<SimTime>(rng.Uniform(50, 500));  // 2k-20k arrivals/s
+    admitted += bucket.TryAdmit(now) ? 1 : 0;
+  }
+  const double measured = admitted / 20.0;
+  EXPECT_NEAR(measured, rate, rate * 0.05 + 2.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, TokenBucketRateSweep,
+                         ::testing::Values(5.0, 50.0, 137.0, 400.0, 1000.0, 1900.0));
+
+// --- Percentile: order statistics invariants ---------------------------------
+
+class PercentileSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PercentileSweep, MonotoneAndBounded) {
+  Rng rng(GetParam());
+  std::vector<double> values;
+  const int n = static_cast<int>(rng.UniformInt(1, 400));
+  for (int i = 0; i < n; ++i) values.push_back(rng.Uniform(-1e3, 1e3));
+  const double lo = *std::min_element(values.begin(), values.end());
+  const double hi = *std::max_element(values.begin(), values.end());
+  double prev = lo;
+  for (double p = 0.0; p <= 100.0; p += 7.3) {
+    const double v = Percentile(values, p);
+    EXPECT_GE(v, lo);
+    EXPECT_LE(v, hi);
+    EXPECT_GE(v, prev - 1e-12);  // monotone in p
+    prev = v;
+  }
+  EXPECT_DOUBLE_EQ(Percentile(values, 0.0), lo);
+  EXPECT_DOUBLE_EQ(Percentile(values, 100.0), hi);
+  // Permutation invariance.
+  std::vector<double> shuffled = values;
+  for (std::size_t i = shuffled.size(); i > 1; --i) {
+    std::swap(shuffled[i - 1],
+              shuffled[static_cast<std::size_t>(rng.UniformInt(0, static_cast<std::int64_t>(i) - 1))]);
+  }
+  EXPECT_DOUBLE_EQ(Percentile(values, 42.0), Percentile(shuffled, 42.0));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PercentileSweep, ::testing::Range<std::uint64_t>(1, 9));
+
+// --- Union-find vs brute-force connectivity ----------------------------------
+
+class UnionFindSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(UnionFindSweep, MatchesBruteForceReachability) {
+  Rng rng(GetParam() * 977);
+  const std::size_t n = static_cast<std::size_t>(rng.UniformInt(2, 60));
+  UnionFind dsu(n);
+  std::vector<std::vector<bool>> adj(n, std::vector<bool>(n, false));
+  for (std::size_t i = 0; i < n; ++i) adj[i][i] = true;
+  const int edges = static_cast<int>(rng.UniformInt(0, 80));
+  for (int e = 0; e < edges; ++e) {
+    const auto a = static_cast<std::size_t>(rng.UniformInt(0, static_cast<std::int64_t>(n) - 1));
+    const auto b = static_cast<std::size_t>(rng.UniformInt(0, static_cast<std::int64_t>(n) - 1));
+    dsu.Union(a, b);
+    adj[a][b] = adj[b][a] = true;
+  }
+  // Floyd-Warshall closure.
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        if (adj[i][k] && adj[k][j]) adj[i][j] = true;
+      }
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      EXPECT_EQ(dsu.Connected(i, j), adj[i][j]) << i << "," << j;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UnionFindSweep, ::testing::Range<std::uint64_t>(1, 13));
+
+// --- DES: time never goes backwards; all due events fire ---------------------
+
+class DesOrderSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DesOrderSweep, EventsFireInNondecreasingTimeOrder) {
+  Rng rng(GetParam() * 31337);
+  des::Simulation sim;
+  std::vector<SimTime> fired;
+  const int n = static_cast<int>(rng.UniformInt(10, 300));
+  int scheduled = 0;
+  for (int i = 0; i < n; ++i) {
+    const SimTime when = static_cast<SimTime>(rng.UniformInt(0, Seconds(100)));
+    if (when <= Seconds(60)) ++scheduled;
+    sim.ScheduleAt(when, [&fired, &sim]() { fired.push_back(sim.Now()); });
+  }
+  sim.RunUntil(Seconds(60));
+  EXPECT_EQ(static_cast<int>(fired.size()), scheduled);
+  for (std::size_t i = 1; i < fired.size(); ++i) EXPECT_LE(fired[i - 1], fired[i]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DesOrderSweep, ::testing::Range<std::uint64_t>(1, 9));
+
+// --- Schedule: At() equals the brute-force "last breakpoint <= t" ------------
+
+class ScheduleSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ScheduleSweep, MatchesBruteForce) {
+  Rng rng(GetParam() * 71);
+  workload::Schedule schedule = workload::Schedule::Constant(rng.Uniform(0, 10));
+  std::map<SimTime, double> points{{0, schedule.At(0)}};
+  const int n = static_cast<int>(rng.UniformInt(1, 25));
+  for (int i = 0; i < n; ++i) {
+    const SimTime t = static_cast<SimTime>(rng.UniformInt(0, Seconds(100)));
+    const double v = rng.Uniform(0, 100);
+    schedule.Then(t, v);
+    points[t] = v;
+  }
+  for (int probe = 0; probe < 200; ++probe) {
+    const SimTime t = static_cast<SimTime>(rng.UniformInt(0, Seconds(110)));
+    auto it = points.upper_bound(t);
+    ASSERT_NE(it, points.begin());
+    --it;
+    EXPECT_DOUBLE_EQ(schedule.At(t), it->second) << "t=" << t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScheduleSweep, ::testing::Range<std::uint64_t>(1, 9));
+
+// --- Clustering invariants over random registries ----------------------------
+
+class ClusteringSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ClusteringSweep, PartitionAndIsolationInvariants) {
+  Rng rng(GetParam() * 131);
+  const int num_services = static_cast<int>(rng.UniformInt(3, 25));
+  const int num_apis = static_cast<int>(rng.UniformInt(2, 20));
+  auto app = std::make_unique<sim::Application>("prop", GetParam());
+  for (int s = 0; s < num_services; ++s) {
+    sim::ServiceConfig config;
+    config.name = "s" + std::to_string(s);
+    app->AddService(config);
+  }
+  for (int a = 0; a < num_apis; ++a) {
+    sim::ApiSpec spec("api" + std::to_string(a), 1);
+    std::set<sim::ServiceId> used;
+    const int len =
+        static_cast<int>(rng.UniformInt(1, std::min(6, num_services)));
+    while (static_cast<int>(used.size()) < len) {
+      used.insert(static_cast<sim::ServiceId>(rng.UniformInt(0, num_services - 1)));
+    }
+    spec.AddPath(sim::ExecutionPath{
+        sim::Chain(std::vector<sim::ServiceId>(used.begin(), used.end())), 1.0, {}});
+    app->AddApi(std::move(spec));
+  }
+  app->Finalize();
+  core::ApiRegistry registry(*app);
+
+  std::vector<sim::ServiceId> overloaded;
+  for (int s = 0; s < num_services; ++s) {
+    if (rng.Bernoulli(0.3)) overloaded.push_back(s);
+  }
+  const auto clusters = core::BuildClusters(registry, overloaded);
+
+  // (1) Each involved API appears in exactly one cluster.
+  std::map<sim::ApiId, int> seen;
+  for (const auto& cluster : clusters) {
+    for (const sim::ApiId a : cluster.apis) ++seen[a];
+  }
+  for (const auto& [api, count] : seen) EXPECT_EQ(count, 1) << "api " << api;
+
+  // (2) Every API that touches an overloaded service is in some cluster.
+  for (sim::ApiId a = 0; a < num_apis; ++a) {
+    bool touches = false;
+    for (const sim::ServiceId s : overloaded) touches = touches || registry.Uses(a, s);
+    EXPECT_EQ(touches, seen.count(a) > 0) << "api " << a;
+  }
+
+  // (3) Overloaded services partition across clusters; each cluster's
+  //     overloaded services are used only by that cluster's APIs.
+  std::map<sim::ServiceId, int> service_seen;
+  for (const auto& cluster : clusters) {
+    std::set<sim::ApiId> members(cluster.apis.begin(), cluster.apis.end());
+    for (const sim::ServiceId s : cluster.overloaded) {
+      ++service_seen[s];
+      for (const sim::ApiId user : registry.ApisOf(s)) {
+        EXPECT_TRUE(members.count(user) > 0)
+            << "service " << s << " used by out-of-cluster api " << user;
+      }
+    }
+  }
+  for (const auto& [s, count] : service_seen) EXPECT_EQ(count, 1) << "service " << s;
+
+  // (4) The target is an overloaded service with the minimal API count.
+  for (const auto& cluster : clusters) {
+    int min_count = 1 << 30;
+    for (const sim::ServiceId s : cluster.overloaded) {
+      min_count = std::min(min_count, registry.ApiCount(s));
+    }
+    ASSERT_NE(cluster.target, sim::kNoService);
+    EXPECT_EQ(registry.ApiCount(cluster.target), min_count);
+    // Candidates = users of the target.
+    EXPECT_EQ(cluster.candidates, registry.ApisOf(cluster.target));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ClusteringSweep, ::testing::Range<std::uint64_t>(1, 21));
+
+// --- Request accounting conservation over random topologies ------------------
+
+class ConservationSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ConservationSweep, OfferedSplitsExactly) {
+  Rng rng(GetParam() * 4099);
+  auto app = std::make_unique<sim::Application>("conserve", GetParam());
+  const int num_services = static_cast<int>(rng.UniformInt(1, 6));
+  for (int s = 0; s < num_services; ++s) {
+    sim::ServiceConfig config;
+    config.name = "s" + std::to_string(s);
+    config.mean_service_ms = rng.Uniform(2.0, 30.0);
+    config.threads = static_cast<int>(rng.UniformInt(1, 8));
+    config.max_queue = static_cast<int>(rng.UniformInt(4, 64));  // tiny: force sheds
+    app->AddService(config);
+  }
+  const int num_apis = static_cast<int>(rng.UniformInt(1, 4));
+  for (int a = 0; a < num_apis; ++a) {
+    sim::ApiSpec spec("api" + std::to_string(a), 1);
+    std::set<sim::ServiceId> used;
+    const int len = static_cast<int>(rng.UniformInt(1, num_services));
+    while (static_cast<int>(used.size()) < len) {
+      used.insert(static_cast<sim::ServiceId>(rng.UniformInt(0, num_services - 1)));
+    }
+    spec.AddPath(sim::ExecutionPath{
+        sim::Chain(std::vector<sim::ServiceId>(used.begin(), used.end())), 1.0, {}});
+    app->AddApi(std::move(spec));
+  }
+  app->Finalize();
+  // Blast random traffic.
+  for (int i = 0; i < 3000; ++i) {
+    const SimTime at = static_cast<SimTime>(rng.UniformInt(0, Seconds(5)));
+    const auto api = static_cast<sim::ApiId>(rng.UniformInt(0, num_apis - 1));
+    app->sim().ScheduleAt(at, [&app, api]() { app->Submit(api); });
+  }
+  app->RunFor(Seconds(30));
+  EXPECT_EQ(app->Inflight(), 0);
+  std::uint64_t offered = 0;
+  for (sim::ApiId a = 0; a < num_apis; ++a) {
+    const auto& t = app->metrics().Totals()[a];
+    EXPECT_EQ(t.offered, t.admitted + t.rejected_entry);
+    EXPECT_EQ(t.admitted, t.completed + t.rejected_service);
+    EXPECT_LE(t.good, t.completed);
+    offered += t.offered;
+  }
+  EXPECT_EQ(offered, 3000u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConservationSweep, ::testing::Range<std::uint64_t>(1, 17));
+
+// --- GraphSimEnv invariants over seeds ----------------------------------------
+
+class GraphEnvSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GraphEnvSweep, ObservationsBoundedRewardsFinite) {
+  rl::GraphSimEnv env({}, 1234);
+  Rng rng(GetParam());
+  auto obs = env.Reset(GetParam());
+  for (int t = 0; t < 50; ++t) {
+    ASSERT_EQ(obs.size(), 2u);
+    EXPECT_GE(obs[0], 0.0);
+    EXPECT_LE(obs[0], 2.0);
+    EXPECT_GE(obs[1], 0.0);
+    EXPECT_LE(obs[1], rl::kMaxLatencyFactor);
+    const auto r = env.Step(rng.Uniform(-0.5, 0.5));
+    EXPECT_TRUE(std::isfinite(r.reward));
+    EXPECT_GT(env.rate_limit(), 0.0);
+    obs = r.obs;
+    if (r.done) break;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GraphEnvSweep, ::testing::Range<std::uint64_t>(1, 25));
+
+// --- MLP gradient check across architectures ----------------------------------
+
+struct MlpArch {
+  std::vector<int> sizes;
+};
+
+class MlpGradSweep : public ::testing::TestWithParam<MlpArch> {};
+
+TEST_P(MlpGradSweep, AnalyticMatchesNumeric) {
+  Rng rng(5);
+  rl::Mlp net(GetParam().sizes, rng);
+  std::vector<double> x(static_cast<std::size_t>(GetParam().sizes.front()));
+  for (auto& v : x) v = rng.Uniform(-1, 1);
+  // Scalar loss = sum of outputs.
+  rl::Mlp::Cache cache;
+  const auto y = net.Forward(x, &cache);
+  net.ZeroGrad();
+  net.Backward(cache, std::vector<double>(y.size(), 1.0));
+  std::vector<double> analytic;
+  net.CopyGradsTo(analytic);
+  std::vector<double> params;
+  net.CopyParamsTo(params);
+  const double eps = 1e-6;
+  Rng pick(GetParam().sizes.back() + 100);
+  for (int check = 0; check < 25; ++check) {
+    const auto i = static_cast<std::size_t>(
+        pick.UniformInt(0, static_cast<std::int64_t>(params.size()) - 1));
+    auto p = params;
+    p[i] += eps;
+    net.SetParams(p);
+    double up = 0;
+    for (const double v : net.Forward(x)) up += v;
+    p[i] -= 2 * eps;
+    net.SetParams(p);
+    double down = 0;
+    for (const double v : net.Forward(x)) down += v;
+    net.SetParams(params);
+    EXPECT_NEAR(analytic[i], (up - down) / (2 * eps), 1e-5) << "param " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Architectures, MlpGradSweep,
+                         ::testing::Values(MlpArch{{1, 1}}, MlpArch{{2, 8, 1}},
+                                           MlpArch{{3, 16, 8, 2}},
+                                           MlpArch{{2, 64, 64, 1}}));
+
+// --- Rng forks are pairwise decorrelated --------------------------------------
+
+class RngForkSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngForkSweep, SiblingStreamsLookIndependent) {
+  Rng parent(GetParam());
+  Rng a = parent.Fork(1);
+  Rng b = parent.Fork(2);
+  // Crude correlation check on 2000 uniform draws.
+  double sum_ab = 0, sum_a = 0, sum_b = 0, sum_a2 = 0, sum_b2 = 0;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    const double x = a.NextDouble(), y = b.NextDouble();
+    sum_ab += x * y;
+    sum_a += x;
+    sum_b += y;
+    sum_a2 += x * x;
+    sum_b2 += y * y;
+  }
+  const double cov = sum_ab / n - (sum_a / n) * (sum_b / n);
+  const double var_a = sum_a2 / n - (sum_a / n) * (sum_a / n);
+  const double var_b = sum_b2 / n - (sum_b / n) * (sum_b / n);
+  const double corr = cov / std::sqrt(var_a * var_b);
+  EXPECT_LT(std::abs(corr), 0.08);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngForkSweep, ::testing::Range<std::uint64_t>(1, 9));
+
+}  // namespace
+}  // namespace topfull

@@ -1,0 +1,317 @@
+// Unit tests for the RL stack: MLP backprop (numerical gradient check),
+// Adam, the Gaussian policy, PPO on a toy problem, and the graph simulator
+// environment's behaviour rules.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "rl/graph_sim_env.hpp"
+#include "rl/nn.hpp"
+#include "rl/observation.hpp"
+#include "rl/policy.hpp"
+#include "rl/ppo.hpp"
+
+namespace topfull::rl {
+namespace {
+
+TEST(MlpTest, OutputShapeAndDeterminism) {
+  Rng rng(1);
+  Mlp net({3, 8, 2}, rng);
+  const std::vector<double> x{0.5, -1.0, 2.0};
+  const auto y1 = net.Forward(x);
+  const auto y2 = net.Forward(x);
+  ASSERT_EQ(y1.size(), 2u);
+  EXPECT_EQ(y1, y2);
+}
+
+TEST(MlpTest, ParamRoundTrip) {
+  Rng rng(2);
+  Mlp net({2, 4, 1}, rng);
+  std::vector<double> params;
+  net.CopyParamsTo(params);
+  EXPECT_EQ(params.size(), net.ParamCount());
+  // Mutate, restore, verify.
+  const auto y0 = net.Forward({1.0, 2.0});
+  std::vector<double> perturbed = params;
+  for (auto& p : perturbed) p += 1.0;
+  net.SetParams(perturbed);
+  EXPECT_NE(net.Forward({1.0, 2.0})[0], y0[0]);
+  net.SetParams(params);
+  EXPECT_DOUBLE_EQ(net.Forward({1.0, 2.0})[0], y0[0]);
+}
+
+TEST(MlpTest, BackwardMatchesNumericalGradient) {
+  Rng rng(3);
+  Mlp net({2, 5, 1}, rng);
+  const std::vector<double> x{0.7, -0.3};
+
+  // Analytic gradient of y (scalar output) w.r.t. every parameter.
+  Mlp::Cache cache;
+  net.Forward(x, &cache);
+  net.ZeroGrad();
+  net.Backward(cache, {1.0});
+  std::vector<double> analytic;
+  net.CopyGradsTo(analytic);
+
+  std::vector<double> params;
+  net.CopyParamsTo(params);
+  const double eps = 1e-6;
+  for (std::size_t i = 0; i < params.size(); i += 7) {  // spot-check subset
+    std::vector<double> p = params;
+    p[i] += eps;
+    net.SetParams(p);
+    const double up = net.Forward(x)[0];
+    p[i] -= 2 * eps;
+    net.SetParams(p);
+    const double down = net.Forward(x)[0];
+    net.SetParams(params);
+    const double numeric = (up - down) / (2 * eps);
+    EXPECT_NEAR(analytic[i], numeric, 1e-5) << "param " << i;
+  }
+}
+
+TEST(MlpTest, BackwardInputGradientMatchesNumerical) {
+  Rng rng(4);
+  Mlp net({2, 6, 1}, rng);
+  const std::vector<double> x{0.2, 0.9};
+  Mlp::Cache cache;
+  net.Forward(x, &cache);
+  net.ZeroGrad();
+  const auto dx = net.Backward(cache, {1.0});
+  const double eps = 1e-6;
+  for (int i = 0; i < 2; ++i) {
+    auto xx = x;
+    xx[static_cast<std::size_t>(i)] += eps;
+    const double up = net.Forward(xx)[0];
+    xx[static_cast<std::size_t>(i)] -= 2 * eps;
+    const double down = net.Forward(xx)[0];
+    EXPECT_NEAR(dx[static_cast<std::size_t>(i)], (up - down) / (2 * eps), 1e-5);
+  }
+}
+
+TEST(AdamTest, MinimisesQuadratic) {
+  // f(p) = (p-3)^2, df/dp = 2(p-3).
+  Adam adam(1, /*lr=*/0.1);
+  std::vector<double> p{0.0};
+  for (int i = 0; i < 500; ++i) {
+    const std::vector<double> g{2.0 * (p[0] - 3.0)};
+    adam.Step(p, g);
+  }
+  EXPECT_NEAR(p[0], 3.0, 0.05);
+}
+
+TEST(PolicyTest, MeanActionWithinBounds) {
+  Rng rng(5);
+  PolicyConfig config;
+  GaussianPolicy policy(config, rng);
+  for (double a = -3; a <= 3; a += 0.5) {
+    for (double b = 0; b <= 5; b += 0.5) {
+      const double act = policy.MeanAction({a, b});
+      EXPECT_GE(act, config.action_low);
+      EXPECT_LE(act, config.action_high);
+    }
+  }
+}
+
+TEST(PolicyTest, SampledActionsClippedAndLogProbFinite) {
+  Rng rng(6);
+  GaussianPolicy policy(PolicyConfig{}, rng);
+  Rng sampler(7);
+  for (int i = 0; i < 200; ++i) {
+    double raw = 0.0;
+    const double a = policy.SampleAction({0.5, 1.0}, sampler, &raw);
+    EXPECT_GE(a, -0.5);
+    EXPECT_LE(a, 0.5);
+    const auto eval = policy.Evaluate({0.5, 1.0});
+    EXPECT_TRUE(std::isfinite(GaussianPolicy::LogProb(raw, eval.mean, eval.log_std)));
+  }
+}
+
+TEST(PolicyTest, LogProbPeaksAtMean) {
+  const double lp_mean = GaussianPolicy::LogProb(0.1, 0.1, -1.0);
+  const double lp_off = GaussianPolicy::LogProb(0.5, 0.1, -1.0);
+  EXPECT_GT(lp_mean, lp_off);
+}
+
+TEST(PolicyTest, SaveLoadRoundTrip) {
+  Rng rng(8);
+  GaussianPolicy policy(PolicyConfig{}, rng);
+  std::stringstream ss;
+  policy.Save(ss);
+  Rng rng2(999);
+  GaussianPolicy loaded(PolicyConfig{}, rng2);
+  EXPECT_NE(loaded.MeanAction({0.5, 1.0}), policy.MeanAction({0.5, 1.0}));
+  ASSERT_TRUE(loaded.Load(ss));
+  for (double lat = 0; lat < 5; lat += 0.7) {
+    EXPECT_DOUBLE_EQ(loaded.MeanAction({0.8, lat}), policy.MeanAction({0.8, lat}));
+  }
+}
+
+TEST(PolicyTest, LoadRejectsGarbage) {
+  Rng rng(9);
+  GaussianPolicy policy(PolicyConfig{}, rng);
+  std::stringstream ss("not-a-checkpoint 1 2 3");
+  EXPECT_FALSE(policy.Load(ss));
+}
+
+TEST(ObservationTest, ClampsFeatures) {
+  const auto obs = MakeObservation(5000.0, 100.0, 99.0, 1.0);
+  EXPECT_DOUBLE_EQ(obs[0], 2.0);
+  EXPECT_DOUBLE_EQ(obs[1], kMaxLatencyFactor);
+  const auto zero = MakeObservation(10.0, 0.0, 0.5, 1.0);
+  EXPECT_DOUBLE_EQ(zero[0], 0.0);
+}
+
+// A trivial env whose optimum is "always output +0.5": reward = action.
+class BanditEnv : public Env {
+ public:
+  std::vector<double> Reset(std::uint64_t) override {
+    steps_ = 0;
+    return {0.5, 0.5};
+  }
+  StepResult Step(double action) override {
+    ++steps_;
+    return {{0.5, 0.5}, action, steps_ >= 10};
+  }
+  int ObsDim() const override { return 2; }
+
+ private:
+  int steps_ = 0;
+};
+
+TEST(PpoTest, LearnsTrivialBandit) {
+  Rng rng(10);
+  auto policy = std::make_unique<GaussianPolicy>(PolicyConfig{}, rng);
+  PpoConfig config;
+  config.lr = 3e-4;
+  config.steps_per_episode = 10;
+  config.episodes_per_iter = 16;
+  PpoTrainer trainer(policy.get(), config, 11);
+  BanditEnv env;
+  const double before = policy->MeanAction({0.5, 0.5});
+  for (int i = 0; i < 60; ++i) trainer.TrainIteration(env);
+  const double after = policy->MeanAction({0.5, 0.5});
+  EXPECT_GT(after, before + 0.1);
+  EXPECT_GT(after, 0.3);
+}
+
+TEST(PpoTest, TrainSelectsBestCheckpoint) {
+  Rng rng(12);
+  auto policy = std::make_unique<GaussianPolicy>(PolicyConfig{}, rng);
+  PpoConfig config;
+  config.steps_per_episode = 10;
+  config.episodes_per_iter = 8;
+  PpoTrainer trainer(policy.get(), config, 13);
+  BanditEnv env;
+  const auto result = trainer.Train(
+      env, /*total_episodes=*/160,
+      [&env](GaussianPolicy& p) { return EvaluatePolicy(p, env, 2, 0, 10); },
+      /*checkpoint_every=*/40);
+  EXPECT_EQ(result.episodes_trained, 160);
+  EXPECT_FALSE(result.best_params.empty());
+  EXPECT_FALSE(result.history.empty());
+  // The restored policy scores the recorded validation value.
+  EXPECT_NEAR(EvaluatePolicy(*policy, env, 2, 0, 10), result.best_validation_score,
+              1e-9);
+}
+
+TEST(PpoTest, TrainingImprovesGraphSimPolicy) {
+  // Regression net for the whole RL stack: a briefly-trained policy must
+  // clearly beat its untrained self on fixed validation scenarios.
+  Rng rng(21);
+  GaussianPolicy policy(PolicyConfig{}, rng);
+  GraphSimEnv train_env({}, 5150);
+  GraphSimEnv validation_env({}, 6160);
+  const double before = EvaluatePolicy(policy, validation_env, 12, 400, 50);
+  PpoTrainer trainer(&policy, PpoConfig{}, 22);
+  trainer.Train(train_env, /*total_episodes=*/640);
+  const double after = EvaluatePolicy(policy, validation_env, 12, 400, 50);
+  EXPECT_GT(after, before + 0.5);
+}
+
+// --- GraphSimEnv behaviour rules (§4.3) -------------------------------------
+
+TEST(GraphSimEnvTest, ResetIsSeedDeterministic) {
+  GraphSimEnv env_a({}, 42), env_b({}, 42);
+  const auto oa = env_a.Reset(7);
+  const auto ob = env_b.Reset(7);
+  EXPECT_EQ(oa, ob);
+  const auto ra = env_a.Step(0.1);
+  const auto rb = env_b.Step(0.1);
+  EXPECT_EQ(ra.obs, rb.obs);
+  EXPECT_DOUBLE_EQ(ra.reward, rb.reward);
+}
+
+TEST(GraphSimEnvTest, EpisodeEndsAtConfiguredSteps) {
+  GraphSimConfig config;
+  config.steps_per_episode = 5;
+  GraphSimEnv env(config, 1);
+  env.Reset(1);
+  for (int i = 0; i < 4; ++i) EXPECT_FALSE(env.Step(0.0).done);
+  EXPECT_TRUE(env.Step(0.0).done);
+}
+
+TEST(GraphSimEnvTest, OverloadRaisesLatencyUnderloadKeepsItLow) {
+  GraphSimConfig config;
+  config.surge_prob = 0.0;
+  config.scaleup_prob = 0.0;
+  config.undershoot_start_prob = 0.0;
+  config.noise = 0.0;
+  GraphSimEnv env(config, 99);
+  env.Reset(3);
+  // Drive hard over capacity: latency must exceed the SLO eventually.
+  double last_lat = 0.0;
+  for (int i = 0; i < 20; ++i) last_lat = env.Step(0.5).obs[1];
+  EXPECT_GT(last_lat, 1.0);
+  // Now shed hard: latency recovers (rule 2).
+  for (int i = 0; i < 30; ++i) last_lat = env.Step(-0.5).obs[1];
+  EXPECT_LT(last_lat, 0.5);
+}
+
+TEST(GraphSimEnvTest, GoodputFollowsRateWhenUnderloaded) {
+  GraphSimConfig config;
+  config.surge_prob = 0.0;
+  config.scaleup_prob = 0.0;
+  config.undershoot_start_prob = 0.0;
+  config.noise = 0.0;
+  config.demand_lo = 0.3;
+  config.demand_hi = 0.5;  // always below capacity
+  GraphSimEnv env(config, 17);
+  env.Reset(2);
+  const auto r = env.Step(0.0);
+  // Rule 3: not overloaded => goodput ~ incoming, ratio ~ 1.
+  EXPECT_NEAR(r.obs[0], 1.0, 0.05);
+  EXPECT_LT(r.obs[1], 0.5);
+}
+
+TEST(GraphSimEnvTest, ThrashReducesGoodputPastSaturation) {
+  GraphSimConfig config;
+  config.surge_prob = 0.0;
+  config.scaleup_prob = 0.0;
+  config.undershoot_start_prob = 0.0;
+  config.noise = 0.0;
+  config.demand_lo = 2.2;
+  config.demand_hi = 2.4;  // far above capacity
+  GraphSimEnv env(config, 23);
+  env.Reset(4);
+  env.Step(0.0);
+  const double good_over = env.last_goodput();
+  // Cut towards capacity: goodput should improve (rule 1/2).
+  for (int i = 0; i < 10; ++i) env.Step(-0.25);
+  for (int i = 0; i < 15; ++i) {
+    const auto obs = env.Step(0.0).obs;
+    (void)obs;
+  }
+  EXPECT_GT(env.last_goodput(), good_over);
+}
+
+TEST(GraphSimEnvTest, RateLimitClampedPositive) {
+  GraphSimEnv env({}, 5);
+  env.Reset(6);
+  for (int i = 0; i < 60; ++i) env.Step(-0.5);
+  EXPECT_GT(env.rate_limit(), 0.0);
+}
+
+}  // namespace
+}  // namespace topfull::rl

@@ -1,0 +1,527 @@
+// Unit tests for the microservice simulator substrate: call graphs, pods,
+// services, metrics, and the Application request engine.
+#include <gtest/gtest.h>
+
+#include "sim/app.hpp"
+#include "sim/call_graph.hpp"
+#include "sim/pod.hpp"
+
+namespace topfull::sim {
+namespace {
+
+// --- Call graphs -----------------------------------------------------------
+
+TEST(CallGraphTest, ChainBuilderShape) {
+  const CallNode root = Chain({0, 1, 2});
+  EXPECT_EQ(root.service, 0);
+  ASSERT_EQ(root.children.size(), 1u);
+  EXPECT_EQ(root.children[0].service, 1);
+  ASSERT_EQ(root.children[0].children.size(), 1u);
+  EXPECT_EQ(root.children[0].children[0].service, 2);
+  EXPECT_EQ(CountNodes(root), 3u);
+}
+
+TEST(CallGraphTest, FanOutBuilderShape) {
+  const CallNode root = FanOut(0, {1, 2, 3});
+  EXPECT_TRUE(root.parallel);
+  EXPECT_EQ(root.children.size(), 3u);
+  EXPECT_EQ(CountNodes(root), 4u);
+}
+
+TEST(CallGraphTest, CollectServicesDeduplicates) {
+  CallNode root = Chain({0, 1});
+  root.children.push_back(Chain({1, 2}));
+  std::set<ServiceId> services;
+  CollectServices(root, services);
+  EXPECT_EQ(services, (std::set<ServiceId>{0, 1, 2}));
+}
+
+TEST(ApiSpecTest, FinalizeNormalisesProbabilitiesAndUnionsServices) {
+  ApiSpec spec("api", 1);
+  spec.AddPath(ExecutionPath{Chain({0, 1}), 3.0, {}});
+  spec.AddPath(ExecutionPath{Chain({0, 2}), 1.0, {}});
+  spec.Finalize();
+  EXPECT_DOUBLE_EQ(spec.paths()[0].probability, 0.75);
+  EXPECT_DOUBLE_EQ(spec.paths()[1].probability, 0.25);
+  EXPECT_EQ(spec.involved_services(), (std::set<ServiceId>{0, 1, 2}));
+  EXPECT_TRUE(spec.Uses(2));
+  EXPECT_FALSE(spec.Uses(9));
+}
+
+TEST(ApiSpecTest, SamplePathRespectsProbabilities) {
+  ApiSpec spec("api", 1);
+  spec.AddPath(ExecutionPath{Chain({0}), 0.8, {}});
+  spec.AddPath(ExecutionPath{Chain({1}), 0.2, {}});
+  spec.Finalize();
+  EXPECT_EQ(spec.SamplePath(0.1), 0u);
+  EXPECT_EQ(spec.SamplePath(0.79), 0u);
+  EXPECT_EQ(spec.SamplePath(0.81), 1u);
+  EXPECT_EQ(spec.SamplePath(0.999), 1u);
+}
+
+// --- Pods -------------------------------------------------------------------
+
+TEST(PodTest, ServesSequentiallyPerThread) {
+  des::Simulation sim;
+  Pod pod(&sim, /*threads=*/1, /*max_queue=*/10);
+  pod.Start();
+  std::vector<SimTime> completions;
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(pod.Enqueue(Millis(10), [&](bool ok) {
+      EXPECT_TRUE(ok);
+      completions.push_back(sim.Now());
+    }));
+  }
+  sim.RunUntil(Seconds(1));
+  ASSERT_EQ(completions.size(), 3u);
+  EXPECT_EQ(completions[0], Millis(10));
+  EXPECT_EQ(completions[1], Millis(20));
+  EXPECT_EQ(completions[2], Millis(30));
+}
+
+TEST(PodTest, ParallelThreadsServeConcurrently) {
+  des::Simulation sim;
+  Pod pod(&sim, /*threads=*/4, /*max_queue=*/10);
+  pod.Start();
+  int done = 0;
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(pod.Enqueue(Millis(10), [&](bool ok) { done += ok ? 1 : 0; }));
+  }
+  sim.RunUntil(Millis(11));
+  EXPECT_EQ(done, 4);
+}
+
+TEST(PodTest, RejectsWhenQueueFull) {
+  des::Simulation sim;
+  Pod pod(&sim, /*threads=*/1, /*max_queue=*/2);
+  pod.Start();
+  auto noop = [](bool) {};
+  EXPECT_TRUE(pod.Enqueue(Millis(10), noop));  // in service
+  EXPECT_TRUE(pod.Enqueue(Millis(10), noop));  // queued (1)
+  EXPECT_TRUE(pod.Enqueue(Millis(10), noop));  // queued (2)
+  EXPECT_FALSE(pod.Enqueue(Millis(10), noop));
+}
+
+TEST(PodTest, RejectsWhenNotRunning) {
+  des::Simulation sim;
+  Pod pod(&sim, 1, 10);  // still starting
+  EXPECT_FALSE(pod.Enqueue(Millis(1), [](bool) {}));
+  pod.Start();
+  EXPECT_TRUE(pod.Enqueue(Millis(1), [](bool) {}));
+  pod.Kill();
+  EXPECT_FALSE(pod.Enqueue(Millis(1), [](bool) {}));
+}
+
+TEST(PodTest, KillFailsQueuedAndInflightJobs) {
+  des::Simulation sim;
+  Pod pod(&sim, 1, 10);
+  pod.Start();
+  int ok_count = 0, fail_count = 0;
+  auto cb = [&](bool ok) { ok ? ++ok_count : ++fail_count; };
+  pod.Enqueue(Millis(100), cb);
+  pod.Enqueue(Millis(100), cb);
+  pod.Enqueue(Millis(100), cb);
+  sim.ScheduleAt(Millis(10), [&]() { pod.Kill(); });
+  sim.RunUntil(Seconds(1));
+  EXPECT_EQ(ok_count, 0);
+  EXPECT_EQ(fail_count, 3);
+}
+
+TEST(PodTest, HeadOfLineWaitGrowsWhileQueued) {
+  des::Simulation sim;
+  Pod pod(&sim, 1, 10);
+  pod.Start();
+  pod.Enqueue(Millis(100), [](bool) {});
+  pod.Enqueue(Millis(100), [](bool) {});
+  sim.RunUntil(Millis(50));
+  EXPECT_EQ(pod.HeadOfLineWait(), Millis(50));
+  EXPECT_EQ(pod.QueueLength(), 1);
+  EXPECT_EQ(pod.InService(), 1);
+  EXPECT_EQ(pod.Outstanding(), 2);
+}
+
+TEST(PodTest, WindowStatsAccounting) {
+  des::Simulation sim;
+  Pod pod(&sim, 1, 10);
+  pod.Start();
+  pod.Enqueue(Millis(100), [](bool) {});
+  pod.Enqueue(Millis(100), [](bool) {});
+  sim.RunUntil(Seconds(1));
+  const PodWindowStats w = pod.DrainWindowStats();
+  EXPECT_EQ(w.started, 2u);
+  EXPECT_EQ(w.completed, 2u);
+  EXPECT_NEAR(w.busy_seconds, 0.2, 1e-9);
+  EXPECT_NEAR(w.queue_delay_max_s, 0.1, 1e-9);  // second job waited 100 ms
+  // Drained: next window is empty.
+  EXPECT_EQ(pod.DrainWindowStats().started, 0u);
+}
+
+// --- Services ---------------------------------------------------------------
+
+ServiceConfig TestServiceConfig(const char* name, double mean_ms, int threads,
+                                int pods) {
+  ServiceConfig config;
+  config.name = name;
+  config.mean_service_ms = mean_ms;
+  config.service_sigma = 0.0;  // deterministic service times for tests
+  config.threads = threads;
+  config.initial_pods = pods;
+  return config;
+}
+
+TEST(ServiceTest, CapacityRpsFormula) {
+  des::Simulation sim;
+  Service svc(&sim, 0, TestServiceConfig("s", 10.0, 4, 2), Rng(1));
+  // 2 pods x 4 threads / 10 ms = 800 rps.
+  EXPECT_DOUBLE_EQ(svc.CapacityRps(), 800.0);
+}
+
+TEST(ServiceTest, DispatchBalancesAcrossPods) {
+  des::Simulation sim;
+  Service svc(&sim, 0, TestServiceConfig("s", 100.0, 1, 2), Rng(1));
+  int done = 0;
+  auto cb = [&](bool ok) { done += ok ? 1 : 0; };
+  EXPECT_TRUE(svc.Dispatch(RequestInfo{}, 1.0, cb));
+  EXPECT_TRUE(svc.Dispatch(RequestInfo{}, 1.0, cb));
+  // Both should be in service concurrently (one per pod).
+  sim.RunUntil(Millis(101));
+  EXPECT_EQ(done, 2);
+}
+
+TEST(ServiceTest, ScaleUpAfterStartupDelay) {
+  des::Simulation sim;
+  Service svc(&sim, 0, TestServiceConfig("s", 10.0, 1, 1), Rng(1));
+  svc.SetPodCount(3, Seconds(5));
+  EXPECT_EQ(svc.RunningPods(), 1);
+  EXPECT_EQ(svc.TotalPods(), 3);
+  sim.RunUntil(Seconds(6));
+  EXPECT_EQ(svc.RunningPods(), 3);
+}
+
+TEST(ServiceTest, ScaleDownKillsPods) {
+  des::Simulation sim;
+  Service svc(&sim, 0, TestServiceConfig("s", 10.0, 1, 4), Rng(1));
+  svc.SetPodCount(1);
+  EXPECT_EQ(svc.RunningPods(), 1);
+}
+
+TEST(ServiceTest, KillPodsFailureInjection) {
+  des::Simulation sim;
+  Service svc(&sim, 0, TestServiceConfig("s", 10.0, 1, 5), Rng(1));
+  EXPECT_EQ(svc.KillPods(3), 3);
+  EXPECT_EQ(svc.RunningPods(), 2);
+  EXPECT_EQ(svc.KillPods(10), 2);
+  EXPECT_EQ(svc.RunningPods(), 0);
+  // With no running pods, dispatch sheds.
+  EXPECT_FALSE(svc.Dispatch(RequestInfo{}, 1.0, [](bool) {}));
+}
+
+TEST(ServiceTest, UtilizationReflectsLoad) {
+  des::Simulation sim;
+  Service svc(&sim, 0, TestServiceConfig("s", 10.0, 2, 1), Rng(1));
+  // Capacity 200 rps; submit 100 requests over 1 s => util ~0.5.
+  for (int i = 0; i < 100; ++i) {
+    sim.ScheduleAt(Millis(10 * i), [&]() {
+      svc.Dispatch(RequestInfo{}, 1.0, [](bool) {});
+    });
+  }
+  sim.RunUntil(Seconds(1));
+  const ServiceWindowStats w = svc.CollectWindow(Seconds(1));
+  EXPECT_NEAR(w.cpu_utilization, 0.5, 0.05);
+  EXPECT_EQ(w.started, 100u);
+}
+
+TEST(ServiceTest, ZeroRunningPodsWithArrivalsReportsSaturation) {
+  des::Simulation sim;
+  Service svc(&sim, 0, TestServiceConfig("s", 10.0, 1, 1), Rng(1));
+  svc.KillPods(1);
+  svc.Dispatch(RequestInfo{}, 1.0, [](bool) {});
+  const ServiceWindowStats w = svc.CollectWindow(Seconds(1));
+  EXPECT_EQ(w.running_pods, 0);
+  EXPECT_DOUBLE_EQ(w.cpu_utilization, 0.0);  // nothing started, nothing queued
+}
+
+// --- Application -------------------------------------------------------------
+
+std::unique_ptr<Application> TwoTierApp(double sigma = 0.0) {
+  auto app = std::make_unique<Application>("test", 1);
+  ServiceConfig a = TestServiceConfig("A", 10.0, 4, 1);  // 400 rps
+  ServiceConfig b = TestServiceConfig("B", 10.0, 1, 1);  // 100 rps
+  a.service_sigma = sigma;
+  b.service_sigma = sigma;
+  const ServiceId sa = app->AddService(a);
+  const ServiceId sb = app->AddService(b);
+
+  ApiSpec api1("api1", 1);  // A -> B
+  api1.AddPath(ExecutionPath{Chain({sa, sb}), 1.0, {}});
+  app->AddApi(std::move(api1));
+  ApiSpec api2("api2", 2);  // A only
+  api2.AddPath(ExecutionPath{Chain({sa}), 1.0, {}});
+  app->AddApi(std::move(api2));
+  app->Finalize();
+  return app;
+}
+
+TEST(ApplicationTest, FindByName) {
+  auto app = TwoTierApp();
+  EXPECT_EQ(app->FindService("B"), 1);
+  EXPECT_EQ(app->FindService("missing"), kNoService);
+  EXPECT_EQ(app->FindApi("api2"), 1);
+  EXPECT_EQ(app->FindApi("missing"), kNoApi);
+}
+
+TEST(ApplicationTest, CompletedRequestLatencyIsSumOfStages) {
+  auto app = TwoTierApp();
+  Outcome outcome = Outcome::kRejectedEntry;
+  SimTime latency = 0;
+  app->Submit(0, [&](Outcome o, SimTime l) {
+    outcome = o;
+    latency = l;
+  });
+  app->RunFor(Seconds(1));
+  EXPECT_EQ(outcome, Outcome::kCompleted);
+  EXPECT_EQ(latency, Millis(20));  // 10 ms at A + 10 ms at B
+}
+
+TEST(ApplicationTest, MetricsCountGoodput) {
+  auto app = TwoTierApp();
+  for (int i = 0; i < 50; ++i) {
+    app->sim().ScheduleAt(Millis(20 * i), [&app]() { app->Submit(1); });
+  }
+  app->RunFor(Seconds(2));
+  const auto& totals = app->metrics().Totals()[1];
+  EXPECT_EQ(totals.offered, 50u);
+  EXPECT_EQ(totals.completed, 50u);
+  EXPECT_EQ(totals.good, 50u);
+}
+
+TEST(ApplicationTest, EntryAdmissionRejectionsAreCounted) {
+  class DenyAll : public EntryAdmission {
+   public:
+    bool Admit(ApiId, SimTime) override { return false; }
+  };
+  auto app = TwoTierApp();
+  DenyAll deny;
+  app->SetEntryAdmission(&deny);
+  Outcome outcome = Outcome::kCompleted;
+  app->Submit(0, [&](Outcome o, SimTime) { outcome = o; });
+  app->RunFor(Seconds(1));
+  EXPECT_EQ(outcome, Outcome::kRejectedEntry);
+  EXPECT_EQ(app->metrics().Totals()[0].rejected_entry, 1u);
+  EXPECT_EQ(app->metrics().Totals()[0].admitted, 0u);
+}
+
+TEST(ApplicationTest, DownstreamShedFailsWholeRequest) {
+  // Saturate B far beyond its queue; api1 requests must fail as
+  // kRejectedService while api2 (A only) still completes.
+  auto app = TwoTierApp();
+  int rejected = 0, completed = 0;
+  for (int i = 0; i < 3000; ++i) {
+    app->sim().ScheduleAt(Millis(i / 4), [&]() {
+      app->Submit(0, [&](Outcome o, SimTime) {
+        o == Outcome::kCompleted ? ++completed : ++rejected;
+      });
+    });
+  }
+  app->RunFor(Seconds(30));
+  EXPECT_GT(rejected, 0);
+  EXPECT_GT(completed, 0);
+  EXPECT_EQ(rejected + completed, 3000);
+  EXPECT_EQ(app->metrics().Totals()[0].rejected_service,
+            static_cast<std::uint64_t>(rejected));
+}
+
+TEST(ApplicationTest, SloViolationsAreNotGoodput) {
+  AppConfig config;
+  config.slo = Millis(15);  // tighter than the 20 ms path latency
+  auto app = std::make_unique<Application>("test", 1, config);
+  const ServiceId sa = app->AddService(TestServiceConfig("A", 10.0, 4, 1));
+  const ServiceId sb = app->AddService(TestServiceConfig("B", 10.0, 4, 1));
+  ApiSpec api("api", 1);
+  api.AddPath(ExecutionPath{Chain({sa, sb}), 1.0, {}});
+  app->AddApi(std::move(api));
+  app->Finalize();
+  app->Submit(0);
+  app->RunFor(Seconds(1));
+  EXPECT_EQ(app->metrics().Totals()[0].completed, 1u);
+  EXPECT_EQ(app->metrics().Totals()[0].good, 0u);
+}
+
+TEST(ApplicationTest, ParallelFanOutLatencyIsMax) {
+  auto app = std::make_unique<Application>("test", 1);
+  const ServiceId root = app->AddService(TestServiceConfig("root", 10.0, 8, 1));
+  const ServiceId fast = app->AddService(TestServiceConfig("fast", 5.0, 8, 1));
+  const ServiceId slow = app->AddService(TestServiceConfig("slow", 50.0, 8, 1));
+  ApiSpec api("api", 1);
+  api.AddPath(ExecutionPath{FanOut(root, {fast, slow}), 1.0, {}});
+  app->AddApi(std::move(api));
+  app->Finalize();
+  SimTime latency = 0;
+  app->Submit(0, [&](Outcome, SimTime l) { latency = l; });
+  app->RunFor(Seconds(1));
+  EXPECT_EQ(latency, Millis(60));  // 10 (root) + max(5, 50)
+}
+
+TEST(ApplicationTest, SequentialChildrenLatencyIsSum) {
+  auto app = std::make_unique<Application>("test", 1);
+  const ServiceId root = app->AddService(TestServiceConfig("root", 10.0, 8, 1));
+  const ServiceId c1 = app->AddService(TestServiceConfig("c1", 5.0, 8, 1));
+  const ServiceId c2 = app->AddService(TestServiceConfig("c2", 50.0, 8, 1));
+  ApiSpec api("api", 1);
+  CallNode node{root, 1.0, false, {CallNode{c1, 1.0, false, {}}, CallNode{c2, 1.0, false, {}}}};
+  api.AddPath(ExecutionPath{node, 1.0, {}});
+  app->AddApi(std::move(api));
+  app->Finalize();
+  SimTime latency = 0;
+  app->Submit(0, [&](Outcome, SimTime l) { latency = l; });
+  app->RunFor(Seconds(1));
+  EXPECT_EQ(latency, Millis(65));  // 10 + 5 + 50
+}
+
+TEST(ApplicationTest, WorkScalesServiceTime) {
+  auto app = std::make_unique<Application>("test", 1);
+  const ServiceId svc = app->AddService(TestServiceConfig("s", 10.0, 8, 1));
+  ApiSpec api("api", 1);
+  api.AddPath(ExecutionPath{CallNode{svc, 2.5, false, {}}, 1.0, {}});
+  app->AddApi(std::move(api));
+  app->Finalize();
+  SimTime latency = 0;
+  app->Submit(0, [&](Outcome, SimTime l) { latency = l; });
+  app->RunFor(Seconds(1));
+  EXPECT_EQ(latency, Millis(25));
+}
+
+TEST(ApplicationTest, BranchingApiSamplesPaths) {
+  auto app = std::make_unique<Application>("test", 1);
+  const ServiceId sa = app->AddService(TestServiceConfig("A", 1.0, 8, 4));
+  const ServiceId sb = app->AddService(TestServiceConfig("B", 1.0, 8, 4));
+  ApiSpec api("api", 1);
+  api.AddPath(ExecutionPath{Chain({sa}), 0.5, {}});
+  api.AddPath(ExecutionPath{Chain({sb}), 0.5, {}});
+  app->AddApi(std::move(api));
+  app->Finalize();
+  for (int i = 0; i < 400; ++i) {
+    app->sim().ScheduleAt(Millis(2 * i), [&app]() { app->Submit(0); });
+  }
+  app->RunFor(Seconds(2));
+  // Both services saw traffic.
+  const auto& snap = app->metrics().Timeline();
+  ASSERT_FALSE(snap.empty());
+  double a_busy = app->service(sa).pod(0).TotalBusySeconds();
+  double b_busy = app->service(sb).pod(0).TotalBusySeconds();
+  EXPECT_GT(a_busy, 0.0);
+  EXPECT_GT(b_busy, 0.0);
+}
+
+TEST(PodTest, HeldSlotStaysBusyUntilRelease) {
+  des::Simulation sim;
+  Pod pod(&sim, /*threads=*/1, /*max_queue=*/10);
+  pod.Start();
+  Pod::HoldHandle hold;
+  bool local_done = false;
+  ASSERT_TRUE(pod.EnqueueHeld(Millis(10), [&](bool ok) { local_done = ok; }, &hold));
+  int second_done = 0;
+  ASSERT_TRUE(pod.Enqueue(Millis(10), [&](bool ok) { second_done += ok ? 1 : 0; }));
+  sim.RunUntil(Millis(100));
+  EXPECT_TRUE(local_done);
+  // The single worker is still held: the second job never started.
+  EXPECT_EQ(second_done, 0);
+  EXPECT_EQ(pod.InService(), 1);
+  pod.Release(hold);
+  sim.RunUntil(Millis(200));
+  EXPECT_EQ(second_done, 1);
+}
+
+TEST(PodTest, ReleaseAfterKillIsNoop) {
+  des::Simulation sim;
+  Pod pod(&sim, 1, 10);
+  pod.Start();
+  Pod::HoldHandle hold;
+  pod.EnqueueHeld(Millis(10), [](bool) {}, &hold);
+  sim.RunUntil(Millis(20));
+  ASSERT_TRUE(hold.active);
+  pod.Kill();
+  pod.Release(hold);  // stale epoch: must not underflow busy state
+  EXPECT_EQ(pod.InService(), 0);
+}
+
+TEST(ApplicationTest, BlockingRpcHoldsUpstreamThreads) {
+  // root (1 thread, blocking) -> slow leaf. With sync RPC the root can
+  // only have one request in flight end-to-end, so two requests complete
+  // serially even though the root's own work is trivial.
+  auto make = [](bool blocking) {
+    auto app = std::make_unique<Application>("sync", 1);
+    ServiceConfig root_config = TestServiceConfig("root", 1.0, 1, 1);
+    root_config.blocking_rpc = blocking;
+    const ServiceId root = app->AddService(root_config);
+    const ServiceId leaf = app->AddService(TestServiceConfig("leaf", 100.0, 2, 1));
+    ApiSpec api("api", 1);
+    api.AddPath(ExecutionPath{Chain({root, leaf}), 1.0, {}});
+    app->AddApi(std::move(api));
+    app->Finalize();
+    return app;
+  };
+  // Async: both requests overlap at the leaf (2 threads) => both ~101 ms.
+  auto async_app = make(false);
+  std::vector<SimTime> async_latency;
+  for (int i = 0; i < 2; ++i) {
+    async_app->Submit(0, [&](Outcome, SimTime l) { async_latency.push_back(l); });
+  }
+  async_app->RunFor(Seconds(2));
+  ASSERT_EQ(async_latency.size(), 2u);
+  EXPECT_EQ(async_latency[1], Millis(102));  // 1 ms root wait + 1 ms root + 100 ms leaf
+  // Blocking: the second request waits for the root's only thread.
+  auto sync_app = make(true);
+  std::vector<SimTime> sync_latency;
+  for (int i = 0; i < 2; ++i) {
+    sync_app->Submit(0, [&](Outcome, SimTime l) { sync_latency.push_back(l); });
+  }
+  sync_app->RunFor(Seconds(2));
+  ASSERT_EQ(sync_latency.size(), 2u);
+  EXPECT_EQ(sync_latency[1], Millis(202));  // serialised end-to-end
+}
+
+TEST(ApplicationTest, DeterministicAcrossRuns) {
+  auto run = []() {
+    auto app = TwoTierApp(/*sigma=*/0.3);
+    for (int i = 0; i < 500; ++i) {
+      app->sim().ScheduleAt(Millis(2 * i), [&app]() { app->Submit(0); });
+    }
+    app->RunFor(Seconds(5));
+    return app->metrics().Totals()[0].good;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(MetricsTest, WindowLatencyPercentiles) {
+  MetricsCollector metrics(1, Seconds(1));
+  for (int i = 1; i <= 100; ++i) {
+    metrics.OnOffered(0);
+    metrics.OnAdmitted(0);
+    metrics.OnCompleted(0, Millis(i));
+  }
+  const Snapshot& snap = metrics.Collect(Seconds(1), {});
+  EXPECT_NEAR(snap.apis[0].latency_p50_ms, 50.5, 1.0);
+  EXPECT_NEAR(snap.apis[0].latency_p99_ms, 99.0, 1.5);
+  EXPECT_EQ(snap.apis[0].good, 100u);
+}
+
+TEST(MetricsTest, AvgGoodputOverRange) {
+  MetricsCollector metrics(1, Seconds(1));
+  for (int second = 1; second <= 4; ++second) {
+    for (int i = 0; i < second * 10; ++i) {
+      metrics.OnOffered(0);
+      metrics.OnAdmitted(0);
+      metrics.OnCompleted(0, Millis(1));
+    }
+    metrics.Collect(Seconds(second), {});
+  }
+  // Windows hold 10, 20, 30, 40 good responses.
+  EXPECT_DOUBLE_EQ(metrics.AvgGoodput(0), 25.0);
+  EXPECT_DOUBLE_EQ(metrics.AvgGoodput(0, 2.0), 35.0);       // windows 3, 4
+  EXPECT_DOUBLE_EQ(metrics.AvgGoodput(0, 1.0, 3.0), 25.0);  // windows 2, 3
+  EXPECT_DOUBLE_EQ(metrics.AvgTotalGoodput(), 25.0);
+}
+
+}  // namespace
+}  // namespace topfull::sim

@@ -1,0 +1,127 @@
+// Tests for the synthetic Alibaba-style trace and its analyses.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "trace/synthetic_trace.hpp"
+
+namespace topfull::trace {
+namespace {
+
+TEST(TraceTest, GeneratesConfiguredShape) {
+  TraceConfig config;
+  config.num_services = 2000;
+  config.num_apis = 300;
+  config.target_overloaded = 20;
+  const SyntheticTrace trace = GenerateTrace(config, 1);
+  EXPECT_EQ(trace.num_services, 2000);
+  EXPECT_EQ(trace.api_paths.size(), 300u);
+  EXPECT_EQ(trace.cpu_util.size(), 2000u);
+  int overloaded = 0;
+  for (const double u : trace.cpu_util) {
+    EXPECT_GE(u, 0.0);
+    EXPECT_LE(u, 1.0);
+    overloaded += u > config.util_threshold ? 1 : 0;
+  }
+  EXPECT_EQ(overloaded, 20);
+}
+
+TEST(TraceTest, PathsWithinLengthBounds) {
+  TraceConfig config;
+  config.num_services = 2000;
+  config.num_apis = 200;
+  config.min_path_len = 2;
+  config.max_path_len = 8;
+  const SyntheticTrace trace = GenerateTrace(config, 2);
+  for (const auto& path : trace.api_paths) {
+    EXPECT_GE(path.size(), 2u);
+    EXPECT_LE(path.size(), 9u);  // segment embedding can add one past len
+    std::set<int> unique(path.begin(), path.end());
+    EXPECT_EQ(unique.size(), path.size()) << "duplicate service in path";
+    for (const int s : path) {
+      EXPECT_GE(s, 0);
+      EXPECT_LT(s, config.num_services);
+    }
+  }
+}
+
+TEST(TraceTest, DeterministicForSeed) {
+  TraceConfig config;
+  config.num_services = 1000;
+  config.num_apis = 100;
+  config.target_overloaded = 10;
+  const SyntheticTrace a = GenerateTrace(config, 7);
+  const SyntheticTrace b = GenerateTrace(config, 7);
+  EXPECT_EQ(a.api_paths, b.api_paths);
+  EXPECT_EQ(a.cpu_util, b.cpu_util);
+  const SyntheticTrace c = GenerateTrace(config, 8);
+  EXPECT_NE(a.cpu_util, c.cpu_util);
+}
+
+TEST(StarvationAnalysisTest, HandConstructedCase) {
+  SyntheticTrace trace;
+  trace.num_services = 5;
+  trace.cpu_util = {0.9, 0.9, 0.1, 0.1, 0.1};  // services 0, 1 overloaded
+  // api0 touches both overloaded services; api1 contends at service 0;
+  // api2 touches nothing overloaded.
+  trace.api_paths = {{0, 1, 2}, {0, 3}, {3, 4}};
+  const StarvationAnalysis result = AnalyzeStarvation(trace, 0.8);
+  EXPECT_EQ(result.overloaded_services, 2);
+  EXPECT_EQ(result.apis_involved, 2);
+  EXPECT_EQ(result.vulnerable_apis, 1);  // only api0
+  EXPECT_DOUBLE_EQ(result.vulnerable_fraction, 0.5);
+}
+
+TEST(StarvationAnalysisTest, NoContentionNoVulnerability) {
+  SyntheticTrace trace;
+  trace.num_services = 4;
+  trace.cpu_util = {0.9, 0.9, 0.1, 0.1};
+  trace.api_paths = {{0, 1}};  // multi-overloaded but alone everywhere
+  const StarvationAnalysis result = AnalyzeStarvation(trace, 0.8);
+  EXPECT_EQ(result.vulnerable_apis, 0);
+}
+
+TEST(ClusteringAnalysisTest, HandConstructedCase) {
+  SyntheticTrace trace;
+  trace.num_services = 6;
+  trace.cpu_util = {0.9, 0.9, 0.9, 0.1, 0.1, 0.9};
+  // Overloaded: 0, 1, 2, 5. api0 links 0-1; nothing links 2 or 5.
+  trace.api_paths = {{0, 1}, {2, 3}, {4, 5}};
+  const ClusteringAnalysis result = AnalyzeClustering(trace, 0.8);
+  EXPECT_EQ(result.overloaded_services, 4);
+  EXPECT_EQ(result.clusters, 3);  // {0,1}, {2}, {5}
+  EXPECT_NEAR(result.avg_constraints_per_cluster, 4.0 / 3.0, 1e-9);
+  EXPECT_DOUBLE_EQ(result.isolated_fraction, 0.5);  // 2 and 5
+  EXPECT_DOUBLE_EQ(result.avg_sharing_group, 2.0);  // the {0,1} group
+}
+
+TEST(ClusteringAnalysisTest, EmptyOverloadSet) {
+  SyntheticTrace trace;
+  trace.num_services = 3;
+  trace.cpu_util = {0.1, 0.1, 0.1};
+  trace.api_paths = {{0, 1, 2}};
+  const ClusteringAnalysis result = AnalyzeClustering(trace, 0.8);
+  EXPECT_EQ(result.clusters, 0);
+  EXPECT_EQ(result.overloaded_services, 0);
+}
+
+TEST(TraceTest, DefaultConfigReproducesPaperNeighbourhood) {
+  // The defaults are calibrated to the statistics the paper reports for
+  // the Alibaba trace (§2: 44.4 % vulnerable; §6.4: 68 overloaded -> 57
+  // clusters, 59 % isolated). Generous bands: this guards calibration
+  // against regressions, not exact numbers.
+  const TraceConfig config;
+  const SyntheticTrace trace = GenerateTrace(config, 20210701);
+  const auto clustering = AnalyzeClustering(trace, config.util_threshold);
+  EXPECT_EQ(clustering.overloaded_services, 68);
+  EXPECT_GE(clustering.clusters, 35);
+  EXPECT_LE(clustering.clusters, 66);
+  EXPECT_GT(clustering.isolated_fraction, 0.4);
+  EXPECT_LT(clustering.isolated_fraction, 0.8);
+  const auto starvation = AnalyzeStarvation(trace, config.util_threshold);
+  EXPECT_GT(starvation.vulnerable_fraction, 0.25);
+  EXPECT_LT(starvation.vulnerable_fraction, 0.7);
+}
+
+}  // namespace
+}  // namespace topfull::trace

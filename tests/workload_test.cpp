@@ -1,0 +1,175 @@
+// Unit tests for schedules and traffic generators.
+#include <gtest/gtest.h>
+
+#include "sim/app.hpp"
+#include "workload/generators.hpp"
+#include "workload/schedule.hpp"
+
+namespace topfull::workload {
+namespace {
+
+TEST(ScheduleTest, ConstantValue) {
+  const Schedule s = Schedule::Constant(42.0);
+  EXPECT_DOUBLE_EQ(s.At(0), 42.0);
+  EXPECT_DOUBLE_EQ(s.At(Seconds(1000)), 42.0);
+}
+
+TEST(ScheduleTest, StepBreakpoints) {
+  Schedule s = Schedule::Constant(10.0);
+  s.Then(Seconds(5), 100.0).Then(Seconds(10), 50.0);
+  EXPECT_DOUBLE_EQ(s.At(Seconds(4)), 10.0);
+  EXPECT_DOUBLE_EQ(s.At(Seconds(5)), 100.0);
+  EXPECT_DOUBLE_EQ(s.At(Seconds(9)), 100.0);
+  EXPECT_DOUBLE_EQ(s.At(Seconds(10)), 50.0);
+  EXPECT_DOUBLE_EQ(s.At(Seconds(1000)), 50.0);
+}
+
+TEST(ScheduleTest, BreakpointsAddedOutOfOrder) {
+  Schedule s = Schedule::Constant(1.0);
+  s.Then(Seconds(10), 3.0);
+  s.Then(Seconds(5), 2.0);
+  EXPECT_DOUBLE_EQ(s.At(Seconds(7)), 2.0);
+  EXPECT_DOUBLE_EQ(s.At(Seconds(12)), 3.0);
+}
+
+TEST(ScheduleTest, DuplicateBreakpointOverwrites) {
+  Schedule s = Schedule::Constant(1.0);
+  s.Then(Seconds(5), 2.0).Then(Seconds(5), 9.0);
+  EXPECT_DOUBLE_EQ(s.At(Seconds(6)), 9.0);
+}
+
+TEST(ScheduleTest, SpikeShape) {
+  const Schedule s = Schedule::Spike(100, Seconds(60), Seconds(120), 900);
+  EXPECT_DOUBLE_EQ(s.At(Seconds(59)), 100.0);
+  EXPECT_DOUBLE_EQ(s.At(Seconds(60)), 900.0);
+  EXPECT_DOUBLE_EQ(s.At(Seconds(179)), 900.0);
+  EXPECT_DOUBLE_EQ(s.At(Seconds(180)), 100.0);
+}
+
+TEST(ScheduleTest, RampIsMonotone) {
+  const Schedule s = Schedule::Ramp(0, 100, Seconds(10), Seconds(10));
+  EXPECT_DOUBLE_EQ(s.At(Seconds(9)), 0.0);
+  double prev = -1.0;
+  for (int t = 10; t <= 20; ++t) {
+    const double v = s.At(Seconds(t));
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+  EXPECT_DOUBLE_EQ(s.At(Seconds(20)), 100.0);
+  EXPECT_DOUBLE_EQ(s.At(Seconds(100)), 100.0);
+}
+
+TEST(ApiMixTest, SampleRespectsWeights) {
+  ApiMix mix;
+  mix.weights = {1.0, 3.0};
+  EXPECT_EQ(mix.Sample(0.1), 0);
+  EXPECT_EQ(mix.Sample(0.24), 0);
+  EXPECT_EQ(mix.Sample(0.26), 1);
+  EXPECT_EQ(mix.Sample(0.99), 1);
+}
+
+TEST(ApiMixTest, ZeroWeightNeverSampled) {
+  ApiMix mix;
+  mix.weights = {0.0, 1.0, 0.0};
+  for (double u = 0.0; u < 1.0; u += 0.05) EXPECT_EQ(mix.Sample(u), 1);
+}
+
+sim::ServiceConfig FastService(const char* name, double capacity_rps) {
+  sim::ServiceConfig config;
+  config.name = name;
+  config.threads = 8;
+  config.mean_service_ms = 8000.0 / capacity_rps;
+  config.service_sigma = 0.0;
+  config.initial_pods = 1;
+  return config;
+}
+
+std::unique_ptr<sim::Application> OneServiceApp(double capacity_rps = 10000.0) {
+  auto app = std::make_unique<sim::Application>("wl-test", 3);
+  const sim::ServiceId s = app->AddService(FastService("s", capacity_rps));
+  sim::ApiSpec api("api", 1);
+  api.AddPath(sim::ExecutionPath{sim::Chain({s}), 1.0, {}});
+  app->AddApi(std::move(api));
+  app->Finalize();
+  return app;
+}
+
+TEST(OpenLoopTest, RateMatchesSchedule) {
+  auto app = OneServiceApp();
+  TrafficDriver traffic(app.get());
+  traffic.AddOpenLoop(0, Schedule::Constant(500));
+  app->RunFor(Seconds(20));
+  const double offered = static_cast<double>(app->metrics().Totals()[0].offered) / 20.0;
+  EXPECT_NEAR(offered, 500.0, 25.0);
+}
+
+TEST(OpenLoopTest, ZeroRateProducesNothingThenStarts) {
+  auto app = OneServiceApp();
+  TrafficDriver traffic(app.get());
+  traffic.AddOpenLoop(0, Schedule::Constant(0).Then(Seconds(5), 200));
+  app->RunFor(Seconds(5));
+  EXPECT_EQ(app->metrics().Totals()[0].offered, 0u);
+  app->RunFor(Seconds(10));
+  EXPECT_NEAR(static_cast<double>(app->metrics().Totals()[0].offered), 2000.0, 200.0);
+}
+
+TEST(ClosedLoopTest, UsersIssueAboutOneRequestPerSecond) {
+  auto app = OneServiceApp();
+  TrafficDriver traffic(app.get());
+  ClosedLoopConfig config;
+  config.mix.weights = {1.0};
+  traffic.AddClosedLoop(config, Schedule::Constant(100));
+  app->RunFor(Seconds(30));
+  // Healthy service, ~1 ms responses: each user cycles roughly per think
+  // time (1 s +/- jitter), so offered ~ users * duration.
+  const double offered = static_cast<double>(app->metrics().Totals()[0].offered);
+  EXPECT_NEAR(offered, 3000.0, 300.0);
+}
+
+TEST(ClosedLoopTest, UsersSelfThrottleUnderOverload) {
+  // 1000 users against a 100 rps service: closed-loop demand collapses to
+  // well under the open-loop 1000 rps because users wait on responses.
+  auto app = OneServiceApp(/*capacity_rps=*/100.0);
+  TrafficDriver traffic(app.get());
+  ClosedLoopConfig config;
+  config.mix.weights = {1.0};
+  config.client_timeout = Seconds(2);
+  traffic.AddClosedLoop(config, Schedule::Constant(1000));
+  app->RunFor(Seconds(30));
+  const double offered_rps =
+      static_cast<double>(app->metrics().Totals()[0].offered) / 30.0;
+  EXPECT_LT(offered_rps, 900.0);  // below the 1000 rps nominal demand
+  EXPECT_GT(offered_rps, 100.0);
+}
+
+TEST(ClosedLoopTest, PoolGrowsWithSchedule) {
+  auto app = OneServiceApp();
+  TrafficDriver traffic(app.get());
+  ClosedLoopConfig config;
+  config.mix.weights = {1.0};
+  auto& pool = traffic.AddClosedLoop(config, Schedule::Constant(10).Then(Seconds(10), 50));
+  app->RunFor(Seconds(5));
+  EXPECT_EQ(pool.LiveUsers(), 10);
+  app->RunFor(Seconds(10));
+  EXPECT_EQ(pool.LiveUsers(), 50);
+}
+
+TEST(ClosedLoopTest, EntryRejectionDoesNotKillUsers) {
+  class DenyAll : public sim::EntryAdmission {
+   public:
+    bool Admit(sim::ApiId, SimTime) override { return false; }
+  };
+  auto app = OneServiceApp();
+  DenyAll deny;
+  app->SetEntryAdmission(&deny);
+  TrafficDriver traffic(app.get());
+  ClosedLoopConfig config;
+  config.mix.weights = {1.0};
+  traffic.AddClosedLoop(config, Schedule::Constant(50));
+  app->RunFor(Seconds(20));
+  // Users keep retrying after each rejection (think-time pacing).
+  EXPECT_GT(app->metrics().Totals()[0].rejected_entry, 700u);
+}
+
+}  // namespace
+}  // namespace topfull::workload

@@ -1,0 +1,247 @@
+// topfull — command-line driver for the simulator and controller.
+//
+//   topfull run    --app <boutique|trainticket|alibaba>
+//                  [--controller <topfull|topfull-bw|mimd|dagor|breakwater|none>]
+//                  [--users N | --rps R] [--duration S] [--surge T:N]
+//                  [--priorities] [--probe-failures] [--hpa] [--seed S]
+//                  [--csv FILE]
+//   topfull inspect --app <...>            # print topology + capacities
+//   topfull train   [--episodes N] [--out FILE]   # pre-train a policy
+//
+// Examples:
+//   topfull run --app boutique --controller topfull --users 2600 --duration 120
+//   topfull run --app trainticket --controller dagor --users 800 --surge 40:3500
+//   topfull inspect --app alibaba
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "apps/alibaba_demo.hpp"
+#include "apps/online_boutique.hpp"
+#include "apps/train_ticket.hpp"
+#include "autoscale/hpa.hpp"
+#include "common/table.hpp"
+#include "exp/csv.hpp"
+#include "exp/harness.hpp"
+#include "exp/model_cache.hpp"
+
+using namespace topfull;
+
+namespace {
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> options;
+  bool Has(const std::string& key) const { return options.count(key) > 0; }
+  std::string Get(const std::string& key, const std::string& fallback = "") const {
+    const auto it = options.find(key);
+    return it == options.end() ? fallback : it->second;
+  }
+  double Num(const std::string& key, double fallback) const {
+    const auto it = options.find(key);
+    return it == options.end() ? fallback : std::atof(it->second.c_str());
+  }
+};
+
+Args Parse(int argc, char** argv) {
+  Args args;
+  if (argc >= 2) args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) != 0) continue;
+    key = key.substr(2);
+    std::string value = "1";
+    if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+      value = argv[++i];
+    }
+    args.options[key] = value;
+  }
+  return args;
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  topfull run --app <boutique|trainticket|alibaba>\n"
+      "              [--controller <topfull|topfull-bw|mimd|dagor|breakwater|none>]\n"
+      "              [--users N | --rps R] [--duration S] [--surge T:N]\n"
+      "              [--priorities] [--probe-failures] [--hpa] [--seed S] [--csv FILE]\n"
+      "  topfull inspect --app <boutique|trainticket|alibaba>\n"
+      "  topfull train [--episodes N] [--out FILE]\n");
+  return 2;
+}
+
+std::unique_ptr<sim::Application> MakeApp(const Args& args) {
+  const std::string app_name = args.Get("app", "boutique");
+  const auto seed = static_cast<std::uint64_t>(args.Num("seed", 42));
+  if (app_name == "boutique") {
+    apps::BoutiqueOptions options;
+    options.seed = seed;
+    options.distinct_priorities = args.Has("priorities");
+    options.probe_failures = args.Has("probe-failures");
+    return apps::MakeOnlineBoutique(options);
+  }
+  if (app_name == "trainticket") {
+    apps::TrainTicketOptions options;
+    options.seed = seed;
+    options.distinct_priorities = args.Has("priorities");
+    options.probe_failures = args.Has("probe-failures");
+    return apps::MakeTrainTicket(options);
+  }
+  if (app_name == "alibaba") {
+    apps::AlibabaDemoOptions options;
+    options.seed = seed == 42 ? 2021 : seed;
+    return apps::MakeAlibabaDemo(options).app;
+  }
+  return nullptr;
+}
+
+exp::Variant VariantFromName(const std::string& name) {
+  if (name == "topfull") return exp::Variant::kTopFull;
+  if (name == "topfull-bw") return exp::Variant::kTopFullBw;
+  if (name == "mimd") return exp::Variant::kTopFullMimd;
+  if (name == "dagor") return exp::Variant::kDagor;
+  if (name == "breakwater") return exp::Variant::kBreakwater;
+  return exp::Variant::kNoControl;
+}
+
+int CmdInspect(const Args& args) {
+  auto app = MakeApp(args);
+  if (!app) return Usage();
+  std::printf("application: %s — %d microservices, %d external APIs\n\n",
+              app->name().c_str(), app->NumServices(), app->NumApis());
+  Table services("microservices");
+  services.SetHeader({"service", "pods", "threads", "mean svc (ms)", "capacity (rps)"});
+  for (int s = 0; s < app->NumServices(); ++s) {
+    const auto& config = app->service(s).config();
+    services.AddRow({config.name, std::to_string(app->service(s).RunningPods()),
+                     std::to_string(config.threads), Fmt(config.mean_service_ms, 1),
+                     Fmt(app->service(s).CapacityRps(), 0)});
+  }
+  services.Print();
+  std::printf("\n");
+  Table apis("APIs");
+  apis.SetHeader({"API", "priority", "paths", "services on path(s)"});
+  for (sim::ApiId a = 0; a < app->NumApis(); ++a) {
+    std::string involved;
+    for (const sim::ServiceId s : app->api(a).involved_services()) {
+      if (!involved.empty()) involved += " ";
+      involved += app->service(s).name();
+    }
+    if (involved.size() > 70) involved = involved.substr(0, 67) + "...";
+    apis.AddRow({app->api(a).name(), std::to_string(app->api(a).business_priority()),
+                 std::to_string(app->api(a).paths().size()), involved});
+  }
+  apis.Print();
+  return 0;
+}
+
+int CmdRun(const Args& args) {
+  auto app = MakeApp(args);
+  if (!app) return Usage();
+  const std::string controller_name = args.Get("controller", "topfull");
+  const exp::Variant variant = VariantFromName(controller_name);
+
+  std::shared_ptr<rl::GaussianPolicy> policy;
+  if (variant == exp::Variant::kTopFull) policy = exp::GetPretrainedPolicy();
+  exp::Controllers controllers;
+  controllers.Attach(variant, *app, policy.get());
+
+  std::unique_ptr<autoscale::Cluster> cluster;
+  std::unique_ptr<autoscale::HorizontalPodAutoscaler> hpa;
+  if (args.Has("hpa")) {
+    cluster = std::make_unique<autoscale::Cluster>(&app->sim(),
+                                                   autoscale::ClusterConfig{});
+    hpa = std::make_unique<autoscale::HorizontalPodAutoscaler>(
+        app.get(), cluster.get(), autoscale::HpaConfig{});
+    hpa->Start();
+  }
+
+  const double duration = args.Num("duration", 120);
+  workload::TrafficDriver traffic(app.get());
+  // --surge T:N switches the user count / rate to N at time T.
+  double surge_t = -1, surge_value = 0;
+  if (args.Has("surge")) {
+    const std::string surge = args.Get("surge");
+    const auto colon = surge.find(':');
+    if (colon == std::string::npos) return Usage();
+    surge_t = std::atof(surge.substr(0, colon).c_str());
+    surge_value = std::atof(surge.substr(colon + 1).c_str());
+  }
+  if (args.Has("rps")) {
+    const double per_api = args.Num("rps", 1000) / app->NumApis();
+    for (sim::ApiId a = 0; a < app->NumApis(); ++a) {
+      workload::Schedule schedule = workload::Schedule::Constant(per_api);
+      if (surge_t >= 0) schedule.Then(Seconds(surge_t), surge_value / app->NumApis());
+      traffic.AddOpenLoop(a, std::move(schedule));
+    }
+  } else {
+    workload::Schedule schedule = workload::Schedule::Constant(args.Num("users", 1000));
+    if (surge_t >= 0) schedule.Then(Seconds(surge_t), surge_value);
+    traffic.AddClosedLoop(exp::UniformUsers(*app), std::move(schedule));
+  }
+
+  std::printf("running %s with %s for %.0f s...\n", app->name().c_str(),
+              exp::VariantName(variant).c_str(), duration);
+  app->RunFor(Seconds(duration));
+
+  Table table("per-API results (whole run)");
+  table.SetHeader({"API", "avg offered", "avg goodput", "final p95 (ms)",
+                   "rate limit"});
+  const auto& snap = app->metrics().Latest();
+  for (sim::ApiId a = 0; a < app->NumApis(); ++a) {
+    const auto& totals = app->metrics().Totals()[a];
+    std::string limit = "-";
+    if (controllers.topfull() != nullptr) {
+      const auto value = controllers.topfull()->RateLimit(a);
+      limit = value ? Fmt(*value, 0) : "uncapped";
+    }
+    table.AddRow({app->api(a).name(),
+                  Fmt(static_cast<double>(totals.offered) / duration, 0),
+                  Fmt(app->metrics().AvgGoodput(a), 0),
+                  Fmt(snap.apis[a].latency_p95_ms, 0), limit});
+  }
+  table.Print();
+  std::printf("total avg goodput: %.0f rps\n", app->metrics().AvgTotalGoodput());
+
+  if (args.Has("csv")) {
+    const std::string path = args.Get("csv");
+    if (exp::WriteTimelineCsv(*app, path)) {
+      std::printf("timeline written to %s\n", path.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write %s\n", path.c_str());
+      return 1;
+    }
+  }
+  return 0;
+}
+
+int CmdTrain(const Args& args) {
+  const int episodes = static_cast<int>(args.Num("episodes", exp::PretrainEpisodes()));
+  std::printf("training PPO policy on the graph simulator (%d episodes)...\n",
+              episodes);
+  rl::TrainResult result;
+  auto policy = exp::TrainBasePolicy(episodes, /*seed=*/1234, &result);
+  std::printf("episodes=%d best-validation=%.3f\n", result.episodes_trained,
+              result.best_validation_score);
+  const std::string out = args.Get("out", exp::ModelDir() + "/base_policy.txt");
+  if (!policy->SaveFile(out)) {
+    std::fprintf(stderr, "failed to write %s\n", out.c_str());
+    return 1;
+  }
+  std::printf("saved %s\n", out.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = Parse(argc, argv);
+  if (args.command == "run") return CmdRun(args);
+  if (args.command == "inspect") return CmdInspect(args);
+  if (args.command == "train") return CmdTrain(args);
+  return Usage();
+}
