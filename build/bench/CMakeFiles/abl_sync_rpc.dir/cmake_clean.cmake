@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_sync_rpc.dir/abl_sync_rpc.cpp.o"
+  "CMakeFiles/abl_sync_rpc.dir/abl_sync_rpc.cpp.o.d"
+  "abl_sync_rpc"
+  "abl_sync_rpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_sync_rpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_goodput_overload.dir/fig08_goodput_overload.cpp.o"
+  "CMakeFiles/fig08_goodput_overload.dir/fig08_goodput_overload.cpp.o.d"
+  "fig08_goodput_overload"
+  "fig08_goodput_overload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_goodput_overload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

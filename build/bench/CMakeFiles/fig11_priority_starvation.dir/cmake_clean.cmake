@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_priority_starvation.dir/fig11_priority_starvation.cpp.o"
+  "CMakeFiles/fig11_priority_starvation.dir/fig11_priority_starvation.cpp.o.d"
+  "fig11_priority_starvation"
+  "fig11_priority_starvation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_priority_starvation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_priority_timeline.dir/fig12_priority_timeline.cpp.o"
+  "CMakeFiles/fig12_priority_timeline.dir/fig12_priority_timeline.cpp.o.d"
+  "fig12_priority_timeline"
+  "fig12_priority_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_priority_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

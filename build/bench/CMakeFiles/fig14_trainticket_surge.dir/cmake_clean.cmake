@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_trainticket_surge.dir/fig14_trainticket_surge.cpp.o"
+  "CMakeFiles/fig14_trainticket_surge.dir/fig14_trainticket_surge.cpp.o.d"
+  "fig14_trainticket_surge"
+  "fig14_trainticket_surge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_trainticket_surge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_boutique_surge.dir/fig15_boutique_surge.cpp.o"
+  "CMakeFiles/fig15_boutique_surge.dir/fig15_boutique_surge.cpp.o.d"
+  "fig15_boutique_surge"
+  "fig15_boutique_surge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_boutique_surge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_resource_saving.dir/fig16_resource_saving.cpp.o"
+  "CMakeFiles/fig16_resource_saving.dir/fig16_resource_saving.cpp.o.d"
+  "fig16_resource_saving"
+  "fig16_resource_saving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_resource_saving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_transfer_learning.dir/fig17_transfer_learning.cpp.o"
+  "CMakeFiles/fig17_transfer_learning.dir/fig17_transfer_learning.cpp.o.d"
+  "fig17_transfer_learning"
+  "fig17_transfer_learning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_transfer_learning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_failure_adaptation.dir/fig18_failure_adaptation.cpp.o"
+  "CMakeFiles/fig18_failure_adaptation.dir/fig18_failure_adaptation.cpp.o.d"
+  "fig18_failure_adaptation"
+  "fig18_failure_adaptation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_failure_adaptation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

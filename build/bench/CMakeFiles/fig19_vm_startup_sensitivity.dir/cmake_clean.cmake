@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_vm_startup_sensitivity.dir/fig19_vm_startup_sensitivity.cpp.o"
+  "CMakeFiles/fig19_vm_startup_sensitivity.dir/fig19_vm_startup_sensitivity.cpp.o.d"
+  "fig19_vm_startup_sensitivity"
+  "fig19_vm_startup_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_vm_startup_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

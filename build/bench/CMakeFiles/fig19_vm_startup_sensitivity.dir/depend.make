@@ -1,0 +1,2 @@
+# Empty dependencies file for fig19_vm_startup_sensitivity.
+# This may be replaced when dependencies are built.

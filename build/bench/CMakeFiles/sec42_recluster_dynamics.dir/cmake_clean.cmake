@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec42_recluster_dynamics.dir/sec42_recluster_dynamics.cpp.o"
+  "CMakeFiles/sec42_recluster_dynamics.dir/sec42_recluster_dynamics.cpp.o.d"
+  "sec42_recluster_dynamics"
+  "sec42_recluster_dynamics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec42_recluster_dynamics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec64_clustering_scalability.dir/sec64_clustering_scalability.cpp.o"
+  "CMakeFiles/sec64_clustering_scalability.dir/sec64_clustering_scalability.cpp.o.d"
+  "sec64_clustering_scalability"
+  "sec64_clustering_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec64_clustering_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

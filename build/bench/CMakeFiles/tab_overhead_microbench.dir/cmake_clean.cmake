@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_overhead_microbench.dir/tab_overhead_microbench.cpp.o"
+  "CMakeFiles/tab_overhead_microbench.dir/tab_overhead_microbench.cpp.o.d"
+  "tab_overhead_microbench"
+  "tab_overhead_microbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_overhead_microbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_training_cost.dir/tab_training_cost.cpp.o"
+  "CMakeFiles/tab_training_cost.dir/tab_training_cost.cpp.o.d"
+  "tab_training_cost"
+  "tab_training_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_training_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inspect_overload.dir/inspect_overload.cpp.o"
+  "CMakeFiles/inspect_overload.dir/inspect_overload.cpp.o.d"
+  "inspect_overload"
+  "inspect_overload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inspect_overload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/policy_surface.dir/policy_surface.cpp.o"
+  "CMakeFiles/policy_surface.dir/policy_surface.cpp.o.d"
+  "policy_surface"
+  "policy_surface.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/policy_surface.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

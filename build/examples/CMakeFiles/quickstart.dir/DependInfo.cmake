@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exp/CMakeFiles/topfull_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/topfull_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/rl/CMakeFiles/topfull_rl.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/topfull_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/topfull_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/topfull_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/autoscale/CMakeFiles/topfull_autoscale.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/topfull_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/des/CMakeFiles/topfull_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/topfull_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/topfull_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

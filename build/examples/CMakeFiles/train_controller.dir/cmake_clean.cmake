@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/train_controller.dir/train_controller.cpp.o"
+  "CMakeFiles/train_controller.dir/train_controller.cpp.o.d"
+  "train_controller"
+  "train_controller.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/train_controller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/alibaba_demo.cpp" "src/apps/CMakeFiles/topfull_apps.dir/alibaba_demo.cpp.o" "gcc" "src/apps/CMakeFiles/topfull_apps.dir/alibaba_demo.cpp.o.d"
+  "/root/repo/src/apps/online_boutique.cpp" "src/apps/CMakeFiles/topfull_apps.dir/online_boutique.cpp.o" "gcc" "src/apps/CMakeFiles/topfull_apps.dir/online_boutique.cpp.o.d"
+  "/root/repo/src/apps/train_ticket.cpp" "src/apps/CMakeFiles/topfull_apps.dir/train_ticket.cpp.o" "gcc" "src/apps/CMakeFiles/topfull_apps.dir/train_ticket.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/topfull_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/topfull_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/des/CMakeFiles/topfull_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/topfull_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

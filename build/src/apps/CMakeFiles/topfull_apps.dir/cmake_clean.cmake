@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topfull_apps.dir/alibaba_demo.cpp.o"
+  "CMakeFiles/topfull_apps.dir/alibaba_demo.cpp.o.d"
+  "CMakeFiles/topfull_apps.dir/online_boutique.cpp.o"
+  "CMakeFiles/topfull_apps.dir/online_boutique.cpp.o.d"
+  "CMakeFiles/topfull_apps.dir/train_ticket.cpp.o"
+  "CMakeFiles/topfull_apps.dir/train_ticket.cpp.o.d"
+  "libtopfull_apps.a"
+  "libtopfull_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topfull_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

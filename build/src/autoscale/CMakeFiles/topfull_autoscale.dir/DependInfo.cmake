@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/autoscale/cluster.cpp" "src/autoscale/CMakeFiles/topfull_autoscale.dir/cluster.cpp.o" "gcc" "src/autoscale/CMakeFiles/topfull_autoscale.dir/cluster.cpp.o.d"
+  "/root/repo/src/autoscale/hpa.cpp" "src/autoscale/CMakeFiles/topfull_autoscale.dir/hpa.cpp.o" "gcc" "src/autoscale/CMakeFiles/topfull_autoscale.dir/hpa.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/topfull_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/des/CMakeFiles/topfull_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/topfull_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topfull_autoscale.dir/cluster.cpp.o"
+  "CMakeFiles/topfull_autoscale.dir/cluster.cpp.o.d"
+  "CMakeFiles/topfull_autoscale.dir/hpa.cpp.o"
+  "CMakeFiles/topfull_autoscale.dir/hpa.cpp.o.d"
+  "libtopfull_autoscale.a"
+  "libtopfull_autoscale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topfull_autoscale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/breakwater.cpp" "src/baselines/CMakeFiles/topfull_baselines.dir/breakwater.cpp.o" "gcc" "src/baselines/CMakeFiles/topfull_baselines.dir/breakwater.cpp.o.d"
+  "/root/repo/src/baselines/dagor.cpp" "src/baselines/CMakeFiles/topfull_baselines.dir/dagor.cpp.o" "gcc" "src/baselines/CMakeFiles/topfull_baselines.dir/dagor.cpp.o.d"
+  "/root/repo/src/baselines/wisp.cpp" "src/baselines/CMakeFiles/topfull_baselines.dir/wisp.cpp.o" "gcc" "src/baselines/CMakeFiles/topfull_baselines.dir/wisp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/topfull_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/des/CMakeFiles/topfull_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/topfull_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topfull_baselines.dir/breakwater.cpp.o"
+  "CMakeFiles/topfull_baselines.dir/breakwater.cpp.o.d"
+  "CMakeFiles/topfull_baselines.dir/dagor.cpp.o"
+  "CMakeFiles/topfull_baselines.dir/dagor.cpp.o.d"
+  "CMakeFiles/topfull_baselines.dir/wisp.cpp.o"
+  "CMakeFiles/topfull_baselines.dir/wisp.cpp.o.d"
+  "libtopfull_baselines.a"
+  "libtopfull_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topfull_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

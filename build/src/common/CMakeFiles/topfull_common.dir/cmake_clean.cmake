@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topfull_common.dir/rng.cpp.o"
+  "CMakeFiles/topfull_common.dir/rng.cpp.o.d"
+  "CMakeFiles/topfull_common.dir/stats.cpp.o"
+  "CMakeFiles/topfull_common.dir/stats.cpp.o.d"
+  "CMakeFiles/topfull_common.dir/table.cpp.o"
+  "CMakeFiles/topfull_common.dir/table.cpp.o.d"
+  "CMakeFiles/topfull_common.dir/token_bucket.cpp.o"
+  "CMakeFiles/topfull_common.dir/token_bucket.cpp.o.d"
+  "libtopfull_common.a"
+  "libtopfull_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topfull_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

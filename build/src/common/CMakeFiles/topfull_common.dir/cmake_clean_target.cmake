@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtopfull_common.a"
+)

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cluster_tracker.cpp" "src/core/CMakeFiles/topfull_core.dir/cluster_tracker.cpp.o" "gcc" "src/core/CMakeFiles/topfull_core.dir/cluster_tracker.cpp.o.d"
+  "/root/repo/src/core/clustering.cpp" "src/core/CMakeFiles/topfull_core.dir/clustering.cpp.o" "gcc" "src/core/CMakeFiles/topfull_core.dir/clustering.cpp.o.d"
+  "/root/repo/src/core/controller.cpp" "src/core/CMakeFiles/topfull_core.dir/controller.cpp.o" "gcc" "src/core/CMakeFiles/topfull_core.dir/controller.cpp.o.d"
+  "/root/repo/src/core/rate_controller.cpp" "src/core/CMakeFiles/topfull_core.dir/rate_controller.cpp.o" "gcc" "src/core/CMakeFiles/topfull_core.dir/rate_controller.cpp.o.d"
+  "/root/repo/src/core/registry.cpp" "src/core/CMakeFiles/topfull_core.dir/registry.cpp.o" "gcc" "src/core/CMakeFiles/topfull_core.dir/registry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/topfull_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/rl/CMakeFiles/topfull_rl.dir/DependInfo.cmake"
+  "/root/repo/build/src/des/CMakeFiles/topfull_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/topfull_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

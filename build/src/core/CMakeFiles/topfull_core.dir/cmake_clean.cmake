@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topfull_core.dir/cluster_tracker.cpp.o"
+  "CMakeFiles/topfull_core.dir/cluster_tracker.cpp.o.d"
+  "CMakeFiles/topfull_core.dir/clustering.cpp.o"
+  "CMakeFiles/topfull_core.dir/clustering.cpp.o.d"
+  "CMakeFiles/topfull_core.dir/controller.cpp.o"
+  "CMakeFiles/topfull_core.dir/controller.cpp.o.d"
+  "CMakeFiles/topfull_core.dir/rate_controller.cpp.o"
+  "CMakeFiles/topfull_core.dir/rate_controller.cpp.o.d"
+  "CMakeFiles/topfull_core.dir/registry.cpp.o"
+  "CMakeFiles/topfull_core.dir/registry.cpp.o.d"
+  "libtopfull_core.a"
+  "libtopfull_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topfull_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtopfull_core.a"
+)

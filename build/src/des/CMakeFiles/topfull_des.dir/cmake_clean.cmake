@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topfull_des.dir/simulation.cpp.o"
+  "CMakeFiles/topfull_des.dir/simulation.cpp.o.d"
+  "libtopfull_des.a"
+  "libtopfull_des.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topfull_des.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topfull_exp.dir/csv.cpp.o"
+  "CMakeFiles/topfull_exp.dir/csv.cpp.o.d"
+  "CMakeFiles/topfull_exp.dir/harness.cpp.o"
+  "CMakeFiles/topfull_exp.dir/harness.cpp.o.d"
+  "CMakeFiles/topfull_exp.dir/microservice_env.cpp.o"
+  "CMakeFiles/topfull_exp.dir/microservice_env.cpp.o.d"
+  "CMakeFiles/topfull_exp.dir/model_cache.cpp.o"
+  "CMakeFiles/topfull_exp.dir/model_cache.cpp.o.d"
+  "libtopfull_exp.a"
+  "libtopfull_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topfull_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

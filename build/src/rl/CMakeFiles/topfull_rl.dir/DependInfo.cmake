@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rl/graph_sim_env.cpp" "src/rl/CMakeFiles/topfull_rl.dir/graph_sim_env.cpp.o" "gcc" "src/rl/CMakeFiles/topfull_rl.dir/graph_sim_env.cpp.o.d"
+  "/root/repo/src/rl/nn.cpp" "src/rl/CMakeFiles/topfull_rl.dir/nn.cpp.o" "gcc" "src/rl/CMakeFiles/topfull_rl.dir/nn.cpp.o.d"
+  "/root/repo/src/rl/policy.cpp" "src/rl/CMakeFiles/topfull_rl.dir/policy.cpp.o" "gcc" "src/rl/CMakeFiles/topfull_rl.dir/policy.cpp.o.d"
+  "/root/repo/src/rl/ppo.cpp" "src/rl/CMakeFiles/topfull_rl.dir/ppo.cpp.o" "gcc" "src/rl/CMakeFiles/topfull_rl.dir/ppo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/topfull_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

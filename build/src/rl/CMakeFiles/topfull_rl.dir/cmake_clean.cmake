@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topfull_rl.dir/graph_sim_env.cpp.o"
+  "CMakeFiles/topfull_rl.dir/graph_sim_env.cpp.o.d"
+  "CMakeFiles/topfull_rl.dir/nn.cpp.o"
+  "CMakeFiles/topfull_rl.dir/nn.cpp.o.d"
+  "CMakeFiles/topfull_rl.dir/policy.cpp.o"
+  "CMakeFiles/topfull_rl.dir/policy.cpp.o.d"
+  "CMakeFiles/topfull_rl.dir/ppo.cpp.o"
+  "CMakeFiles/topfull_rl.dir/ppo.cpp.o.d"
+  "libtopfull_rl.a"
+  "libtopfull_rl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topfull_rl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

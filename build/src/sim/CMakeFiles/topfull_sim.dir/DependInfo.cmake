@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/app.cpp" "src/sim/CMakeFiles/topfull_sim.dir/app.cpp.o" "gcc" "src/sim/CMakeFiles/topfull_sim.dir/app.cpp.o.d"
+  "/root/repo/src/sim/call_graph.cpp" "src/sim/CMakeFiles/topfull_sim.dir/call_graph.cpp.o" "gcc" "src/sim/CMakeFiles/topfull_sim.dir/call_graph.cpp.o.d"
+  "/root/repo/src/sim/metrics.cpp" "src/sim/CMakeFiles/topfull_sim.dir/metrics.cpp.o" "gcc" "src/sim/CMakeFiles/topfull_sim.dir/metrics.cpp.o.d"
+  "/root/repo/src/sim/pod.cpp" "src/sim/CMakeFiles/topfull_sim.dir/pod.cpp.o" "gcc" "src/sim/CMakeFiles/topfull_sim.dir/pod.cpp.o.d"
+  "/root/repo/src/sim/service.cpp" "src/sim/CMakeFiles/topfull_sim.dir/service.cpp.o" "gcc" "src/sim/CMakeFiles/topfull_sim.dir/service.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/topfull_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/des/CMakeFiles/topfull_des.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topfull_sim.dir/app.cpp.o"
+  "CMakeFiles/topfull_sim.dir/app.cpp.o.d"
+  "CMakeFiles/topfull_sim.dir/call_graph.cpp.o"
+  "CMakeFiles/topfull_sim.dir/call_graph.cpp.o.d"
+  "CMakeFiles/topfull_sim.dir/metrics.cpp.o"
+  "CMakeFiles/topfull_sim.dir/metrics.cpp.o.d"
+  "CMakeFiles/topfull_sim.dir/pod.cpp.o"
+  "CMakeFiles/topfull_sim.dir/pod.cpp.o.d"
+  "CMakeFiles/topfull_sim.dir/service.cpp.o"
+  "CMakeFiles/topfull_sim.dir/service.cpp.o.d"
+  "libtopfull_sim.a"
+  "libtopfull_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topfull_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topfull_trace.dir/synthetic_trace.cpp.o"
+  "CMakeFiles/topfull_trace.dir/synthetic_trace.cpp.o.d"
+  "libtopfull_trace.a"
+  "libtopfull_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topfull_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

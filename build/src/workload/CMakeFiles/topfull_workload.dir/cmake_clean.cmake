@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topfull_workload.dir/generators.cpp.o"
+  "CMakeFiles/topfull_workload.dir/generators.cpp.o.d"
+  "CMakeFiles/topfull_workload.dir/schedule.cpp.o"
+  "CMakeFiles/topfull_workload.dir/schedule.cpp.o.d"
+  "libtopfull_workload.a"
+  "libtopfull_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topfull_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtopfull_workload.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topfull.dir/topfull_cli.cpp.o"
+  "CMakeFiles/topfull.dir/topfull_cli.cpp.o.d"
+  "topfull"
+  "topfull.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topfull.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
