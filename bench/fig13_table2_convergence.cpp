@@ -7,6 +7,9 @@
 // stabilises with 0.5 (oscillation). Convergence here = first time a run
 // reaches 90 % of the best variant's steady goodput and holds it for 5
 // consecutive seconds.
+//
+// The four runs execute concurrently on the shared worker pool; the DAGOR
+// alpha sweep uses RunSpec::attach for its custom controller config.
 #include <cmath>
 #include <cstdio>
 #include <limits>
@@ -18,6 +21,7 @@
 #include "common/table.hpp"
 #include "exp/harness.hpp"
 #include "exp/model_cache.hpp"
+#include "exp/run_executor.hpp"
 
 using namespace topfull;
 
@@ -33,16 +37,14 @@ std::unique_ptr<sim::Application> MakeApp() {
   return apps::MakeOnlineBoutique(options);
 }
 
-void Drive(sim::Application& app) {
+void Drive(workload::TrafficDriver& traffic, sim::Application&) {
   // Single-API overload: Post Checkout users jump from light load to ~3.5x
   // the Checkout microservice's capacity at t=10 s.
-  workload::TrafficDriver traffic(&app);
   workload::ClosedLoopConfig users;
   users.mix.weights = {1.0, 0.0, 0.0, 0.0, 0.0};  // postcheckout only
   traffic.AddClosedLoop(users,
                         workload::Schedule::Constant(50).Then(Seconds(kSurgeS),
                                                               kSurgeUsers));
-  app.RunFor(Seconds(kEndS));
 }
 
 double SteadyGoodput(const sim::Application& app) {
@@ -73,30 +75,35 @@ int main() {
               "(alpha = 0.05 / 0.1 / 0.5) vs TopFull (RL).");
   auto policy = exp::GetPretrainedPolicy();
 
-  struct Run {
-    std::string name;
-    std::unique_ptr<sim::Application> app;
-  };
-  std::vector<Run> runs;
-
+  std::vector<exp::RunSpec> specs;
   // DAGOR with swept decrease step.
   for (const double alpha : {0.05, 0.1, 0.5}) {
-    auto app = MakeApp();
-    baselines::DagorConfig config;
-    config.alpha = alpha;
-    baselines::DagorAdmission dagor(app.get(), config);
-    dagor.Install();
-    Drive(*app);
-    runs.push_back({"DAGOR (" + Fmt(alpha, 2) + ")", std::move(app)});
+    exp::RunSpec spec;
+    spec.label = "DAGOR (" + Fmt(alpha, 2) + ")";
+    spec.duration_s = kEndS;
+    spec.make_app = MakeApp;
+    spec.traffic = Drive;
+    spec.attach = [alpha](sim::Application& app) -> std::shared_ptr<void> {
+      baselines::DagorConfig config;
+      config.alpha = alpha;
+      auto dagor = std::make_shared<baselines::DagorAdmission>(&app, config);
+      dagor->Install();
+      return dagor;
+    };
+    specs.push_back(std::move(spec));
   }
   // TopFull RL.
   {
-    auto app = MakeApp();
-    exp::Controllers controllers;
-    controllers.Attach(exp::Variant::kTopFull, *app, policy.get());
-    Drive(*app);
-    runs.push_back({"TopFull (RL)", std::move(app)});
+    exp::RunSpec spec;
+    spec.label = "TopFull (RL)";
+    spec.duration_s = kEndS;
+    spec.make_app = MakeApp;
+    spec.traffic = Drive;
+    spec.variant = exp::Variant::kTopFull;
+    spec.policy = policy.get();
+    specs.push_back(std::move(spec));
   }
+  const std::vector<exp::RunResult> runs = exp::RunExecutor().Execute(specs);
 
   double best_steady = 0.0;
   for (const auto& run : runs) best_steady = std::max(best_steady, SteadyGoodput(*run.app));
@@ -107,7 +114,7 @@ int main() {
   table.SetHeader({"rate controller", "steady goodput (rps)", "convergence (s)"});
   for (const auto& run : runs) {
     const double conv = ConvergenceSeconds(*run.app, bar);
-    table.AddRow({run.name, Fmt(SteadyGoodput(*run.app), 0),
+    table.AddRow({run.label, Fmt(SteadyGoodput(*run.app), 0),
                   std::isinf(conv) ? "never (oscillates)" : Fmt(conv, 0)});
   }
   table.Print();

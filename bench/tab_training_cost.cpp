@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "common/table.hpp"
+#include "common/thread_pool.hpp"
 #include "exp/model_cache.hpp"
 #include "rl/graph_sim_env.hpp"
 
@@ -19,6 +20,9 @@ int main() {
   PrintBanner("Training-cost table (§6.4)",
               "Measured simulator training throughput + the paper's "
               "real-world cost model.");
+  // Rollout + validation episodes run concurrently on the shared worker
+  // pool (TOPFULL_THREADS); the measured throughput scales with cores.
+  std::printf("worker pool: %d thread(s)\n\n", ThreadPool::Global().size());
 
   // Measure: train a fresh policy for a modest number of episodes.
   constexpr int kMeasureEpisodes = 400;

@@ -40,10 +40,10 @@ void WindowedSamples::Expire(SimTime now) {
 
 double WindowedSamples::Percentile(double p, double fallback) const {
   if (samples_.empty()) return fallback;
-  std::vector<double> values;
-  values.reserve(samples_.size());
-  for (const auto& [t, v] : samples_) values.push_back(v);
-  return topfull::Percentile(std::move(values), p, fallback);
+  scratch_.clear();
+  scratch_.reserve(samples_.size());
+  for (const auto& [t, v] : samples_) scratch_.push_back(v);
+  return PercentileInPlace(scratch_, p, fallback);
 }
 
 double WindowedSamples::Mean() const {
@@ -54,15 +54,25 @@ double WindowedSamples::Mean() const {
 }
 
 double Percentile(std::vector<double> values, double p, double fallback) {
+  return PercentileInPlace(values, p, fallback);
+}
+
+double PercentileInPlace(std::vector<double>& values, double p, double fallback) {
   if (values.empty()) return fallback;
   std::sort(values.begin(), values.end());
-  if (values.size() == 1) return values[0];
+  return PercentileSorted(values, p, fallback);
+}
+
+double PercentileSorted(const std::vector<double>& sorted, double p,
+                        double fallback) {
+  if (sorted.empty()) return fallback;
+  if (sorted.size() == 1) return sorted[0];
   const double clamped = std::clamp(p, 0.0, 100.0);
-  const double rank = clamped / 100.0 * static_cast<double>(values.size() - 1);
+  const double rank = clamped / 100.0 * static_cast<double>(sorted.size() - 1);
   const auto lo = static_cast<std::size_t>(rank);
-  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
   const double frac = rank - static_cast<double>(lo);
-  return values[lo] * (1.0 - frac) + values[hi] * frac;
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
 }
 
 }  // namespace topfull

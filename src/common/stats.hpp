@@ -63,11 +63,22 @@ class WindowedSamples {
  private:
   SimTime window_;
   std::deque<std::pair<SimTime, double>> samples_;
+  mutable std::vector<double> scratch_;  // reused percentile buffer
 };
 
 /// Percentile of an arbitrary vector (nearest-rank with linear
 /// interpolation). Returns `fallback` for empty input. Sorts a copy.
 double Percentile(std::vector<double> values, double p, double fallback = 0.0);
+
+/// In-place variant: sorts `values` and reads the percentile from it.
+/// Hot-path form — callers with a scratch buffer avoid the copy.
+double PercentileInPlace(std::vector<double>& values, double p,
+                         double fallback = 0.0);
+
+/// Percentile of an already ascending-sorted buffer; no copy, no sort.
+/// Lets one sort serve any number of quantile reads.
+double PercentileSorted(const std::vector<double>& sorted, double p,
+                        double fallback = 0.0);
 
 /// Exponentially weighted moving average.
 class Ewma {

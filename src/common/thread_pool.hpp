@@ -1,0 +1,131 @@
+// Fixed-size worker pool with deterministic, order-preserving fan-out.
+//
+// Parallelism in this repo follows one contract: only *whole simulations*
+// (independent `Simulation` + `Application` runs, or independent RL episodes
+// on per-worker env clones) run concurrently, and parallel output must be
+// bit-identical to sequential output. ParallelMap enforces the ordering half
+// of that contract: results come back in submission order no matter which
+// worker finishes first, so downstream reductions see the same operand order
+// at every pool size.
+//
+// Sizing: `threads <= 0` reads the TOPFULL_THREADS environment variable and
+// falls back to `hardware_concurrency`. A pool of size 1 never spawns a
+// thread — Submit and ParallelMap run inline on the caller, the pure
+// sequential baseline the determinism tests compare against.
+//
+// Reentrancy: Submit/ParallelMap called from inside a worker of the same
+// pool run inline instead of queueing; queueing would deadlock once every
+// worker blocks on tasks stuck behind it in the queue.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace topfull {
+
+class ThreadPool {
+ public:
+  /// `threads <= 0` sizes the pool from TOPFULL_THREADS / the hardware.
+  explicit ThreadPool(int threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return size_; }
+
+  /// True when the calling thread is one of this pool's workers.
+  bool OnWorkerThread() const;
+
+  /// Schedules `fn` and returns its future. Exceptions thrown by `fn`
+  /// surface from future.get(). Runs inline for size-1 pools and when
+  /// called from one of this pool's own workers.
+  template <typename F>
+  auto Submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    if (RunsInline()) {
+      std::promise<R> promise;
+      std::future<R> future = promise.get_future();
+      try {
+        if constexpr (std::is_void_v<R>) {
+          fn();
+          promise.set_value();
+        } else {
+          promise.set_value(fn());
+        }
+      } catch (...) {
+        promise.set_exception(std::current_exception());
+      }
+      return future;
+    }
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> future = task->get_future();
+    Enqueue([task] { (*task)(); });
+    return future;
+  }
+
+  /// results[i] = fn(i) for i in [0, n), in submission order regardless of
+  /// completion order. Waits for every task before returning; if any task
+  /// threw, rethrows the lowest-index exception after the wait.
+  template <typename Fn>
+  auto ParallelMap(std::size_t n, Fn&& fn)
+      -> std::vector<std::invoke_result_t<std::decay_t<Fn>, std::size_t>> {
+    using R = std::invoke_result_t<std::decay_t<Fn>, std::size_t>;
+    static_assert(!std::is_void_v<R>, "ParallelMap needs a value-returning fn");
+    std::vector<R> results;
+    results.reserve(n);
+    if (RunsInline()) {
+      for (std::size_t i = 0; i < n; ++i) results.push_back(fn(i));
+      return results;
+    }
+    std::vector<std::future<R>> futures;
+    futures.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      futures.push_back(Submit([&fn, i] { return fn(i); }));
+    }
+    std::exception_ptr first_error;
+    for (auto& future : futures) {
+      try {
+        results.push_back(future.get());
+      } catch (...) {
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+    if (first_error) std::rethrow_exception(first_error);
+    return results;
+  }
+
+  /// Pool size from TOPFULL_THREADS, defaulting to hardware_concurrency.
+  static int EnvThreads();
+
+  /// Lazily constructed process-wide pool (sized by SetGlobalThreads /
+  /// TOPFULL_THREADS). Shared by the run executor and the PPO trainer.
+  static ThreadPool& Global();
+
+  /// Overrides the global pool size (CLI --threads). Drops any existing
+  /// global pool, so call it before submitting work, not during.
+  static void SetGlobalThreads(int threads);
+
+ private:
+  bool RunsInline() const { return size_ <= 1 || OnWorkerThread(); }
+  void Enqueue(std::function<void()> task);
+  void WorkerLoop();
+
+  int size_ = 1;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace topfull

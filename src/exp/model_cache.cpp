@@ -32,16 +32,23 @@ std::shared_ptr<rl::GaussianPolicy> TrainBasePolicy(int episodes, std::uint64_t 
                                                     rl::TrainResult* result_out) {
   Rng init_rng(seed);
   auto policy = std::make_shared<rl::GaussianPolicy>(rl::PolicyConfig{}, init_rng);
-  rl::GraphSimEnv env({}, /*base_seed=*/seed);
+  // Env factories: rollout and validation episodes run concurrently on
+  // per-worker env clones (identical batches at any TOPFULL_THREADS).
+  auto make_env = [seed]() -> std::unique_ptr<rl::Env> {
+    return std::make_unique<rl::GraphSimEnv>(rl::GraphSimConfig{}, /*base_seed=*/seed);
+  };
   rl::PpoTrainer trainer(policy.get(), rl::PpoConfig{}, seed ^ 0xBEEF);
   // Fixed validation scenarios (paper: "validating the checkpointed RL
   // models on a fixed set of scenarios in the simulator").
-  rl::GraphSimEnv validation_env({}, /*base_seed=*/seed ^ 0x5A5A5A5A);
-  auto validate = [&validation_env](rl::GaussianPolicy& p) {
-    return rl::EvaluatePolicy(p, validation_env, /*episodes=*/16,
+  auto make_validation_env = [seed]() -> std::unique_ptr<rl::Env> {
+    return std::make_unique<rl::GraphSimEnv>(rl::GraphSimConfig{},
+                                             /*base_seed=*/seed ^ 0x5A5A5A5A);
+  };
+  auto validate = [&make_validation_env](rl::GaussianPolicy& p) {
+    return rl::EvaluatePolicy(p, make_validation_env, /*episodes=*/16,
                               /*seed0=*/9000, /*steps_per_episode=*/50);
   };
-  const rl::TrainResult result = trainer.Train(env, episodes, validate,
+  const rl::TrainResult result = trainer.Train(make_env, episodes, validate,
                                                /*checkpoint_every=*/400);
   if (result_out != nullptr) *result_out = result;
   return policy;

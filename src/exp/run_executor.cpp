@@ -1,0 +1,33 @@
+#include "exp/run_executor.hpp"
+
+namespace topfull::exp {
+
+RunResult RunExecutor::RunOne(const RunSpec& spec) {
+  RunResult result;
+  result.label = spec.label;
+  result.app = spec.make_app();
+  sim::Application& app = *result.app;
+
+  // Controllers (and any custom attachment) only need to outlive the run:
+  // after RunFor the metrics timeline is self-contained.
+  Controllers controllers;
+  std::shared_ptr<void> custom;
+  if (spec.attach) {
+    custom = spec.attach(app);
+  } else {
+    controllers.Attach(spec.variant, app, spec.policy);
+  }
+
+  workload::TrafficDriver traffic(&app);
+  if (spec.traffic) spec.traffic(traffic, app);
+  app.RunFor(Seconds(spec.duration_s));
+  return result;
+}
+
+std::vector<RunResult> RunExecutor::Execute(const std::vector<RunSpec>& specs) const {
+  ThreadPool& pool = pool_ != nullptr ? *pool_ : ThreadPool::Global();
+  return pool.ParallelMap(specs.size(),
+                          [&specs](std::size_t i) { return RunOne(specs[i]); });
+}
+
+}  // namespace topfull::exp

@@ -1,0 +1,69 @@
+// Parallel sweep harness for the bench binaries.
+//
+// Every paper figure is a matrix of independent simulation runs
+// (variant x demand, variant x seed, vCPUs x with/without, ...). A RunSpec
+// describes one cell — an app factory, the controller variant to attach,
+// the traffic to drive, and how long to run — and RunExecutor runs the
+// whole list on the shared worker pool, one complete Simulation +
+// Application per worker. Each run owns its app, RNG streams, and metrics,
+// so runs never share mutable state (the pre-trained policy is shared
+// read-only); results come back in spec order, making a parallel sweep's
+// output bit-identical to the sequential one.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "exp/harness.hpp"
+#include "sim/app.hpp"
+#include "workload/generators.hpp"
+
+namespace topfull::exp {
+
+/// One independent simulation run.
+struct RunSpec {
+  std::string label;
+  double duration_s = 0.0;
+
+  /// Builds the application (topology, seeds, pod counts). Runs on the
+  /// worker, so factories must not share mutable state across specs.
+  std::function<std::unique_ptr<sim::Application>()> make_app;
+
+  /// Installs the workload (closed-loop pools / open-loop generators).
+  std::function<void(workload::TrafficDriver&, sim::Application&)> traffic;
+
+  /// Standard controller attachment (ignored when `attach` is set).
+  Variant variant = Variant::kNoControl;
+  const rl::GaussianPolicy* policy = nullptr;  ///< shared read-only
+
+  /// Custom controller attachment (e.g. a DAGOR with a swept config). The
+  /// returned object is kept alive until the run completes.
+  std::function<std::shared_ptr<void>(sim::Application&)> attach;
+};
+
+/// The finished run: label echoed back plus the application with its full
+/// metrics timeline, ready for goodput / convergence analysis.
+struct RunResult {
+  std::string label;
+  std::unique_ptr<sim::Application> app;
+};
+
+class RunExecutor {
+ public:
+  /// `pool == nullptr` uses ThreadPool::Global().
+  explicit RunExecutor(ThreadPool* pool = nullptr) : pool_(pool) {}
+
+  /// Runs every spec to completion; results are in spec order.
+  std::vector<RunResult> Execute(const std::vector<RunSpec>& specs) const;
+
+  /// Runs a single spec on the calling thread.
+  static RunResult RunOne(const RunSpec& spec);
+
+ private:
+  ThreadPool* pool_;
+};
+
+}  // namespace topfull::exp

@@ -5,60 +5,101 @@
 #include <cmath>
 #include <numeric>
 
+#include "common/thread_pool.hpp"
+
 namespace topfull::rl {
 
 PpoTrainer::PpoTrainer(GaussianPolicy* policy, PpoConfig config, std::uint64_t seed)
     : policy_(policy),
       config_(config),
+      seed_(seed),
       rng_(seed),
       optimizer_(policy->ParamCount(), config.lr),
       kl_coeff_(config.kl_coeff) {}
 
+PpoTrainer::EpisodeRollout PpoTrainer::RunEpisode(Env& env,
+                                                  std::uint64_t episode_index) const {
+  // Per-episode action-noise stream derived from (trainer seed, episode
+  // index): episode e draws identically whether it runs back-to-back on a
+  // shared env or on a fresh env clone on a worker thread.
+  Rng rng(seed_ ^ (episode_index * 0x9E3779B97F4A7C15ULL + 0x2545F4914F6CDD1DULL));
+  EpisodeRollout rollout;
+  std::vector<double> obs = env.Reset(episode_index);
+  std::vector<double> rewards;
+  std::vector<double> values;
+  bool done = false;
+  for (int t = 0; t < config_.steps_per_episode && !done; ++t) {
+    const GaussianPolicy::Eval eval = policy_->Evaluate(obs);
+    const double std = std::exp(eval.log_std);
+    const double raw = rng.Normal(eval.mean, std);
+    const double clipped =
+        std::clamp(raw, policy_->config().action_low, policy_->config().action_high);
+    Sample s;
+    s.obs = obs;
+    s.raw_action = raw;
+    s.mean_old = eval.mean;
+    s.log_std_old = eval.log_std;
+    s.logp_old = GaussianPolicy::LogProb(raw, eval.mean, eval.log_std);
+    values.push_back(policy_->Value(obs));
+    const StepResult result = env.Step(clipped);
+    rewards.push_back(result.reward);
+    rollout.reward += result.reward;
+    obs = result.obs;
+    done = result.done;
+    rollout.samples.push_back(std::move(s));
+  }
+  // GAE-lambda advantages; terminal bootstrap with V(s_T) when the
+  // episode was truncated by the step limit rather than `done`.
+  const double v_last = done ? 0.0 : policy_->Value(obs);
+  const int n = static_cast<int>(rollout.samples.size());
+  double gae = 0.0;
+  for (int t = n - 1; t >= 0; --t) {
+    const double v_next = (t == n - 1) ? v_last : values[t + 1];
+    const double delta = rewards[t] + config_.gamma * v_next - values[t];
+    gae = delta + config_.gamma * config_.gae_lambda * gae;
+    rollout.samples[t].advantage = gae;
+    rollout.samples[t].target_return = gae + values[t];
+  }
+  return rollout;
+}
+
 double PpoTrainer::CollectRollout(Env& env, std::vector<Sample>& batch) {
+  const std::uint64_t base = episode_counter_;
+  episode_counter_ += static_cast<std::uint64_t>(config_.episodes_per_iter);
   double reward_sum = 0.0;
   for (int e = 0; e < config_.episodes_per_iter; ++e) {
-    std::vector<double> obs = env.Reset(episode_counter_++);
-    std::vector<Sample> episode;
-    std::vector<double> rewards;
-    std::vector<double> values;
-    double episode_reward = 0.0;
-    bool done = false;
-    for (int t = 0; t < config_.steps_per_episode && !done; ++t) {
-      const GaussianPolicy::Eval eval = policy_->Evaluate(obs);
-      const double std = std::exp(eval.log_std);
-      const double raw = rng_.Normal(eval.mean, std);
-      const double clipped =
-          std::clamp(raw, policy_->config().action_low, policy_->config().action_high);
-      Sample s;
-      s.obs = obs;
-      s.raw_action = raw;
-      s.mean_old = eval.mean;
-      s.log_std_old = eval.log_std;
-      s.logp_old = GaussianPolicy::LogProb(raw, eval.mean, eval.log_std);
-      values.push_back(policy_->Value(obs));
-      const StepResult result = env.Step(clipped);
-      rewards.push_back(result.reward);
-      episode_reward += result.reward;
-      obs = result.obs;
-      done = result.done;
-      episode.push_back(std::move(s));
-    }
-    // GAE-lambda advantages; terminal bootstrap with V(s_T) when the
-    // episode was truncated by the step limit rather than `done`.
-    const double v_last = done ? 0.0 : policy_->Value(obs);
-    const int n = static_cast<int>(episode.size());
-    double gae = 0.0;
-    for (int t = n - 1; t >= 0; --t) {
-      const double v_next = (t == n - 1) ? v_last : values[t + 1];
-      const double delta = rewards[t] + config_.gamma * v_next - values[t];
-      gae = delta + config_.gamma * config_.gae_lambda * gae;
-      episode[t].advantage = gae;
-      episode[t].target_return = gae + values[t];
-    }
-    reward_sum += episode_reward;
-    for (auto& s : episode) batch.push_back(std::move(s));
+    EpisodeRollout rollout = RunEpisode(env, base + static_cast<std::uint64_t>(e));
+    reward_sum += rollout.reward;
+    for (auto& s : rollout.samples) batch.push_back(std::move(s));
   }
   return reward_sum / static_cast<double>(config_.episodes_per_iter);
+}
+
+double PpoTrainer::CollectRollout(const EnvFactory& make_env,
+                                  std::vector<Sample>& batch) {
+  const std::uint64_t base = episode_counter_;
+  episode_counter_ += static_cast<std::uint64_t>(config_.episodes_per_iter);
+  ThreadPool& pool = pool_ != nullptr ? *pool_ : ThreadPool::Global();
+  // Episodes are independent given their index; ParallelMap returns them in
+  // episode order, so the batch assembly below never depends on scheduling.
+  std::vector<EpisodeRollout> rollouts = pool.ParallelMap(
+      static_cast<std::size_t>(config_.episodes_per_iter), [&](std::size_t e) {
+        std::unique_ptr<Env> env = make_env();
+        return RunEpisode(*env, base + e);
+      });
+  double reward_sum = 0.0;
+  for (auto& rollout : rollouts) {
+    reward_sum += rollout.reward;
+    for (auto& s : rollout.samples) batch.push_back(std::move(s));
+  }
+  return reward_sum / static_cast<double>(config_.episodes_per_iter);
+}
+
+double PpoTrainer::CollectRolloutOnly(const EnvFactory& make_env) {
+  std::vector<Sample> batch;
+  batch.reserve(static_cast<std::size_t>(config_.episodes_per_iter) *
+                static_cast<std::size_t>(config_.steps_per_episode));
+  return CollectRollout(make_env, batch);
 }
 
 void PpoTrainer::Update(std::vector<Sample>& batch, IterStats& stats) {
@@ -179,25 +220,36 @@ void PpoTrainer::Update(std::vector<Sample>& batch, IterStats& stats) {
   stats.value_loss = last_value_loss;
 }
 
-IterStats PpoTrainer::TrainIteration(Env& env) {
+IterStats PpoTrainer::IterateWith(
+    const std::function<double(std::vector<Sample>&)>& collect) {
   IterStats stats;
   std::vector<Sample> batch;
   batch.reserve(static_cast<std::size_t>(config_.episodes_per_iter) *
                 static_cast<std::size_t>(config_.steps_per_episode));
-  stats.mean_episode_reward = CollectRollout(env, batch);
+  stats.mean_episode_reward = collect(batch);
   stats.episodes = config_.episodes_per_iter;
   if (!batch.empty()) Update(batch, stats);
   return stats;
 }
 
-TrainResult PpoTrainer::Train(Env& env, int total_episodes,
-                              const std::function<double(GaussianPolicy&)>& validate,
-                              int checkpoint_every) {
+IterStats PpoTrainer::TrainIteration(Env& env) {
+  return IterateWith([&](std::vector<Sample>& batch) { return CollectRollout(env, batch); });
+}
+
+IterStats PpoTrainer::TrainIteration(const EnvFactory& make_env) {
+  return IterateWith(
+      [&](std::vector<Sample>& batch) { return CollectRollout(make_env, batch); });
+}
+
+TrainResult PpoTrainer::TrainLoop(const std::function<IterStats()>& iterate,
+                                  int total_episodes,
+                                  const std::function<double(GaussianPolicy&)>& validate,
+                                  int checkpoint_every) {
   TrainResult result;
   result.best_validation_score = -1e300;
   int episodes_since_checkpoint = 0;
   while (result.episodes_trained < total_episodes) {
-    const IterStats stats = TrainIteration(env);
+    const IterStats stats = iterate();
     result.episodes_trained += stats.episodes;
     episodes_since_checkpoint += stats.episodes;
     result.history.push_back(stats);
@@ -221,20 +273,62 @@ TrainResult PpoTrainer::Train(Env& env, int total_episodes,
   return result;
 }
 
+TrainResult PpoTrainer::Train(Env& env, int total_episodes,
+                              const std::function<double(GaussianPolicy&)>& validate,
+                              int checkpoint_every) {
+  return TrainLoop([&] { return TrainIteration(env); }, total_episodes, validate,
+                   checkpoint_every);
+}
+
+TrainResult PpoTrainer::Train(const EnvFactory& make_env, int total_episodes,
+                              const std::function<double(GaussianPolicy&)>& validate,
+                              int checkpoint_every) {
+  return TrainLoop([&] { return TrainIteration(make_env); }, total_episodes, validate,
+                   checkpoint_every);
+}
+
+namespace {
+
+/// One deterministic (mean-action) evaluation episode; shared by both
+/// EvaluatePolicy forms so they stay numerically identical.
+double RunEvalEpisode(GaussianPolicy& policy, Env& env, std::uint64_t seed,
+                      int steps_per_episode) {
+  double total = 0.0;
+  std::vector<double> obs = env.Reset(seed);
+  bool done = false;
+  for (int t = 0; t < steps_per_episode && !done; ++t) {
+    const double action = policy.MeanAction(obs);
+    const StepResult r = env.Step(action);
+    total += r.reward;
+    obs = r.obs;
+    done = r.done;
+  }
+  return total;
+}
+
+}  // namespace
+
 double EvaluatePolicy(GaussianPolicy& policy, Env& env, int episodes,
                       std::uint64_t seed0, int steps_per_episode) {
   double total = 0.0;
   for (int e = 0; e < episodes; ++e) {
-    std::vector<double> obs = env.Reset(seed0 + static_cast<std::uint64_t>(e));
-    bool done = false;
-    for (int t = 0; t < steps_per_episode && !done; ++t) {
-      const double action = policy.MeanAction(obs);
-      const StepResult r = env.Step(action);
-      total += r.reward;
-      obs = r.obs;
-      done = r.done;
-    }
+    total += RunEvalEpisode(policy, env, seed0 + static_cast<std::uint64_t>(e),
+                            steps_per_episode);
   }
+  return total / static_cast<double>(episodes);
+}
+
+double EvaluatePolicy(GaussianPolicy& policy, const EnvFactory& make_env,
+                      int episodes, std::uint64_t seed0, int steps_per_episode,
+                      ThreadPool* pool) {
+  ThreadPool& p = pool != nullptr ? *pool : ThreadPool::Global();
+  const std::vector<double> totals =
+      p.ParallelMap(static_cast<std::size_t>(episodes), [&](std::size_t e) {
+        std::unique_ptr<Env> env = make_env();
+        return RunEvalEpisode(policy, *env, seed0 + e, steps_per_episode);
+      });
+  double total = 0.0;
+  for (const double t : totals) total += t;
   return total / static_cast<double>(episodes);
 }
 

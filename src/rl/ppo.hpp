@@ -1,15 +1,34 @@
 // Proximal Policy Optimization (clipped surrogate + adaptive KL penalty),
 // following RLlib's PPO with the hyper-parameters of the paper's Table 1.
+//
+// Rollout collection has two entry points: the classic single-env form
+// (episodes run back-to-back on one env) and an env-factory form where the
+// `episodes_per_iter` episodes run concurrently on per-worker env clones.
+// Both produce byte-identical sample batches: episode e always draws its
+// action noise from a stream seeded by (trainer seed, global episode index),
+// envs are fully re-seeded by Reset(episode index), and the batch is
+// assembled in episode order regardless of completion order. Policy
+// parameters are read-only during collection, so workers share the policy.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "rl/env.hpp"
 #include "rl/policy.hpp"
 
+namespace topfull {
+class ThreadPool;
+}  // namespace topfull
+
 namespace topfull::rl {
+
+/// Creates a fresh env clone for one rollout worker. Clones must be
+/// behaviourally identical (same construction seed/config): episode
+/// identity comes entirely from Reset(episode index).
+using EnvFactory = std::function<std::unique_ptr<Env>()>;
 
 /// Training hyper-parameters (defaults = paper Table 1 / RLlib defaults).
 struct PpoConfig {
@@ -53,6 +72,11 @@ class PpoTrainer {
   /// Collects one rollout batch from `env` and performs the PPO update.
   IterStats TrainIteration(Env& env);
 
+  /// Same, but episodes run concurrently on env clones from `make_env`.
+  /// The batch (and therefore the update) is bit-identical to the
+  /// single-env form at any pool size.
+  IterStats TrainIteration(const EnvFactory& make_env);
+
   /// Trains for `total_episodes`, checkpointing every `checkpoint_every`
   /// episodes and scoring each checkpoint with `validate` (higher is
   /// better). The best checkpoint's parameters are restored into the
@@ -61,6 +85,19 @@ class PpoTrainer {
   TrainResult Train(Env& env, int total_episodes,
                     const std::function<double(GaussianPolicy&)>& validate = {},
                     int checkpoint_every = 50);
+
+  /// Env-factory form of Train: parallel rollout collection.
+  TrainResult Train(const EnvFactory& make_env, int total_episodes,
+                    const std::function<double(GaussianPolicy&)>& validate = {},
+                    int checkpoint_every = 50);
+
+  /// Collects one rollout batch without updating the policy; returns the
+  /// mean episode reward. Benchmark / profiling hook for the collection
+  /// hot path in isolation.
+  double CollectRolloutOnly(const EnvFactory& make_env);
+
+  /// Worker pool override; nullptr (default) uses ThreadPool::Global().
+  void set_pool(ThreadPool* pool) { pool_ = pool; }
 
   const PpoConfig& config() const { return config_; }
   double kl_coeff() const { return kl_coeff_; }
@@ -76,14 +113,31 @@ class PpoTrainer {
     double target_return = 0.0;
   };
 
+  /// One episode's samples (with GAE already applied) and total reward.
+  struct EpisodeRollout {
+    std::vector<Sample> samples;
+    double reward = 0.0;
+  };
+
+  /// Runs episode `episode_index` on `env`. Read-only on the policy and
+  /// trainer state; safe to call concurrently on distinct envs.
+  EpisodeRollout RunEpisode(Env& env, std::uint64_t episode_index) const;
+
   /// Runs episodes, filling `batch`; returns mean episode reward.
   double CollectRollout(Env& env, std::vector<Sample>& batch);
+  double CollectRollout(const EnvFactory& make_env, std::vector<Sample>& batch);
+  IterStats IterateWith(const std::function<double(std::vector<Sample>&)>& collect);
+  TrainResult TrainLoop(const std::function<IterStats()>& iterate, int total_episodes,
+                        const std::function<double(GaussianPolicy&)>& validate,
+                        int checkpoint_every);
   void Update(std::vector<Sample>& batch, IterStats& stats);
 
   GaussianPolicy* policy_;
   PpoConfig config_;
-  Rng rng_;
+  std::uint64_t seed_;
+  Rng rng_;  // minibatch shuffling only; rollouts use per-episode streams
   Adam optimizer_;
+  ThreadPool* pool_ = nullptr;
   std::uint64_t episode_counter_ = 0;
   double kl_coeff_;
 };
@@ -93,5 +147,12 @@ class PpoTrainer {
 /// validation score.
 double EvaluatePolicy(GaussianPolicy& policy, Env& env, int episodes,
                       std::uint64_t seed0, int steps_per_episode);
+
+/// Env-factory form: evaluation episodes run concurrently on env clones.
+/// Identical result to the single-env form (envs fully re-seed on Reset and
+/// the mean action is deterministic).
+double EvaluatePolicy(GaussianPolicy& policy, const EnvFactory& make_env,
+                      int episodes, std::uint64_t seed0, int steps_per_episode,
+                      ThreadPool* pool = nullptr);
 
 }  // namespace topfull::rl

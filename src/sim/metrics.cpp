@@ -1,6 +1,9 @@
 #include "sim/metrics.hpp"
 
+#include <algorithm>
 #include <cassert>
+
+#include "common/stats.hpp"
 
 namespace topfull::sim {
 
@@ -51,12 +54,15 @@ const Snapshot& MetricsCollector::Collect(SimTime now,
     ApiWindow w = window_[i];
     auto& lat = window_lat_[i];
     if (!lat.empty()) {
+      // One in-place sort serves all three quantiles and the mean; the old
+      // code copied and re-sorted the window once per Percentile call.
+      std::sort(lat.begin(), lat.end());
       double sum = 0.0;
       for (const double v : lat) sum += v;
       w.latency_mean_ms = sum / static_cast<double>(lat.size());
-      w.latency_p50_ms = Percentile(lat, 50.0);
-      w.latency_p95_ms = Percentile(lat, 95.0);
-      w.latency_p99_ms = Percentile(std::move(lat), 99.0);
+      w.latency_p50_ms = PercentileSorted(lat, 50.0);
+      w.latency_p95_ms = PercentileSorted(lat, 95.0);
+      w.latency_p99_ms = PercentileSorted(lat, 99.0);
     }
     snap.apis.push_back(w);
     window_[i] = ApiWindow{};

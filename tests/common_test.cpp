@@ -2,8 +2,10 @@
 // stats, percentiles, EWMA, token bucket, union-find, schedules/tables.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <set>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "common/sim_time.hpp"
@@ -119,6 +121,20 @@ TEST(PercentileTest, InterpolatesBetweenRanks) {
 
 TEST(PercentileTest, EmptyReturnsFallback) {
   EXPECT_DOUBLE_EQ(Percentile({}, 50.0, -1.0), -1.0);
+}
+
+TEST(PercentileTest, InPlaceSortsAndMatchesCopyingForm) {
+  const std::vector<double> values = {9.0, 1.0, 5.0, 3.0, 7.0};
+  std::vector<double> buffer = values;
+  EXPECT_DOUBLE_EQ(PercentileInPlace(buffer, 50.0), Percentile(values, 50.0));
+  EXPECT_TRUE(std::is_sorted(buffer.begin(), buffer.end()));
+  // The sorted buffer can then serve any number of quantile reads.
+  EXPECT_DOUBLE_EQ(PercentileSorted(buffer, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(PercentileSorted(buffer, 100.0), 9.0);
+  EXPECT_DOUBLE_EQ(PercentileSorted(buffer, 95.0), Percentile(values, 95.0));
+  std::vector<double> empty;
+  EXPECT_DOUBLE_EQ(PercentileInPlace(empty, 50.0, -2.0), -2.0);
+  EXPECT_DOUBLE_EQ(PercentileSorted(empty, 50.0, -3.0), -3.0);
 }
 
 TEST(WindowedSamplesTest, ExpiresOldSamples) {

@@ -506,6 +506,42 @@ TEST(MetricsTest, WindowLatencyPercentiles) {
   EXPECT_EQ(snap.apis[0].good, 100u);
 }
 
+TEST(MetricsTest, CollectDigestsMatchReferenceComputation) {
+  // Regression for the window-close hot path: Collect sorts each API's
+  // latency buffer once and reads every digest from it; the digests must
+  // match an independent reference computation.
+  const std::vector<double> latencies_ms = {7.0,  3.0, 912.5, 40.0, 40.0,
+                                            11.5, 2.0, 300.0, 5.25, 64.0};
+  MetricsCollector metrics(1, Seconds(1));
+  for (const double ms : latencies_ms) {
+    metrics.OnOffered(0);
+    metrics.OnAdmitted(0);
+    metrics.OnCompleted(0, Millis(ms));
+  }
+  const Snapshot& snap = metrics.Collect(Seconds(1), {});
+
+  double sum = 0.0;
+  for (const double ms : latencies_ms) sum += ms;
+  EXPECT_DOUBLE_EQ(snap.apis[0].latency_mean_ms,
+                   sum / static_cast<double>(latencies_ms.size()));
+  // Reference: the copying sort-per-call Percentile.
+  EXPECT_DOUBLE_EQ(snap.apis[0].latency_p50_ms, Percentile(latencies_ms, 50.0));
+  EXPECT_DOUBLE_EQ(snap.apis[0].latency_p95_ms, Percentile(latencies_ms, 95.0));
+  EXPECT_DOUBLE_EQ(snap.apis[0].latency_p99_ms, Percentile(latencies_ms, 99.0));
+}
+
+TEST(MetricsTest, CollectDigestsSingleSampleWindow) {
+  MetricsCollector metrics(1, Seconds(1));
+  metrics.OnOffered(0);
+  metrics.OnAdmitted(0);
+  metrics.OnCompleted(0, Millis(42.0));
+  const Snapshot& snap = metrics.Collect(Seconds(1), {});
+  EXPECT_DOUBLE_EQ(snap.apis[0].latency_mean_ms, 42.0);
+  EXPECT_DOUBLE_EQ(snap.apis[0].latency_p50_ms, 42.0);
+  EXPECT_DOUBLE_EQ(snap.apis[0].latency_p95_ms, 42.0);
+  EXPECT_DOUBLE_EQ(snap.apis[0].latency_p99_ms, 42.0);
+}
+
 TEST(MetricsTest, AvgGoodputOverRange) {
   MetricsCollector metrics(1, Seconds(1));
   for (int second = 1; second <= 4; ++second) {

@@ -4,9 +4,9 @@
 //                  [--controller <topfull|topfull-bw|mimd|dagor|breakwater|none>]
 //                  [--users N | --rps R] [--duration S] [--surge T:N]
 //                  [--priorities] [--probe-failures] [--hpa] [--seed S]
-//                  [--csv FILE]
+//                  [--csv FILE] [--threads N]
 //   topfull inspect --app <...>            # print topology + capacities
-//   topfull train   [--episodes N] [--out FILE]   # pre-train a policy
+//   topfull train   [--episodes N] [--out FILE] [--threads N]   # pre-train
 //
 // Examples:
 //   topfull run --app boutique --controller topfull --users 2600 --duration 120
@@ -23,6 +23,7 @@
 #include "apps/train_ticket.hpp"
 #include "autoscale/hpa.hpp"
 #include "common/table.hpp"
+#include "common/thread_pool.hpp"
 #include "exp/csv.hpp"
 #include "exp/harness.hpp"
 #include "exp/model_cache.hpp"
@@ -70,7 +71,10 @@ int Usage() {
       "              [--users N | --rps R] [--duration S] [--surge T:N]\n"
       "              [--priorities] [--probe-failures] [--hpa] [--seed S] [--csv FILE]\n"
       "  topfull inspect --app <boutique|trainticket|alibaba>\n"
-      "  topfull train [--episodes N] [--out FILE]\n");
+      "  topfull train [--episodes N] [--out FILE]\n"
+      "\n"
+      "  --threads N   worker-pool size for parallel rollouts/sweeps\n"
+      "                (overrides TOPFULL_THREADS; default: all cores)\n");
   return 2;
 }
 
@@ -240,6 +244,9 @@ int CmdTrain(const Args& args) {
 
 int main(int argc, char** argv) {
   const Args args = Parse(argc, argv);
+  if (args.Has("threads")) {
+    ThreadPool::SetGlobalThreads(static_cast<int>(args.Num("threads", 0)));
+  }
   if (args.command == "run") return CmdRun(args);
   if (args.command == "inspect") return CmdInspect(args);
   if (args.command == "train") return CmdTrain(args);
