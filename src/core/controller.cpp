@@ -79,7 +79,11 @@ RateController& TopFullController::RecoveryController(sim::ApiId api) {
 
 void TopFullController::SetRate(sim::ApiId api, double rate) {
   ApiControl& control = controls_[api];
+  const double before = control.rate;
   control.rate = std::clamp(rate, config_.min_rate, config_.max_rate);
+  if (decision_observer_ != nullptr) {
+    decision_observer_->OnRateChange(api, before, control.rate);
+  }
   control.bucket.SetRate(control.rate);
   // Keep a shallow burst so 1 s averages track the limit closely.
   const double burst =
@@ -175,6 +179,10 @@ void TopFullController::Tick() {
   if (tracker_ != nullptr) {
     tracker_->Record(ToSeconds(app_->sim().Now()), last_clusters_);
   }
+  if (decision_observer_ != nullptr) {
+    decision_observer_->BeginTick(ToSeconds(app_->sim().Now()), overloaded,
+                                  last_clusters_);
+  }
 
   // Which APIs are members of some cluster (i.e. touch an overload)?
   std::vector<bool> in_cluster(static_cast<std::size_t>(app_->NumApis()), false);
@@ -240,6 +248,9 @@ void TopFullController::Tick() {
         const ControlState state = StateOf(candidates, snap);
         const double action = ClusterController(target).DecideStep(state);
         ++decisions_;
+        if (decision_observer_ != nullptr) {
+          decision_observer_->OnClusterDecision(target, candidates, state, action);
+        }
         if (action > 0.0) {
           // §4.1: only rate-increase APIs whose execution paths contain no
           // overloaded microservice beyond the target being probed —
@@ -272,8 +283,12 @@ void TopFullController::Tick() {
     const ControlState state = StateOf({a}, snap);
     const double action = RecoveryController(a).DecideStep(state);
     ++decisions_;
+    if (decision_observer_ != nullptr) {
+      decision_observer_->OnRecoveryDecision(a, state, action);
+    }
     if (action != 0.0) SetRate(a, controls_[a].rate * (1.0 + action));
   }
+  if (decision_observer_ != nullptr) decision_observer_->EndTick();
 }
 
 }  // namespace topfull::core

@@ -22,6 +22,7 @@
 #include "common/token_bucket.hpp"
 #include "core/cluster_tracker.hpp"
 #include "core/clustering.hpp"
+#include "core/decision_observer.hpp"
 #include "core/overload.hpp"
 #include "core/rate_controller.hpp"
 #include "core/registry.hpp"
@@ -99,6 +100,11 @@ class TopFullController : public sim::EntryAdmission {
   /// clustering is recorded for the re-clustering dynamics analysis.
   void SetClusterTracker(ClusterTracker* tracker) { tracker_ = tracker; }
 
+  /// Attaches a decision observer (not owned); every tick's detections,
+  /// Algorithm 1 decisions and rate-limit changes are reported to it.
+  /// Pass-through: cannot influence control behaviour.
+  void SetDecisionObserver(DecisionObserver* observer) { decision_observer_ = observer; }
+
  private:
   struct ApiControl {
     bool capped = false;
@@ -127,6 +133,7 @@ class TopFullController : public sim::EntryAdmission {
   std::map<sim::ApiId, std::unique_ptr<RateController>> recovery_controllers_;
   std::vector<Cluster> last_clusters_;
   ClusterTracker* tracker_ = nullptr;
+  DecisionObserver* decision_observer_ = nullptr;
   std::vector<bool> flagged_;  ///< hysteresis state (when enabled)
   std::size_t sequential_cursor_ = 0;  // for the w/o-clustering ablation
   std::uint64_t decisions_ = 0;

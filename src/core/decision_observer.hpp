@@ -1,0 +1,47 @@
+// Controller decision hooks.
+//
+// TopFullController reports every control tick — the detected overloaded
+// services, the tick's clustering, each Algorithm 1 decision (target,
+// candidate APIs, observed state, chosen step), each recovery decision, and
+// every rate-limit mutation — to an optional observer. Observation is
+// pass-through: the observer cannot influence decisions, so attaching one
+// never changes simulation results. obs::DecisionLog materialises the stream
+// as replayable JSONL.
+#pragma once
+
+#include <vector>
+
+#include "core/clustering.hpp"
+#include "core/rate_controller.hpp"
+
+namespace topfull::core {
+
+class DecisionObserver {
+ public:
+  virtual ~DecisionObserver() = default;
+
+  /// A control tick began: time, the overloaded-service set (after
+  /// hysteresis) and the tick's clustering. Every later hook until EndTick
+  /// belongs to this tick.
+  virtual void BeginTick(double t_s, const std::vector<sim::ServiceId>& overloaded,
+                         const std::vector<Cluster>& clusters) = 0;
+
+  /// Algorithm 1 ran for `target` over `candidates` observing `state` and
+  /// chose the multiplicative step `action`.
+  virtual void OnClusterDecision(sim::ServiceId target,
+                                 const std::vector<sim::ApiId>& candidates,
+                                 const ControlState& state, double action) = 0;
+
+  /// A recovery controller adjusted a rate-limited API whose paths are
+  /// currently overload-free.
+  virtual void OnRecoveryDecision(sim::ApiId api, const ControlState& state,
+                                  double action) = 0;
+
+  /// An API's rate limit changed from `before` to `after` rps (`before` is
+  /// 0 when the API was just brought under control).
+  virtual void OnRateChange(sim::ApiId api, double before, double after) = 0;
+
+  virtual void EndTick() = 0;
+};
+
+}  // namespace topfull::core

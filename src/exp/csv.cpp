@@ -1,7 +1,10 @@
 #include "exp/csv.hpp"
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <filesystem>
 #include <fstream>
 
 namespace topfull::exp {
@@ -34,11 +37,20 @@ bool WriteTimelineCsv(const sim::Application& app, const std::string& path) {
 void MaybeExportTimeline(const sim::Application& app, const std::string& name) {
   const char* dir = std::getenv("TOPFULL_CSV_DIR");
   if (dir == nullptr || *dir == '\0') return;
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    std::fprintf(stderr, "[csv] cannot create %s: %s\n", dir,
+                 ec.message().c_str());
+    return;
+  }
   const std::string path = std::string(dir) + "/" + name + ".csv";
+  errno = 0;
   if (WriteTimelineCsv(app, path)) {
     std::fprintf(stderr, "[csv] wrote %s\n", path.c_str());
   } else {
-    std::fprintf(stderr, "[csv] FAILED to write %s\n", path.c_str());
+    std::fprintf(stderr, "[csv] FAILED to write %s: %s\n", path.c_str(),
+                 errno != 0 ? std::strerror(errno) : "write error");
   }
 }
 

@@ -1,6 +1,12 @@
 #include "exp/harness.hpp"
 
 #include <cassert>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+
+#include "obs/export.hpp"
 
 namespace topfull::exp {
 
@@ -79,6 +85,86 @@ workload::ClosedLoopConfig UniformUsers(const sim::Application& app) {
 
 double TotalGoodput(const sim::Application& app, double from_s, double to_s) {
   return app.metrics().AvgTotalGoodput(from_s, to_s);
+}
+
+TelemetryOptions TelemetryOptions::FromEnv() {
+  TelemetryOptions options;
+  const char* dir = std::getenv("TOPFULL_TRACE_DIR");
+  if (dir != nullptr) options.dir = dir;
+  const char* sample = std::getenv("TOPFULL_TRACE_SAMPLE");
+  if (sample != nullptr && *sample != '\0') {
+    options.sample_rate = std::atof(sample);
+  }
+  return options;
+}
+
+Telemetry::Telemetry(TelemetryOptions options) : options_(std::move(options)) {}
+
+void Telemetry::Attach(sim::Application& app) {
+  if (!enabled()) return;
+  if (!tracer_) {
+    obs::TraceConfig config;
+    config.sample_rate = options_.sample_rate;
+    config.max_traces = options_.max_traces;
+    tracer_ = std::make_unique<obs::RequestTracer>(config);
+  }
+  app.SetObserver(tracer_.get());
+}
+
+void Telemetry::Attach(core::TopFullController& controller) {
+  if (!enabled()) return;
+  if (!decision_log_) decision_log_ = std::make_unique<obs::DecisionLog>();
+  controller.SetDecisionObserver(decision_log_.get());
+}
+
+TelemetrySummary Telemetry::Export(const sim::Application& app,
+                                   const std::string& name,
+                                   const core::TopFullController* controller,
+                                   bool log_stderr) {
+  TelemetrySummary summary;
+  if (!enabled()) return summary;
+  std::error_code ec;
+  std::filesystem::create_directories(options_.dir, ec);
+  if (ec) {
+    std::fprintf(stderr, "[obs] cannot create %s: %s\n", options_.dir.c_str(),
+                 ec.message().c_str());
+    return summary;
+  }
+  const std::string base = options_.dir + "/" + name;
+  const auto report = [&summary, log_stderr](const std::string& path, bool ok) {
+    if (!ok) {
+      std::fprintf(stderr, "[obs] FAILED to write %s\n", path.c_str());
+      return;
+    }
+    summary.paths.push_back(path);
+    if (log_stderr) std::fprintf(stderr, "[obs] wrote %s\n", path.c_str());
+  };
+  if (tracer_) {
+    summary.sampled = tracer_->counters().sampled;
+    summary.dropped = tracer_->counters().dropped;
+    const std::string path = base + ".trace.json";
+    report(path, obs::WritePerfettoTrace(*tracer_, app, path));
+  }
+  if (decision_log_) {
+    summary.ticks = decision_log_->ticks().size();
+    summary.decisions = decision_log_->DecisionCount();
+    const std::string path = base + ".decisions.jsonl";
+    report(path, obs::WriteDecisionLogJsonl(*decision_log_, app, path));
+  }
+  const std::string prom = base + ".metrics.prom";
+  report(prom, obs::WritePrometheusText(app, controller, tracer_.get(), prom));
+  return summary;
+}
+
+std::string SanitizeFileName(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (const char c : name) {
+    out += (std::isalnum(static_cast<unsigned char>(c)) || c == '-' || c == '.')
+               ? c
+               : '_';
+  }
+  return out.empty() ? "run" : out;
 }
 
 std::vector<double> PerApiGoodputRow(const sim::Application& app, double from_s,

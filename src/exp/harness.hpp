@@ -9,6 +9,8 @@
 #include "baselines/dagor.hpp"
 #include "baselines/wisp.hpp"
 #include "core/controller.hpp"
+#include "obs/decision_log.hpp"
+#include "obs/trace.hpp"
 #include "rl/policy.hpp"
 #include "sim/app.hpp"
 #include "workload/generators.hpp"
@@ -65,5 +67,62 @@ double TotalGoodput(const sim::Application& app, double from_s, double to_s = -1
 /// total appended.
 std::vector<double> PerApiGoodputRow(const sim::Application& app, double from_s,
                                      double to_s = -1.0);
+
+// --- Telemetry (span tracing + decision log + exporters) ---------------------
+
+/// Where and how much to trace. Disabled (dir empty) by default; FromEnv
+/// reads TOPFULL_TRACE_DIR and TOPFULL_TRACE_SAMPLE.
+struct TelemetryOptions {
+  std::string dir;           ///< output directory; empty = telemetry off
+  double sample_rate = 1.0;  ///< fraction of requests traced, in [0, 1]
+  std::size_t max_traces = 50000;
+
+  bool enabled() const { return !dir.empty(); }
+  static TelemetryOptions FromEnv();
+};
+
+/// End-of-run telemetry accounting returned by Telemetry::Export.
+struct TelemetrySummary {
+  std::uint64_t sampled = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t ticks = 0;      ///< decision-log ticks
+  std::uint64_t decisions = 0;  ///< decision-log decisions (cluster + recovery)
+  std::vector<std::string> paths;  ///< files written
+};
+
+/// Owns a RequestTracer and DecisionLog for one run and writes the Perfetto
+/// trace, decision JSONL and Prometheus dump at the end. Must outlive the
+/// simulation run (the application/controller hold raw observer pointers).
+class Telemetry {
+ public:
+  Telemetry() = default;
+  explicit Telemetry(TelemetryOptions options);
+
+  bool enabled() const { return options_.enabled(); }
+
+  /// Installs the span tracer on `app`. No-op when disabled.
+  void Attach(sim::Application& app);
+  /// Installs the decision log on `controller`. No-op when disabled.
+  void Attach(core::TopFullController& controller);
+
+  /// Writes "<dir>/<name>.trace.json", "<dir>/<name>.decisions.jsonl" (when
+  /// a controller was attached) and "<dir>/<name>.metrics.prom", creating
+  /// `dir` recursively. Paths are reported on stderr when `log_stderr`
+  /// (bench stdout must stay byte-identical with telemetry on or off).
+  TelemetrySummary Export(const sim::Application& app, const std::string& name,
+                          const core::TopFullController* controller = nullptr,
+                          bool log_stderr = true);
+
+  const obs::RequestTracer* tracer() const { return tracer_.get(); }
+  const obs::DecisionLog* decision_log() const { return decision_log_.get(); }
+
+ private:
+  TelemetryOptions options_;
+  std::unique_ptr<obs::RequestTracer> tracer_;
+  std::unique_ptr<obs::DecisionLog> decision_log_;
+};
+
+/// Replaces path-hostile characters so a run label can name a trace file.
+std::string SanitizeFileName(const std::string& name);
 
 }  // namespace topfull::exp

@@ -1,12 +1,28 @@
 #include "exp/run_executor.hpp"
 
+#include <cstdio>
+
+#include "obs/profile.hpp"
+
 namespace topfull::exp {
 
 RunResult RunExecutor::RunOne(const RunSpec& spec) {
+  return RunOne(spec, SanitizeFileName(spec.label));
+}
+
+RunResult RunExecutor::RunOne(const RunSpec& spec,
+                              const std::string& telemetry_name) {
+  obs::ScopedTimer run_timer("exp/run");
   RunResult result;
   result.label = spec.label;
-  result.app = spec.make_app();
+  {
+    obs::ScopedTimer timer("exp/make_app");
+    result.app = spec.make_app();
+  }
   sim::Application& app = *result.app;
+
+  Telemetry telemetry(TelemetryOptions::FromEnv());
+  telemetry.Attach(app);
 
   // Controllers (and any custom attachment) only need to outlive the run:
   // after RunFor the metrics timeline is self-contained.
@@ -17,17 +33,30 @@ RunResult RunExecutor::RunOne(const RunSpec& spec) {
   } else {
     controllers.Attach(spec.variant, app, spec.policy);
   }
+  if (controllers.topfull() != nullptr) telemetry.Attach(*controllers.topfull());
 
   workload::TrafficDriver traffic(&app);
   if (spec.traffic) spec.traffic(traffic, app);
-  app.RunFor(Seconds(spec.duration_s));
+  {
+    obs::ScopedTimer timer("exp/simulate");
+    app.RunFor(Seconds(spec.duration_s));
+  }
+  if (telemetry.enabled()) {
+    obs::ScopedTimer timer("exp/export_telemetry");
+    telemetry.Export(app, telemetry_name, controllers.topfull());
+  }
   return result;
 }
 
 std::vector<RunResult> RunExecutor::Execute(const std::vector<RunSpec>& specs) const {
   ThreadPool& pool = pool_ != nullptr ? *pool_ : ThreadPool::Global();
-  return pool.ParallelMap(specs.size(),
-                          [&specs](std::size_t i) { return RunOne(specs[i]); });
+  return pool.ParallelMap(specs.size(), [&specs](std::size_t i) {
+    // Telemetry file names carry the spec index so sweeps with duplicate
+    // labels never collide, and the naming is pool-size independent.
+    char prefix[16];
+    std::snprintf(prefix, sizeof(prefix), "%03zu_", i);
+    return RunOne(specs[i], prefix + SanitizeFileName(specs[i].label));
+  });
 }
 
 }  // namespace topfull::exp

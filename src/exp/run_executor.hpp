@@ -56,11 +56,16 @@ class RunExecutor {
   /// `pool == nullptr` uses ThreadPool::Global().
   explicit RunExecutor(ThreadPool* pool = nullptr) : pool_(pool) {}
 
-  /// Runs every spec to completion; results are in spec order.
+  /// Runs every spec to completion; results are in spec order. With
+  /// TOPFULL_TRACE_DIR set, every run additionally exports its telemetry
+  /// (trace JSON / decision JSONL / Prometheus dump) under a deterministic
+  /// "<index>_<label>" name, identically for any pool size.
   std::vector<RunResult> Execute(const std::vector<RunSpec>& specs) const;
 
-  /// Runs a single spec on the calling thread.
+  /// Runs a single spec on the calling thread. `telemetry_name` names the
+  /// run's telemetry files (defaults to the sanitized label).
   static RunResult RunOne(const RunSpec& spec);
+  static RunResult RunOne(const RunSpec& spec, const std::string& telemetry_name);
 
  private:
   ThreadPool* pool_;

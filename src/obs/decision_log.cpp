@@ -1,0 +1,59 @@
+#include "obs/decision_log.hpp"
+
+namespace topfull::obs {
+
+void DecisionLog::BeginTick(double t_s,
+                            const std::vector<sim::ServiceId>& overloaded,
+                            const std::vector<core::Cluster>& clusters) {
+  current_ = TickRecord{};
+  current_.t_s = t_s;
+  current_.overloaded = overloaded;
+  current_.clusters.reserve(clusters.size());
+  for (const auto& cluster : clusters) {
+    current_.clusters.push_back(ClusterMembership{cluster.apis, cluster.overloaded});
+  }
+  tick_limits_.clear();
+  open_ = true;
+}
+
+void DecisionLog::OnClusterDecision(sim::ServiceId target,
+                                    const std::vector<sim::ApiId>& candidates,
+                                    const core::ControlState& state,
+                                    double action) {
+  if (!open_) return;
+  current_.decisions.push_back(TargetDecision{target, candidates, state, action});
+}
+
+void DecisionLog::OnRecoveryDecision(sim::ApiId api,
+                                     const core::ControlState& state,
+                                     double action) {
+  if (!open_) return;
+  current_.recovery.push_back(RecoveryDecision{api, state, action});
+}
+
+void DecisionLog::OnRateChange(sim::ApiId api, double before, double after) {
+  // Rate changes outside a tick (e.g. ForceRateLimit from the RL training
+  // env) are not part of the control trajectory and are not logged.
+  if (!open_) return;
+  const auto [it, inserted] = tick_limits_.try_emplace(api, LimitDelta{api, before, after});
+  if (!inserted) it->second.after = after;
+}
+
+void DecisionLog::EndTick() {
+  if (!open_) return;
+  open_ = false;
+  current_.limits.reserve(tick_limits_.size());
+  for (const auto& [api, delta] : tick_limits_) current_.limits.push_back(delta);
+  ticks_.push_back(std::move(current_));
+  current_ = TickRecord{};
+}
+
+std::uint64_t DecisionLog::DecisionCount() const {
+  std::uint64_t n = 0;
+  for (const auto& tick : ticks_) {
+    n += tick.decisions.size() + tick.recovery.size();
+  }
+  return n;
+}
+
+}  // namespace topfull::obs

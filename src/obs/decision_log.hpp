@@ -1,0 +1,81 @@
+// Structured controller decision log.
+//
+// Buffers one TickRecord per control tick: overloaded services, cluster
+// membership, per-target Algorithm 1 decisions, recovery decisions, and the
+// per-API rate-limit deltas (first value before / last value after within
+// the tick). obs::WriteDecisionLogJsonl serialises the buffer as one JSON
+// object per line so any convergence plot can be replayed
+// decision-by-decision.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "core/decision_observer.hpp"
+
+namespace topfull::obs {
+
+/// Membership of one cluster at one tick (paper Eq. 2).
+struct ClusterMembership {
+  std::vector<sim::ApiId> apis;
+  std::vector<sim::ServiceId> overloaded;
+};
+
+/// One Algorithm 1 decision.
+struct TargetDecision {
+  sim::ServiceId target = sim::kNoService;
+  std::vector<sim::ApiId> apis;  ///< candidates adjusted for this target
+  core::ControlState state;
+  double action = 0.0;
+};
+
+struct RecoveryDecision {
+  sim::ApiId api = sim::kNoApi;
+  core::ControlState state;
+  double action = 0.0;
+};
+
+/// Net rate-limit movement of one API within one tick.
+struct LimitDelta {
+  sim::ApiId api = sim::kNoApi;
+  double before = 0.0;  ///< limit entering the tick (0 = previously uncapped)
+  double after = 0.0;   ///< limit leaving the tick
+};
+
+struct TickRecord {
+  double t_s = 0.0;
+  std::vector<sim::ServiceId> overloaded;
+  std::vector<ClusterMembership> clusters;
+  std::vector<TargetDecision> decisions;
+  std::vector<RecoveryDecision> recovery;
+  std::vector<LimitDelta> limits;  ///< sorted by ApiId
+};
+
+class DecisionLog : public core::DecisionObserver {
+ public:
+  // core::DecisionObserver:
+  void BeginTick(double t_s, const std::vector<sim::ServiceId>& overloaded,
+                 const std::vector<core::Cluster>& clusters) override;
+  void OnClusterDecision(sim::ServiceId target,
+                         const std::vector<sim::ApiId>& candidates,
+                         const core::ControlState& state, double action) override;
+  void OnRecoveryDecision(sim::ApiId api, const core::ControlState& state,
+                          double action) override;
+  void OnRateChange(sim::ApiId api, double before, double after) override;
+  void EndTick() override;
+
+  const std::vector<TickRecord>& ticks() const { return ticks_; }
+
+  /// Total Algorithm 1 + recovery decisions logged (matches
+  /// TopFullController::Decisions() when attached for the whole run).
+  std::uint64_t DecisionCount() const;
+
+ private:
+  std::vector<TickRecord> ticks_;
+  TickRecord current_;
+  std::map<sim::ApiId, LimitDelta> tick_limits_;
+  bool open_ = false;
+};
+
+}  // namespace topfull::obs

@@ -1,0 +1,279 @@
+#include "obs/export.hpp"
+
+#include <cstdio>
+#include <fstream>
+
+#include "core/controller.hpp"
+
+namespace topfull::obs {
+
+namespace {
+
+/// Deterministic, locale-independent double formatting.
+std::string Num(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  return buf;
+}
+
+std::string U64(std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+const char* OutcomeName(sim::Outcome outcome) {
+  switch (outcome) {
+    case sim::Outcome::kCompleted: return "completed";
+    case sim::Outcome::kRejectedEntry: return "rejected_entry";
+    case sim::Outcome::kRejectedService: return "rejected_service";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+bool WritePerfettoTrace(const RequestTracer& tracer, const sim::Application& app,
+                        const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  bool first = true;
+  const auto emit = [&out, &first](const std::string& event) {
+    if (!first) out << ",\n";
+    first = false;
+    out << event;
+  };
+
+  // Process/thread naming: pid 0 is the client (root spans, one thread per
+  // API); pid s+1 is microservice s.
+  emit("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,"
+       "\"args\":{\"name\":\"client:" + JsonEscape(app.name()) + "\"}}");
+  for (int s = 0; s < app.NumServices(); ++s) {
+    emit("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" + U64(s + 1) +
+         ",\"tid\":0,\"args\":{\"name\":\"" + JsonEscape(app.service(s).name()) +
+         "\"}}");
+  }
+  for (int pid = 0; pid <= app.NumServices(); ++pid) {
+    for (sim::ApiId a = 0; a < app.NumApis(); ++a) {
+      emit("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" + U64(pid) +
+           ",\"tid\":" + U64(a) + ",\"args\":{\"name\":\"" +
+           JsonEscape(app.api(a).name()) + "\"}}");
+    }
+  }
+
+  for (const RequestTrace& trace : tracer.finished()) {
+    const std::string tid = U64(static_cast<std::uint64_t>(trace.api));
+    if (trace.outcome == sim::Outcome::kRejectedEntry) {
+      emit("{\"name\":\"rejected_entry\",\"cat\":\"admission\",\"ph\":\"i\","
+           "\"s\":\"t\",\"ts\":" + U64(trace.start) + ",\"pid\":0,\"tid\":" +
+           tid + "}");
+      continue;
+    }
+    emit("{\"name\":\"" + JsonEscape(app.api(trace.api).name()) +
+         "\",\"cat\":\"request\",\"ph\":\"X\",\"ts\":" + U64(trace.start) +
+         ",\"dur\":" + U64(trace.end - trace.start) + ",\"pid\":0,\"tid\":" +
+         tid + ",\"args\":{\"id\":" + U64(trace.id) + ",\"outcome\":\"" +
+         OutcomeName(trace.outcome) + "\",\"slo_ok\":" +
+         (trace.slo_ok ? "true" : "false") + "}}");
+    for (const HopSpan& span : trace.spans) {
+      emit("{\"name\":\"" + JsonEscape(app.service(span.service).name()) +
+           "\",\"cat\":\"span\",\"ph\":\"X\",\"ts\":" + U64(span.start) +
+           ",\"dur\":" + U64(span.end - span.start) + ",\"pid\":" +
+           U64(span.service + 1) + ",\"tid\":" + tid +
+           ",\"args\":{\"id\":" + U64(trace.id) + ",\"queue_wait_ms\":" +
+           Num(ToMillis(span.queue_wait)) + ",\"service_time_ms\":" +
+           Num(ToMillis(span.service_time)) + ",\"ok\":" +
+           (span.ok ? "true" : "false") + ",\"shed\":" +
+           (span.shed ? "true" : "false") + "}}");
+    }
+  }
+  out << "\n]}\n";
+  return static_cast<bool>(out);
+}
+
+bool WriteDecisionLogJsonl(const DecisionLog& log, const sim::Application& app,
+                           const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  const auto api_name = [&app](sim::ApiId a) {
+    return "\"" + JsonEscape(app.api(a).name()) + "\"";
+  };
+  const auto svc_name = [&app](sim::ServiceId s) {
+    return "\"" + JsonEscape(app.service(s).name()) + "\"";
+  };
+  const auto api_list = [&api_name](const std::vector<sim::ApiId>& apis) {
+    std::string s = "[";
+    for (std::size_t i = 0; i < apis.size(); ++i) {
+      if (i > 0) s += ",";
+      s += api_name(apis[i]);
+    }
+    return s + "]";
+  };
+  const auto svc_list = [&svc_name](const std::vector<sim::ServiceId>& svcs) {
+    std::string s = "[";
+    for (std::size_t i = 0; i < svcs.size(); ++i) {
+      if (i > 0) s += ",";
+      s += svc_name(svcs[i]);
+    }
+    return s + "]";
+  };
+  const auto state_fields = [](const core::ControlState& state) {
+    return "\"goodput\":" + Num(state.goodput) + ",\"rate_limit\":" +
+           Num(state.rate_limit) + ",\"latency_s\":" + Num(state.latency_s) +
+           ",\"slo_s\":" + Num(state.slo_s);
+  };
+
+  for (const TickRecord& tick : log.ticks()) {
+    out << "{\"t_s\":" << Num(tick.t_s) << ",\"overloaded\":"
+        << svc_list(tick.overloaded) << ",\"clusters\":[";
+    for (std::size_t i = 0; i < tick.clusters.size(); ++i) {
+      if (i > 0) out << ",";
+      out << "{\"apis\":" << api_list(tick.clusters[i].apis) << ",\"overloaded\":"
+          << svc_list(tick.clusters[i].overloaded) << "}";
+    }
+    out << "],\"decisions\":[";
+    for (std::size_t i = 0; i < tick.decisions.size(); ++i) {
+      const TargetDecision& d = tick.decisions[i];
+      if (i > 0) out << ",";
+      out << "{\"target\":" << svc_name(d.target) << ",\"apis\":"
+          << api_list(d.apis) << "," << state_fields(d.state)
+          << ",\"action\":" << Num(d.action) << "}";
+    }
+    out << "],\"recovery\":[";
+    for (std::size_t i = 0; i < tick.recovery.size(); ++i) {
+      const RecoveryDecision& d = tick.recovery[i];
+      if (i > 0) out << ",";
+      out << "{\"api\":" << api_name(d.api) << "," << state_fields(d.state)
+          << ",\"action\":" << Num(d.action) << "}";
+    }
+    out << "],\"limits\":[";
+    for (std::size_t i = 0; i < tick.limits.size(); ++i) {
+      const LimitDelta& delta = tick.limits[i];
+      if (i > 0) out << ",";
+      out << "{\"api\":" << api_name(delta.api) << ",\"before\":"
+          << Num(delta.before) << ",\"after\":" << Num(delta.after) << "}";
+    }
+    out << "]}\n";
+  }
+  return static_cast<bool>(out);
+}
+
+bool WritePrometheusText(const sim::Application& app,
+                         const core::TopFullController* controller,
+                         const RequestTracer* tracer, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+
+  const auto family = [&out](const char* name, const char* type,
+                             const char* help) {
+    out << "# HELP " << name << " " << help << "\n# TYPE " << name << " "
+        << type << "\n";
+  };
+  const auto api_label = [&app](sim::ApiId a) {
+    return "{api=\"" + JsonEscape(app.api(a).name()) + "\"}";
+  };
+
+  struct CounterField {
+    const char* name;
+    const char* help;
+    std::uint64_t sim::ApiTotals::*field;
+  };
+  const CounterField counters[] = {
+      {"topfull_requests_offered_total", "Client requests offered at the gateway.",
+       &sim::ApiTotals::offered},
+      {"topfull_requests_admitted_total", "Requests admitted by the entry limiter.",
+       &sim::ApiTotals::admitted},
+      {"topfull_requests_rejected_entry_total",
+       "Requests shed by the entry rate limiter.", &sim::ApiTotals::rejected_entry},
+      {"topfull_requests_rejected_service_total",
+       "Admitted requests that failed at some microservice.",
+       &sim::ApiTotals::rejected_service},
+      {"topfull_requests_completed_total", "Requests that completed end to end.",
+       &sim::ApiTotals::completed},
+      {"topfull_requests_good_total", "Completions within the end-to-end SLO.",
+       &sim::ApiTotals::good},
+  };
+  for (const CounterField& counter : counters) {
+    family(counter.name, "counter", counter.help);
+    for (sim::ApiId a = 0; a < app.NumApis(); ++a) {
+      out << counter.name << api_label(a) << " "
+          << U64(app.metrics().Totals()[a].*counter.field) << "\n";
+    }
+  }
+
+  family("topfull_slo_seconds", "gauge", "End-to-end latency SLO.");
+  out << "topfull_slo_seconds " << Num(ToSeconds(app.metrics().slo())) << "\n";
+  family("topfull_sim_end_seconds", "gauge",
+         "Simulation time at the last closed metrics window.");
+  out << "topfull_sim_end_seconds " << Num(app.metrics().Latest().t_end_s) << "\n";
+
+  family("topfull_service_running_pods", "gauge",
+         "Running pods per microservice at end of run.");
+  for (int s = 0; s < app.NumServices(); ++s) {
+    out << "topfull_service_running_pods{service=\""
+        << JsonEscape(app.service(s).name()) << "\"} "
+        << app.service(s).RunningPods() << "\n";
+  }
+  family("topfull_service_capacity_rps", "gauge",
+         "Estimated sustainable throughput per microservice at work=1.");
+  for (int s = 0; s < app.NumServices(); ++s) {
+    out << "topfull_service_capacity_rps{service=\""
+        << JsonEscape(app.service(s).name()) << "\"} "
+        << Num(app.service(s).CapacityRps()) << "\n";
+  }
+
+  if (controller != nullptr) {
+    family("topfull_api_rate_limit_rps", "gauge",
+           "Entry rate limit per API at end of run (+Inf = uncapped).");
+    for (sim::ApiId a = 0; a < app.NumApis(); ++a) {
+      const auto limit = controller->RateLimit(a);
+      out << "topfull_api_rate_limit_rps" << api_label(a) << " "
+          << (limit ? Num(*limit) : "+Inf") << "\n";
+    }
+    family("topfull_controller_decisions_total", "counter",
+           "Control decisions taken (Algorithm 1 + recovery).");
+    out << "topfull_controller_decisions_total " << U64(controller->Decisions())
+        << "\n";
+  }
+
+  if (tracer != nullptr) {
+    const TracerCounters& c = tracer->counters();
+    family("topfull_trace_sampled_total", "counter", "Request traces recorded.");
+    out << "topfull_trace_sampled_total " << U64(c.sampled) << "\n";
+    family("topfull_trace_dropped_total", "counter",
+           "Sampled traces discarded by the memory cap.");
+    out << "topfull_trace_dropped_total " << U64(c.dropped) << "\n";
+    std::uint64_t spans = 0;
+    for (const RequestTrace& trace : tracer->finished()) spans += trace.spans.size();
+    family("topfull_trace_spans_total", "counter",
+           "Service hop spans across finished traces.");
+    out << "topfull_trace_spans_total " << U64(spans) << "\n";
+  }
+  return static_cast<bool>(out);
+}
+
+}  // namespace topfull::obs

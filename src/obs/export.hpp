@@ -1,0 +1,48 @@
+// Telemetry exporters.
+//
+// - WritePerfettoTrace: Chrome trace-event JSON (loadable in Perfetto /
+//   chrome://tracing). One pid per service (pid 0 is the client/gateway),
+//   one tid per API; timestamps are SimTime microseconds. Hop spans carry
+//   queue-wait / service-time args; entry rejections are instant events.
+// - WriteDecisionLogJsonl: one JSON object per control tick.
+// - WritePrometheusText: text-exposition dump of end-of-run counters and
+//   gauges (per-API totals, per-service pods/capacity, controller and
+//   tracer counters).
+//
+// All writers are deterministic: output depends only on simulation state,
+// never on wall-clock time or thread scheduling.
+#pragma once
+
+#include <string>
+
+#include "obs/decision_log.hpp"
+#include "obs/trace.hpp"
+#include "sim/app.hpp"
+
+namespace topfull::core {
+class TopFullController;
+}
+
+namespace topfull::obs {
+
+/// Writes the tracer's finished traces as Chrome trace-event JSON. `app`
+/// supplies service/API names. Returns false on I/O failure.
+bool WritePerfettoTrace(const RequestTracer& tracer, const sim::Application& app,
+                        const std::string& path);
+
+/// Writes the decision log as JSONL (one tick per line). Returns false on
+/// I/O failure.
+bool WriteDecisionLogJsonl(const DecisionLog& log, const sim::Application& app,
+                           const std::string& path);
+
+/// Writes end-of-run counters/gauges in Prometheus text exposition format.
+/// `controller` and `tracer` are optional (their families are omitted when
+/// null). Returns false on I/O failure.
+bool WritePrometheusText(const sim::Application& app,
+                         const core::TopFullController* controller,
+                         const RequestTracer* tracer, const std::string& path);
+
+/// JSON string escaping (exposed for tests).
+std::string JsonEscape(const std::string& s);
+
+}  // namespace topfull::obs

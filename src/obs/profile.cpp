@@ -1,0 +1,54 @@
+#include "obs/profile.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace topfull::obs {
+
+Profiler& Profiler::Global() {
+  static Profiler* instance = []() {
+    auto* profiler = new Profiler();
+    const char* env = std::getenv("TOPFULL_PROFILE");
+    if (env != nullptr && *env != '\0' && *env != '0') {
+      profiler->SetEnabled(true);
+      std::atexit([]() { Profiler::Global().Report(stderr); });
+    }
+    return profiler;
+  }();
+  return *instance;
+}
+
+void Profiler::Record(const char* phase, double seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  PhaseStats& stats = phases_[phase];
+  ++stats.count;
+  stats.total_s += seconds;
+  stats.max_s = std::max(stats.max_s, seconds);
+}
+
+std::vector<std::pair<std::string, PhaseStats>> Profiler::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {phases_.begin(), phases_.end()};
+}
+
+void Profiler::Report(std::FILE* out) const {
+  const auto phases = Snapshot();
+  if (phases.empty()) return;
+  std::fprintf(out, "[profile] %-28s %10s %12s %12s %12s\n", "phase", "count",
+               "total (s)", "avg (ms)", "max (ms)");
+  for (const auto& [name, stats] : phases) {
+    std::fprintf(out, "[profile] %-28s %10llu %12.3f %12.3f %12.3f\n",
+                 name.c_str(), static_cast<unsigned long long>(stats.count),
+                 stats.total_s,
+                 stats.count > 0 ? 1e3 * stats.total_s / static_cast<double>(stats.count)
+                                 : 0.0,
+                 1e3 * stats.max_s);
+  }
+}
+
+void Profiler::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  phases_.clear();
+}
+
+}  // namespace topfull::obs

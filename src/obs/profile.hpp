@@ -1,0 +1,78 @@
+// Wall-clock scope timers for profiling the simulator's own hot phases.
+//
+// ScopedTimer accumulates elapsed wall time per phase name into the global
+// Profiler; enable with TOPFULL_PROFILE=1 (or SetEnabled). Because wall
+// clocks are inherently nondeterministic, the report goes to stderr only —
+// never into the trace/decision-log files, whose bytes must stay identical
+// across runs and thread counts. Recording is thread-safe (bench sweeps run
+// on the worker pool) and a no-op when disabled.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace topfull::obs {
+
+struct PhaseStats {
+  std::uint64_t count = 0;
+  double total_s = 0.0;
+  double max_s = 0.0;
+};
+
+class Profiler {
+ public:
+  /// Process-wide instance; enabled at construction when TOPFULL_PROFILE is
+  /// set (reports to stderr at process exit).
+  static Profiler& Global();
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void SetEnabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+
+  void Record(const char* phase, double seconds);
+
+  /// Phases sorted by name (deterministic iteration for reporting/tests).
+  std::vector<std::pair<std::string, PhaseStats>> Snapshot() const;
+
+  void Report(std::FILE* out) const;
+  void Reset();
+
+ private:
+  Profiler() = default;
+
+  mutable std::mutex mu_;
+  std::map<std::string, PhaseStats> phases_;
+  std::atomic<bool> enabled_{false};
+};
+
+/// RAII timer: records the enclosing scope's wall time under `phase`.
+/// `phase` must be a string literal (retained by pointer until destruction).
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(const char* phase)
+      : phase_(phase), active_(Profiler::Global().enabled()) {
+    if (active_) start_ = std::chrono::steady_clock::now();
+  }
+  ~ScopedTimer() {
+    if (active_) {
+      const std::chrono::duration<double> elapsed =
+          std::chrono::steady_clock::now() - start_;
+      Profiler::Global().Record(phase_, elapsed.count());
+    }
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  const char* phase_;
+  bool active_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace topfull::obs

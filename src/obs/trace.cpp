@@ -1,0 +1,114 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+
+namespace topfull::obs {
+
+namespace {
+
+/// SplitMix64 finaliser — the sampling hash. Independent of the simulation
+/// RNG streams so tracing never perturbs results.
+std::uint64_t Mix(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+RequestTracer::RequestTracer(TraceConfig config) : config_(config) {
+  const double rate = std::clamp(config_.sample_rate, 0.0, 1.0);
+  sample_all_ = rate >= 1.0;
+  // 2^64 as a double; the product is exact enough for a sampling knob.
+  threshold_ = static_cast<std::uint64_t>(rate * 18446744073709551616.0);
+}
+
+bool RequestTracer::HasCapacity() const {
+  return active_.size() + finished_.size() < config_.max_traces;
+}
+
+void RequestTracer::OnOffered(sim::ApiId, SimTime) {
+  ++counters_.offered;
+  pending_sample_ =
+      sample_all_ || Mix(counters_.offered ^ config_.salt) < threshold_;
+}
+
+void RequestTracer::OnEntryRejected(sim::ApiId api, SimTime now) {
+  ++counters_.rejected_entry;
+  if (!pending_sample_) return;
+  pending_sample_ = false;
+  if (!HasCapacity()) {
+    ++counters_.dropped;
+    return;
+  }
+  ++counters_.sampled;
+  RequestTrace trace;
+  trace.api = api;
+  trace.start = trace.end = now;
+  trace.outcome = sim::Outcome::kRejectedEntry;
+  finished_.push_back(std::move(trace));
+}
+
+void RequestTracer::OnAdmitted(sim::RequestId id, sim::ApiId api, SimTime now) {
+  ++counters_.admitted;
+  if (!pending_sample_) return;
+  pending_sample_ = false;
+  if (!HasCapacity()) {
+    ++counters_.dropped;
+    return;
+  }
+  ++counters_.sampled;
+  RequestTrace trace;
+  trace.id = id;
+  trace.api = api;
+  trace.start = now;
+  active_.emplace(id, std::move(trace));
+}
+
+bool RequestTracer::Tracing(sim::RequestId id) const {
+  return active_.count(id) > 0;
+}
+
+void RequestTracer::OnHopShed(sim::RequestId id, sim::ServiceId service,
+                              SimTime now) {
+  const auto it = active_.find(id);
+  if (it == active_.end()) return;
+  HopSpan span;
+  span.service = service;
+  span.start = span.end = now;
+  span.shed = true;
+  it->second.spans.push_back(span);
+}
+
+void RequestTracer::OnHopDone(sim::RequestId id, sim::ServiceId service,
+                              SimTime start, SimTime end, SimTime service_time,
+                              bool ok) {
+  const auto it = active_.find(id);
+  if (it == active_.end()) return;
+  HopSpan span;
+  span.service = service;
+  span.start = start;
+  span.end = end;
+  span.service_time = ok ? service_time : 0;
+  span.queue_wait = std::max<SimTime>(0, end - start - span.service_time);
+  span.ok = ok;
+  it->second.spans.push_back(span);
+}
+
+void RequestTracer::OnRequestDone(sim::RequestId id, sim::ApiId api,
+                                  SimTime start, SimTime end,
+                                  sim::Outcome outcome, bool slo_ok) {
+  const auto it = active_.find(id);
+  if (it == active_.end()) return;
+  RequestTrace trace = std::move(it->second);
+  active_.erase(it);
+  trace.api = api;
+  trace.start = start;
+  trace.end = end;
+  trace.outcome = outcome;
+  trace.slo_ok = slo_ok;
+  finished_.push_back(std::move(trace));
+}
+
+}  // namespace topfull::obs

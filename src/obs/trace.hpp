@@ -1,0 +1,96 @@
+// Request span tracer: the simulator's stand-in for Istio distributed
+// tracing (paper §5).
+//
+// RequestTracer implements sim::RequestObserver and records, for a sampled
+// subset of requests, one trace per request: the admission verdict, a span
+// per service hop (queue wait + service time), and the end-to-end outcome
+// against the SLO. Sampling is a deterministic hash of the arrival index —
+// never the simulation RNG — so enabling tracing cannot perturb results,
+// and trace content is identical across ThreadPool sizes (each run owns its
+// tracer and the simulation itself is single-threaded).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/request_observer.hpp"
+
+namespace topfull::obs {
+
+struct TraceConfig {
+  /// Fraction of offered requests traced, in [0, 1]. 1 = trace everything.
+  double sample_rate = 1.0;
+  /// Memory bound: once this many traces are held (finished + in flight),
+  /// further sampled requests are counted as dropped instead of recorded.
+  std::size_t max_traces = 50000;
+  /// Mixed into the sampling hash; distinct salts give distinct samples.
+  std::uint64_t salt = 0x9E3779B97F4A7C15ULL;
+};
+
+/// One service hop of a traced request.
+struct HopSpan {
+  sim::ServiceId service = sim::kNoService;
+  SimTime start = 0;         ///< dispatch time
+  SimTime end = 0;           ///< local service completion (or failure) time
+  SimTime queue_wait = 0;    ///< time waiting for a worker slot
+  SimTime service_time = 0;  ///< sampled service duration
+  bool ok = false;
+  bool shed = false;  ///< rejected at dispatch (queue full / pod down)
+};
+
+/// A finished request trace. Entry-rejected samples have id 0, no spans and
+/// start == end (the shedding instant).
+struct RequestTrace {
+  sim::RequestId id = 0;
+  sim::ApiId api = sim::kNoApi;
+  SimTime start = 0;
+  SimTime end = 0;
+  sim::Outcome outcome = sim::Outcome::kCompleted;
+  bool slo_ok = false;
+  std::vector<HopSpan> spans;
+};
+
+struct TracerCounters {
+  std::uint64_t offered = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t rejected_entry = 0;
+  std::uint64_t sampled = 0;  ///< traces recorded (incl. rejection marks)
+  std::uint64_t dropped = 0;  ///< sampled but discarded by the memory cap
+};
+
+class RequestTracer : public sim::RequestObserver {
+ public:
+  explicit RequestTracer(TraceConfig config = {});
+
+  // sim::RequestObserver:
+  void OnOffered(sim::ApiId api, SimTime now) override;
+  void OnEntryRejected(sim::ApiId api, SimTime now) override;
+  void OnAdmitted(sim::RequestId id, sim::ApiId api, SimTime now) override;
+  bool Tracing(sim::RequestId id) const override;
+  void OnHopShed(sim::RequestId id, sim::ServiceId service, SimTime now) override;
+  void OnHopDone(sim::RequestId id, sim::ServiceId service, SimTime start,
+                 SimTime end, SimTime service_time, bool ok) override;
+  void OnRequestDone(sim::RequestId id, sim::ApiId api, SimTime start,
+                     SimTime end, sim::Outcome outcome, bool slo_ok) override;
+
+  /// Finished traces in completion order (deterministic).
+  const std::vector<RequestTrace>& finished() const { return finished_; }
+  /// Traces of requests still in flight (admitted, not finalised).
+  std::size_t ActiveCount() const { return active_.size(); }
+  const TracerCounters& counters() const { return counters_; }
+  const TraceConfig& config() const { return config_; }
+
+ private:
+  bool HasCapacity() const;
+
+  TraceConfig config_;
+  bool sample_all_ = false;
+  std::uint64_t threshold_ = 0;  ///< hash < threshold_ => sampled
+  bool pending_sample_ = false;  ///< verdict of the current Submit's arrival
+  TracerCounters counters_;
+  std::unordered_map<sim::RequestId, RequestTrace> active_;
+  std::vector<RequestTrace> finished_;
+};
+
+}  // namespace topfull::obs

@@ -68,8 +68,10 @@ ApiId Application::FindApi(const std::string& name) const {
 void Application::Submit(ApiId api, DoneFn on_done) {
   assert(finalized_ && "Finalize() before submitting traffic");
   metrics_->OnOffered(api);
+  if (observer_ != nullptr) observer_->OnOffered(api, sim_.Now());
   if (entry_ != nullptr && !entry_->Admit(api, sim_.Now())) {
     metrics_->OnRejectedEntry(api);
+    if (observer_ != nullptr) observer_->OnEntryRejected(api, sim_.Now());
     if (on_done) on_done(Outcome::kRejectedEntry, 0);
     return;
   }
@@ -85,6 +87,7 @@ void Application::Submit(ApiId api, DoneFn on_done) {
   req->path = &spec.paths()[spec.SamplePath(rng_.NextDouble())];
   req->on_done = std::move(on_done);
   ++inflight_;
+  if (observer_ != nullptr) observer_->OnAdmitted(req->info.id, api, sim_.Now());
 
   ExecNode(req, &req->path->root,
            [this, req](bool ok) { FinalizeRequest(req, ok); });
@@ -105,9 +108,20 @@ void Application::ExecNode(const std::shared_ptr<Request>& req, const CallNode* 
       inner(ok);
     };
   }
+  // Span bookkeeping only for traced requests; the shared slot receives the
+  // sampled service duration from the dispatch call.
+  const bool traced = observer_ != nullptr && observer_->Tracing(req->info.id);
+  std::shared_ptr<SimTime> hop_service_time;
+  if (traced) hop_service_time = std::make_shared<SimTime>(0);
+  const SimTime hop_start = sim_.Now();
   // `cont` is captured by copy: on dispatch failure the original is still
   // needed below (only one of the two paths ever runs).
-  auto on_local_done = [this, req, node, cont](bool ok) mutable {
+  auto on_local_done = [this, req, node, cont, traced, hop_start,
+                        hop_service_time](bool ok) mutable {
+    if (traced) {
+      observer_->OnHopDone(req->info.id, node->service, hop_start, sim_.Now(),
+                           *hop_service_time, ok);
+    }
     if (!ok) {
       cont(false);
       return;
@@ -134,9 +148,14 @@ void Application::ExecNode(const std::shared_ptr<Request>& req, const CallNode* 
     }
   };
   const bool dispatched =
-      blocking ? svc.DispatchHeld(req->info, node->work, on_local_done, held)
-               : svc.Dispatch(req->info, node->work, on_local_done);
-  if (!dispatched) cont(false);
+      blocking ? svc.DispatchHeld(req->info, node->work, on_local_done, held,
+                                  hop_service_time.get())
+               : svc.Dispatch(req->info, node->work, on_local_done,
+                              hop_service_time.get());
+  if (!dispatched) {
+    if (traced) observer_->OnHopShed(req->info.id, node->service, sim_.Now());
+    cont(false);
+  }
 }
 
 void Application::ExecChildren(const std::shared_ptr<Request>& req, const CallNode* node,
@@ -160,6 +179,11 @@ void Application::FinalizeRequest(const std::shared_ptr<Request>& req, bool ok) 
   req->finalized = true;
   --inflight_;
   const SimTime latency = sim_.Now() - req->start;
+  if (observer_ != nullptr && observer_->Tracing(req->info.id)) {
+    observer_->OnRequestDone(req->info.id, req->info.api, req->start, sim_.Now(),
+                             ok ? Outcome::kCompleted : Outcome::kRejectedService,
+                             ok && latency <= config_.slo);
+  }
   if (ok) {
     metrics_->OnCompleted(req->info.api, latency);
     if (req->on_done) req->on_done(Outcome::kCompleted, latency);

@@ -17,6 +17,7 @@
 #include "des/simulation.hpp"
 #include "sim/call_graph.hpp"
 #include "sim/metrics.hpp"
+#include "sim/request_observer.hpp"
 #include "sim/service.hpp"
 #include "sim/types.hpp"
 
@@ -55,6 +56,12 @@ class Application {
 
   /// Installs the entry admission hook (TopFull's rate limiter). Not owned.
   void SetEntryAdmission(EntryAdmission* admission) { entry_ = admission; }
+
+  /// Installs a request-lifecycle observer (span tracing). Not owned; must
+  /// outlive the simulation run. Strictly pass-through: results are
+  /// identical with or without an observer.
+  void SetObserver(RequestObserver* observer) { observer_ = observer; }
+  RequestObserver* observer() const { return observer_; }
 
   /// Submits one client request for `api` at the current sim time.
   void Submit(ApiId api, DoneFn on_done = {});
@@ -107,6 +114,7 @@ class Application {
   std::vector<ApiSpec> apis_;
   std::unique_ptr<MetricsCollector> metrics_;
   EntryAdmission* entry_ = nullptr;
+  RequestObserver* observer_ = nullptr;
   RequestId next_request_id_ = 1;
   int inflight_ = 0;
   bool finalized_ = false;

@@ -32,7 +32,8 @@ int Service::PickPod() {
   return best;
 }
 
-bool Service::Dispatch(const RequestInfo& info, double work, DoneFn done) {
+bool Service::Dispatch(const RequestInfo& info, double work, DoneFn done,
+                       SimTime* sampled_service_time) {
   const int pod_index = PickPod();
   if (pod_index < 0) return false;
   Pod* pod = pods_[pod_index].get();
@@ -42,11 +43,13 @@ bool Service::Dispatch(const RequestInfo& info, double work, DoneFn done) {
   const double sigma = config_.service_sigma;
   const double ms = sigma > 0.0 ? rng_.LogNormal(log_mean_ + std::log(work), sigma)
                                 : config_.mean_service_ms * work;
+  if (sampled_service_time != nullptr) *sampled_service_time = Millis(ms);
   return pod->Enqueue(Millis(ms), std::move(done));
 }
 
 bool Service::DispatchHeld(const RequestInfo& info, double work, DoneFn done,
-                           const std::shared_ptr<HeldDispatch>& held) {
+                           const std::shared_ptr<HeldDispatch>& held,
+                           SimTime* sampled_service_time) {
   const int pod_index = PickPod();
   if (pod_index < 0) return false;
   Pod* pod = pods_[pod_index].get();
@@ -56,6 +59,7 @@ bool Service::DispatchHeld(const RequestInfo& info, double work, DoneFn done,
   const double sigma = config_.service_sigma;
   const double ms = sigma > 0.0 ? rng_.LogNormal(log_mean_ + std::log(work), sigma)
                                 : config_.mean_service_ms * work;
+  if (sampled_service_time != nullptr) *sampled_service_time = Millis(ms);
   held->pod = pod;
   return pod->EnqueueHeld(Millis(ms), std::move(done), &held->handle);
 }

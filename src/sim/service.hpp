@@ -71,8 +71,12 @@ class Service {
 
   /// Dispatches one sub-request doing `work`× the base service time.
   /// Returns false when shed (admission denied, queue full, or no running
-  /// pod); `done` is only retained on success.
-  bool Dispatch(const RequestInfo& info, double work, DoneFn done);
+  /// pod); `done` is only retained on success. When `sampled_service_time`
+  /// is non-null, the sampled service duration is written to it on success
+  /// (tracing observes the queue-wait/service-time split this way; the RNG
+  /// draw is identical either way).
+  bool Dispatch(const RequestInfo& info, double work, DoneFn done,
+                SimTime* sampled_service_time = nullptr);
 
   /// Worker-slot token for blocking-RPC dispatches; call ReleaseHeld once
   /// the request's downstream subtree has completed.
@@ -85,7 +89,8 @@ class Service {
   /// completes until ReleaseHeld(*held). `held` must outlive the call
   /// (the request engine keeps it on the heap).
   bool DispatchHeld(const RequestInfo& info, double work, DoneFn done,
-                    const std::shared_ptr<HeldDispatch>& held);
+                    const std::shared_ptr<HeldDispatch>& held,
+                    SimTime* sampled_service_time = nullptr);
 
   static void ReleaseHeld(HeldDispatch& held) {
     if (held.pod != nullptr) held.pod->Release(held.handle);

@@ -5,6 +5,7 @@
 //                  [--users N | --rps R] [--duration S] [--surge T:N]
 //                  [--priorities] [--probe-failures] [--hpa] [--seed S]
 //                  [--csv FILE] [--threads N]
+//                  [--trace-dir DIR] [--trace-sample R]
 //   topfull inspect --app <...>            # print topology + capacities
 //   topfull train   [--episodes N] [--out FILE] [--threads N]   # pre-train
 //
@@ -27,6 +28,7 @@
 #include "exp/csv.hpp"
 #include "exp/harness.hpp"
 #include "exp/model_cache.hpp"
+#include "obs/profile.hpp"
 
 using namespace topfull;
 
@@ -70,11 +72,17 @@ int Usage() {
       "              [--controller <topfull|topfull-bw|mimd|dagor|breakwater|none>]\n"
       "              [--users N | --rps R] [--duration S] [--surge T:N]\n"
       "              [--priorities] [--probe-failures] [--hpa] [--seed S] [--csv FILE]\n"
+      "              [--trace-dir DIR] [--trace-sample R]\n"
       "  topfull inspect --app <boutique|trainticket|alibaba>\n"
       "  topfull train [--episodes N] [--out FILE]\n"
       "\n"
-      "  --threads N   worker-pool size for parallel rollouts/sweeps\n"
-      "                (overrides TOPFULL_THREADS; default: all cores)\n");
+      "  --threads N      worker-pool size for parallel rollouts/sweeps\n"
+      "                   (overrides TOPFULL_THREADS; default: all cores)\n"
+      "  --trace-dir DIR  export request spans (Perfetto JSON), the controller\n"
+      "                   decision log (JSONL) and a Prometheus metrics dump to\n"
+      "                   DIR (overrides TOPFULL_TRACE_DIR)\n"
+      "  --trace-sample R fraction of requests traced, 0..1 (default 1;\n"
+      "                   overrides TOPFULL_TRACE_SAMPLE)\n");
   return 2;
 }
 
@@ -144,15 +152,25 @@ int CmdInspect(const Args& args) {
 }
 
 int CmdRun(const Args& args) {
+  obs::ScopedTimer run_timer("cli/run");
   auto app = MakeApp(args);
   if (!app) return Usage();
   const std::string controller_name = args.Get("controller", "topfull");
   const exp::Variant variant = VariantFromName(controller_name);
 
+  exp::TelemetryOptions trace_options = exp::TelemetryOptions::FromEnv();
+  if (args.Has("trace-dir")) trace_options.dir = args.Get("trace-dir");
+  if (args.Has("trace-sample")) {
+    trace_options.sample_rate = args.Num("trace-sample", 1.0);
+  }
+  exp::Telemetry telemetry(trace_options);
+  telemetry.Attach(*app);
+
   std::shared_ptr<rl::GaussianPolicy> policy;
   if (variant == exp::Variant::kTopFull) policy = exp::GetPretrainedPolicy();
   exp::Controllers controllers;
   controllers.Attach(variant, *app, policy.get());
+  if (controllers.topfull() != nullptr) telemetry.Attach(*controllers.topfull());
 
   std::unique_ptr<autoscale::Cluster> cluster;
   std::unique_ptr<autoscale::HorizontalPodAutoscaler> hpa;
@@ -190,7 +208,10 @@ int CmdRun(const Args& args) {
 
   std::printf("running %s with %s for %.0f s...\n", app->name().c_str(),
               exp::VariantName(variant).c_str(), duration);
-  app->RunFor(Seconds(duration));
+  {
+    obs::ScopedTimer timer("cli/simulate");
+    app->RunFor(Seconds(duration));
+  }
 
   Table table("per-API results (whole run)");
   table.SetHeader({"API", "avg offered", "avg goodput", "final p95 (ms)",
@@ -210,6 +231,24 @@ int CmdRun(const Args& args) {
   }
   table.Print();
   std::printf("total avg goodput: %.0f rps\n", app->metrics().AvgTotalGoodput());
+
+  if (telemetry.enabled()) {
+    const exp::TelemetrySummary summary = telemetry.Export(
+        *app, exp::SanitizeFileName(app->name()), controllers.topfull(),
+        /*log_stderr=*/false);
+    std::string paths;
+    for (const std::string& path : summary.paths) {
+      if (!paths.empty()) paths += " ";
+      paths += path;
+    }
+    std::printf(
+        "telemetry: %llu traces sampled (%llu dropped), %llu decision ticks / "
+        "%llu decisions -> %s\n",
+        static_cast<unsigned long long>(summary.sampled),
+        static_cast<unsigned long long>(summary.dropped),
+        static_cast<unsigned long long>(summary.ticks),
+        static_cast<unsigned long long>(summary.decisions), paths.c_str());
+  }
 
   if (args.Has("csv")) {
     const std::string path = args.Get("csv");
