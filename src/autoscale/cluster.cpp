@@ -1,5 +1,7 @@
 #include "autoscale/cluster.hpp"
 
+#include <algorithm>
+
 namespace topfull::autoscale {
 
 Cluster::Cluster(des::Simulation* sim, ClusterConfig config)
@@ -14,6 +16,18 @@ bool Cluster::Reserve(double vcpus) {
 void Cluster::Release(double vcpus) {
   used_vcpus_ -= vcpus;
   if (used_vcpus_ < 0.0) used_vcpus_ = 0.0;
+}
+
+int Cluster::CordonVms(int n) {
+  const int take = std::max(0, std::min(n, ready_vms_ - cordoned_vms_));
+  cordoned_vms_ += take;
+  return take;
+}
+
+int Cluster::UncordonVms(int n) {
+  const int back = std::max(0, std::min(n, cordoned_vms_));
+  cordoned_vms_ -= back;
+  return back;
 }
 
 bool Cluster::RequestVm() {

@@ -34,7 +34,21 @@ class Cluster {
   /// Returns true if a boot was initiated.
   bool RequestVm();
 
-  double ReadyVcpus() const { return ready_vms_ * config_.vcpus_per_vm; }
+  /// Fault injection: marks up to `n` ready VMs unschedulable (zone
+  /// outage, maintenance drain). Cordoned capacity is removed from
+  /// ReadyVcpus(), so new reservations fail while existing ones keep
+  /// running (FreeVcpus() may read negative in the interim). Returns the
+  /// number actually cordoned.
+  int CordonVms(int n);
+
+  /// Returns up to `n` previously cordoned VMs to the schedulable pool.
+  int UncordonVms(int n);
+
+  int CordonedVms() const { return cordoned_vms_; }
+
+  double ReadyVcpus() const {
+    return (ready_vms_ - cordoned_vms_) * config_.vcpus_per_vm;
+  }
   double UsedVcpus() const { return used_vcpus_; }
   double FreeVcpus() const { return ReadyVcpus() - used_vcpus_; }
   int ReadyVms() const { return ready_vms_; }
@@ -46,6 +60,7 @@ class Cluster {
   ClusterConfig config_;
   int ready_vms_ = 0;
   int pending_vms_ = 0;
+  int cordoned_vms_ = 0;
   double used_vcpus_ = 0.0;
 };
 

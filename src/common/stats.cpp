@@ -66,6 +66,10 @@ double PercentileInPlace(std::vector<double>& values, double p, double fallback)
 double PercentileSorted(const std::vector<double>& sorted, double p,
                         double fallback) {
   if (sorted.empty()) return fallback;
+  // A non-finite rank (e.g. a NaN produced upstream by a zero-completion
+  // window) must not poison the observation pipeline: std::clamp on NaN is
+  // UB and the size_t cast below would be too.
+  if (!std::isfinite(p)) return fallback;
   if (sorted.size() == 1) return sorted[0];
   const double clamped = std::clamp(p, 0.0, 100.0);
   const double rank = clamped / 100.0 * static_cast<double>(sorted.size() - 1);

@@ -67,7 +67,8 @@ class WindowedSamples {
 };
 
 /// Percentile of an arbitrary vector (nearest-rank with linear
-/// interpolation). Returns `fallback` for empty input. Sorts a copy.
+/// interpolation). Returns `fallback` for empty input or non-finite `p`;
+/// p is clamped to [0, 100]. Sorts a copy.
 double Percentile(std::vector<double> values, double p, double fallback = 0.0);
 
 /// In-place variant: sorts `values` and reads the percentile from it.

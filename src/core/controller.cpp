@@ -280,8 +280,17 @@ void TopFullController::Tick() {
   // --- Recovery of rate-limited APIs with overload-free paths (§4.1). ------
   for (sim::ApiId a = 0; a < app_->NumApis(); ++a) {
     if (!controls_[a].capped || in_cluster[a]) continue;
+    if (config_.deactivate_when_slack &&
+        controls_[a].rate > static_cast<double>(snap.apis[a].offered)) {
+      // The limit no longer binds and nothing on the path is overloaded:
+      // load control for this API is deactivated (§4.1).
+      controls_[a].capped = false;
+      continue;
+    }
     const ControlState state = StateOf({a}, snap);
-    const double action = RecoveryController(a).DecideStep(state);
+    const double action = config_.recovery_step > 0.0
+                              ? config_.recovery_step
+                              : RecoveryController(a).DecideStep(state);
     ++decisions_;
     if (decision_observer_ != nullptr) {
       decision_observer_->OnRecoveryDecision(a, state, action);

@@ -58,6 +58,17 @@ struct TopFullConfig {
   /// Token-bucket depth as a fraction of the rate (burst tolerance).
   double burst_fraction = 0.25;
   double min_burst = 4.0;
+  /// Recovery reopening step (§4.1). 0 keeps the default behaviour — the
+  /// prototype controller (a second RL/MIMD instance) also decides recovery
+  /// steps. > 0 reopens rate-limited APIs whose paths are overload-free by
+  /// this fixed multiplicative step instead: optimistic reopening is safe
+  /// because an API whose path re-overloads falls back under cluster
+  /// control at the very next tick.
+  double recovery_step = 0.0;
+  /// §4.1 deactivation: drop an API's rate limiter entirely once it stops
+  /// binding — the limit exceeds the API's offered rate while no service on
+  /// its path is overloaded.
+  bool deactivate_when_slack = false;
 };
 
 class TopFullController : public sim::EntryAdmission {

@@ -120,6 +120,7 @@ void Telemetry::Attach(core::TopFullController& controller) {
 TelemetrySummary Telemetry::Export(const sim::Application& app,
                                    const std::string& name,
                                    const core::TopFullController* controller,
+                                   const std::vector<fault::FaultRecord>* faults,
                                    bool log_stderr) {
   TelemetrySummary summary;
   if (!enabled()) return summary;
@@ -143,7 +144,7 @@ TelemetrySummary Telemetry::Export(const sim::Application& app,
     summary.sampled = tracer_->counters().sampled;
     summary.dropped = tracer_->counters().dropped;
     const std::string path = base + ".trace.json";
-    report(path, obs::WritePerfettoTrace(*tracer_, app, path));
+    report(path, obs::WritePerfettoTrace(*tracer_, app, path, faults));
   }
   if (decision_log_) {
     summary.ticks = decision_log_->ticks().size();
@@ -152,7 +153,7 @@ TelemetrySummary Telemetry::Export(const sim::Application& app,
     report(path, obs::WriteDecisionLogJsonl(*decision_log_, app, path));
   }
   const std::string prom = base + ".metrics.prom";
-  report(prom, obs::WritePrometheusText(app, controller, tracer_.get(), prom));
+  report(prom, obs::WritePrometheusText(app, controller, tracer_.get(), prom, faults));
   return summary;
 }
 

@@ -9,6 +9,7 @@
 #include "baselines/dagor.hpp"
 #include "baselines/wisp.hpp"
 #include "core/controller.hpp"
+#include "fault/fault.hpp"
 #include "obs/decision_log.hpp"
 #include "obs/trace.hpp"
 #include "rl/policy.hpp"
@@ -109,8 +110,11 @@ class Telemetry {
   /// a controller was attached) and "<dir>/<name>.metrics.prom", creating
   /// `dir` recursively. Paths are reported on stderr when `log_stderr`
   /// (bench stdout must stay byte-identical with telemetry on or off).
+  /// When `faults` is non-null, injected fault records are embedded in the
+  /// trace (instant events) and the Prometheus dump (counters).
   TelemetrySummary Export(const sim::Application& app, const std::string& name,
                           const core::TopFullController* controller = nullptr,
+                          const std::vector<fault::FaultRecord>* faults = nullptr,
                           bool log_stderr = true);
 
   const obs::RequestTracer* tracer() const { return tracer_.get(); }

@@ -31,19 +31,25 @@ RunResult RunExecutor::RunOne(const RunSpec& spec,
   if (spec.attach) {
     custom = spec.attach(app);
   } else {
-    controllers.Attach(spec.variant, app, spec.policy);
+    controllers.Attach(spec.variant, app, spec.policy, spec.topfull_config);
   }
   if (controllers.topfull() != nullptr) telemetry.Attach(*controllers.topfull());
 
   workload::TrafficDriver traffic(&app);
   if (spec.traffic) spec.traffic(traffic, app);
+
+  fault::FaultInjector injector(&app, spec.faults, spec.fault_seed);
+  if (!spec.faults.empty()) injector.Arm();
+
   {
     obs::ScopedTimer timer("exp/simulate");
     app.RunFor(Seconds(spec.duration_s));
   }
+  result.fault_log = injector.Log();
   if (telemetry.enabled()) {
     obs::ScopedTimer timer("exp/export_telemetry");
-    telemetry.Export(app, telemetry_name, controllers.topfull());
+    telemetry.Export(app, telemetry_name, controllers.topfull(),
+                     result.fault_log.empty() ? nullptr : &result.fault_log);
   }
   return result;
 }

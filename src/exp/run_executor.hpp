@@ -18,6 +18,7 @@
 
 #include "common/thread_pool.hpp"
 #include "exp/harness.hpp"
+#include "fault/fault.hpp"
 #include "sim/app.hpp"
 #include "workload/generators.hpp"
 
@@ -38,10 +39,17 @@ struct RunSpec {
   /// Standard controller attachment (ignored when `attach` is set).
   Variant variant = Variant::kNoControl;
   const rl::GaussianPolicy* policy = nullptr;  ///< shared read-only
+  /// Config for the TopFull variants (ignored by the baselines).
+  core::TopFullConfig topfull_config;
 
   /// Custom controller attachment (e.g. a DAGOR with a swept config). The
   /// returned object is kept alive until the run completes.
   std::function<std::shared_ptr<void>(sim::Application&)> attach;
+
+  /// Faults injected during the run (empty = none; zero perturbation).
+  /// The injector draws only from its own stream seeded by `fault_seed`.
+  fault::FaultSchedule faults;
+  std::uint64_t fault_seed = fault::FaultInjector::kDefaultSeed;
 };
 
 /// The finished run: label echoed back plus the application with its full
@@ -49,6 +57,8 @@ struct RunSpec {
 struct RunResult {
   std::string label;
   std::unique_ptr<sim::Application> app;
+  /// What the fault injector actually did (empty when no faults ran).
+  std::vector<fault::FaultRecord> fault_log;
 };
 
 class RunExecutor {

@@ -1,0 +1,67 @@
+#include "fault/chaos.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace topfull::fault {
+
+FaultSchedule MakeChaosSchedule(const sim::Application& app,
+                                const ChaosOptions& options) {
+  FaultSchedule schedule;
+  if (app.NumServices() == 0 || options.events <= 0) return schedule;
+  // The chaos stream is derived only from the chaos seed; the app's
+  // workload RNG is never touched.
+  Rng rng = Rng(options.seed).Fork("chaos-profile");
+  const double window_end = std::max(options.start_s, options.horizon_s * 0.8);
+  std::vector<FaultEvent> events;
+  events.reserve(static_cast<std::size_t>(options.events));
+  for (int i = 0; i < options.events; ++i) {
+    const auto svc_index =
+        static_cast<sim::ServiceId>(rng.UniformInt(0, app.NumServices() - 1));
+    const sim::Service& svc = app.service(svc_index);
+    const int n_types = options.allow_blackhole ? 5 : 4;
+    const auto pick = static_cast<int>(rng.UniformInt(0, n_types - 1));
+    FaultEvent e;
+    e.service = svc.name();
+    e.at = Seconds(rng.Uniform(options.start_s, window_end));
+    e.duration =
+        Seconds(rng.Uniform(options.min_duration_s, options.max_duration_s));
+    switch (pick) {
+      case 0: {
+        e.type = FaultType::kPodCrash;
+        const double frac = rng.Uniform(0.2, options.max_crash_fraction);
+        e.pods = std::max(
+            1, static_cast<int>(std::lround(frac * svc.RunningPods())));
+        // Crashes use restart, not revert: pods come back one by one.
+        e.restart_delay = e.duration;
+        e.restart_stagger = Seconds(rng.Uniform(0.0, 2.0));
+        e.duration = 0;
+        break;
+      }
+      case 1:
+        e.type = FaultType::kCapacityDegrade;
+        e.severity = rng.Uniform(0.2, 0.8);
+        break;
+      case 2:
+        e.type = FaultType::kServiceTimeInflate;
+        e.severity = rng.Uniform(1.5, 4.0);
+        break;
+      case 3:
+        e.type = FaultType::kErrorBurst;
+        e.severity = rng.Uniform(0.1, 0.5);
+        break;
+      default:
+        e.type = FaultType::kBlackhole;
+        break;
+    }
+    events.push_back(std::move(e));
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) { return a.at < b.at; });
+  for (auto& e : events) schedule.Add(std::move(e));
+  return schedule;
+}
+
+}  // namespace topfull::fault

@@ -1,0 +1,36 @@
+// Seeded random chaos profiles: draw a FaultSchedule from an application's
+// topology using a dedicated RNG stream (never the workload RNG), so the
+// same seed always yields the same fault timeline on the same app.
+#pragma once
+
+#include <cstdint>
+
+#include "fault/fault.hpp"
+
+namespace topfull::fault {
+
+struct ChaosOptions {
+  std::uint64_t seed = 1;
+  /// Number of fault events to draw.
+  int events = 4;
+  /// Events are injected in [start_s, horizon_s × 0.8] so the tail of the
+  /// run observes recovery.
+  double start_s = 10.0;
+  double horizon_s = 120.0;
+  /// Transient faults last uniform [min_duration_s, max_duration_s].
+  double min_duration_s = 5.0;
+  double max_duration_s = 30.0;
+  /// Pod crashes kill uniform [0.2, max_crash_fraction] of running pods.
+  double max_crash_fraction = 0.6;
+  /// Blackholes require a hop timeout to be survivable; excluded unless
+  /// the caller opts in.
+  bool allow_blackhole = false;
+};
+
+/// Draws `options.events` faults over `app`'s services. Severities by type:
+/// capacity degrade factor in [0.2, 0.8], service-time inflation in
+/// [1.5, 4.0], error-burst probability in [0.1, 0.5]. Events are returned
+/// sorted by injection time.
+FaultSchedule MakeChaosSchedule(const sim::Application& app, const ChaosOptions& options);
+
+}  // namespace topfull::fault

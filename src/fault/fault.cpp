@@ -1,0 +1,247 @@
+#include "fault/fault.hpp"
+
+#include <cstdio>
+#include <utility>
+
+#include "autoscale/cluster.hpp"
+
+namespace topfull::fault {
+
+const char* FaultTypeName(FaultType type) {
+  switch (type) {
+    case FaultType::kPodCrash: return "pod_crash";
+    case FaultType::kCapacityDegrade: return "capacity_degrade";
+    case FaultType::kServiceTimeInflate: return "service_time_inflate";
+    case FaultType::kBlackhole: return "blackhole";
+    case FaultType::kErrorBurst: return "error_burst";
+    case FaultType::kVmOutage: return "vm_outage";
+  }
+  return "unknown";
+}
+
+const char* FaultActionName(FaultRecord::Action action) {
+  switch (action) {
+    case FaultRecord::Action::kApply: return "apply";
+    case FaultRecord::Action::kRevert: return "revert";
+    case FaultRecord::Action::kRestart: return "restart";
+    case FaultRecord::Action::kSkipped: return "skipped";
+  }
+  return "unknown";
+}
+
+FaultSchedule& FaultSchedule::Add(FaultEvent event) {
+  events_.push_back(std::move(event));
+  return *this;
+}
+
+FaultSchedule& FaultSchedule::CrashPods(std::string service, SimTime at, int pods,
+                                        SimTime restart_delay, SimTime restart_stagger) {
+  FaultEvent e;
+  e.type = FaultType::kPodCrash;
+  e.service = std::move(service);
+  e.at = at;
+  e.pods = pods;
+  e.restart_delay = restart_delay;
+  e.restart_stagger = restart_stagger;
+  return Add(std::move(e));
+}
+
+FaultSchedule& FaultSchedule::DegradeCapacity(std::string service, SimTime at,
+                                              SimTime duration, double factor) {
+  FaultEvent e;
+  e.type = FaultType::kCapacityDegrade;
+  e.service = std::move(service);
+  e.at = at;
+  e.duration = duration;
+  e.severity = factor;
+  return Add(std::move(e));
+}
+
+FaultSchedule& FaultSchedule::InflateServiceTime(std::string service, SimTime at,
+                                                 SimTime duration, double factor) {
+  FaultEvent e;
+  e.type = FaultType::kServiceTimeInflate;
+  e.service = std::move(service);
+  e.at = at;
+  e.duration = duration;
+  e.severity = factor;
+  return Add(std::move(e));
+}
+
+FaultSchedule& FaultSchedule::Blackhole(std::string service, SimTime at,
+                                        SimTime duration) {
+  FaultEvent e;
+  e.type = FaultType::kBlackhole;
+  e.service = std::move(service);
+  e.at = at;
+  e.duration = duration;
+  return Add(std::move(e));
+}
+
+FaultSchedule& FaultSchedule::ErrorBurst(std::string service, SimTime at,
+                                         SimTime duration, double error_rate) {
+  FaultEvent e;
+  e.type = FaultType::kErrorBurst;
+  e.service = std::move(service);
+  e.at = at;
+  e.duration = duration;
+  e.severity = error_rate;
+  return Add(std::move(e));
+}
+
+FaultSchedule& FaultSchedule::VmOutage(SimTime at, SimTime duration, int vms) {
+  FaultEvent e;
+  e.type = FaultType::kVmOutage;
+  e.at = at;
+  e.duration = duration;
+  e.pods = vms;
+  return Add(std::move(e));
+}
+
+bool FaultSchedule::NeedsHopTimeout() const {
+  for (const auto& e : events_) {
+    if (e.type == FaultType::kBlackhole) return true;
+  }
+  return false;
+}
+
+FaultInjector::FaultInjector(sim::Application* app, FaultSchedule schedule,
+                             std::uint64_t seed)
+    : app_(app), schedule_(std::move(schedule)), rng_(seed) {}
+
+void FaultInjector::Arm() {
+  if (armed_) return;
+  armed_ = true;
+  if (schedule_.NeedsHopTimeout() && app_->config().hop_timeout <= 0) {
+    std::fprintf(stderr,
+                 "[fault] warning: schedule contains blackhole events but the "
+                 "app has no hop timeout; blackholed requests will never "
+                 "resolve\n");
+  }
+  auto& sim = app_->sim();
+  for (const auto& event : schedule_.events()) {
+    const FaultEvent* e = &event;  // events_ is immutable once armed
+    SimTime delay = e->at - sim.Now();
+    if (delay < 0) delay = 0;
+    sim.ScheduleAfter(delay, [this, e]() { Apply(*e); });
+    if (e->duration > 0 && e->type != FaultType::kPodCrash) {
+      sim.ScheduleAfter(delay + e->duration, [this, e]() { Revert(*e); });
+    }
+  }
+}
+
+void FaultInjector::Apply(const FaultEvent& event) {
+  if (event.type == FaultType::kVmOutage) {
+    if (cluster_ == nullptr) {
+      std::fprintf(stderr, "[fault] warning: vm_outage event with no cluster attached; skipped\n");
+      Record(event.type, FaultRecord::Action::kSkipped, "", event.severity, 0);
+      return;
+    }
+    const int took = cluster_->CordonVms(event.pods);
+    Record(event.type, FaultRecord::Action::kApply, "", event.severity, took);
+    return;
+  }
+  const sim::ServiceId id = app_->FindService(event.service);
+  if (id == sim::kNoService) {
+    std::fprintf(stderr, "[fault] warning: unknown service '%s'; event skipped\n",
+                 event.service.c_str());
+    Record(event.type, FaultRecord::Action::kSkipped, event.service, event.severity, 0);
+    return;
+  }
+  sim::Service& svc = app_->service(id);
+  switch (event.type) {
+    case FaultType::kPodCrash: {
+      const int killed = svc.KillPods(event.pods);
+      Record(event.type, FaultRecord::Action::kApply, event.service, event.severity,
+             killed);
+      if (event.restart_delay > 0) {
+        // The deployment controller replaces crashed pods one at a time,
+        // restart_stagger apart (all at once when stagger is 0).
+        for (int i = 0; i < killed; ++i) {
+          app_->sim().ScheduleAfter(
+              event.restart_delay + static_cast<SimTime>(i) * event.restart_stagger,
+              [this, id, service = event.service, severity = event.severity]() {
+                const int added = app_->service(id).RestorePods(1);
+                if (added > 0) {
+                  Record(FaultType::kPodCrash, FaultRecord::Action::kRestart, service,
+                         severity, added);
+                }
+              });
+        }
+      }
+      break;
+    }
+    case FaultType::kCapacityDegrade:
+      svc.SetCapacityFactor(event.severity);
+      Record(event.type, FaultRecord::Action::kApply, event.service, event.severity, 0);
+      break;
+    case FaultType::kServiceTimeInflate:
+      svc.SetServiceTimeFactor(event.severity);
+      Record(event.type, FaultRecord::Action::kApply, event.service, event.severity, 0);
+      break;
+    case FaultType::kBlackhole:
+      svc.SetBlackhole(true);
+      Record(event.type, FaultRecord::Action::kApply, event.service, event.severity, 0);
+      break;
+    case FaultType::kErrorBurst:
+      // Each burst gets its own child stream so overlapping bursts on
+      // different services stay decorrelated.
+      svc.SetErrorInjection(event.severity, rng_.Fork(HashLabel(event.service)));
+      Record(event.type, FaultRecord::Action::kApply, event.service, event.severity, 0);
+      break;
+    case FaultType::kVmOutage:
+      break;  // handled above
+  }
+}
+
+void FaultInjector::Revert(const FaultEvent& event) {
+  if (event.type == FaultType::kVmOutage) {
+    if (cluster_ == nullptr) return;
+    const int back = cluster_->UncordonVms(event.pods);
+    Record(event.type, FaultRecord::Action::kRevert, "", event.severity, back);
+    return;
+  }
+  const sim::ServiceId id = app_->FindService(event.service);
+  if (id == sim::kNoService) return;
+  sim::Service& svc = app_->service(id);
+  switch (event.type) {
+    case FaultType::kCapacityDegrade:
+      svc.SetCapacityFactor(1.0);
+      break;
+    case FaultType::kServiceTimeInflate:
+      svc.SetServiceTimeFactor(1.0);
+      break;
+    case FaultType::kBlackhole:
+      svc.SetBlackhole(false);
+      break;
+    case FaultType::kErrorBurst:
+      svc.ClearErrorInjection();
+      break;
+    case FaultType::kPodCrash:
+    case FaultType::kVmOutage:
+      return;  // no revert path (crashes restart via kRestart records)
+  }
+  Record(event.type, FaultRecord::Action::kRevert, event.service, event.severity, 0);
+}
+
+void FaultInjector::Record(FaultType type, FaultRecord::Action action,
+                           const std::string& service, double severity, int count) {
+  FaultRecord r;
+  r.at = app_->sim().Now();
+  r.type = type;
+  r.action = action;
+  r.service = service;
+  r.severity = severity;
+  r.count = count;
+  log_.push_back(std::move(r));
+}
+
+int FaultInjector::InjectionCount() const {
+  int n = 0;
+  for (const auto& r : log_) {
+    if (r.action != FaultRecord::Action::kSkipped) ++n;
+  }
+  return n;
+}
+
+}  // namespace topfull::fault

@@ -1,0 +1,138 @@
+// Deterministic fault injection for the simulated deployment.
+//
+// A FaultSchedule is a list of typed events applied at simulated
+// timestamps: pod crashes with staggered restarts, capacity degradation,
+// service-time inflation, dependency blackholes, transient error bursts,
+// and VM outages. The FaultInjector arms the schedule on an Application's
+// DES and records everything it does.
+//
+// Determinism contract (same as src/obs):
+//   * The injector owns its RNG stream (seeded independently) and never
+//     draws from the workload RNG; an empty schedule — or events whose
+//     trigger time lies beyond the run horizon — leaves the run
+//     byte-identical to one with no injector at all.
+//   * All fault state changes happen as ordinary DES events, so runs
+//     replay bit-for-bit at any thread-pool size and with tracing on/off.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/sim_time.hpp"
+#include "sim/app.hpp"
+
+namespace topfull::autoscale {
+class Cluster;
+}
+
+namespace topfull::fault {
+
+enum class FaultType : std::uint8_t {
+  kPodCrash,           ///< Kill pods; optionally restart them, staggered.
+  kCapacityDegrade,    ///< Per-pod parallelism capped to severity × threads.
+  kServiceTimeInflate, ///< Sampled service times multiplied by severity.
+  kBlackhole,          ///< Dispatches accepted but never complete.
+  kErrorBurst,         ///< Dispatches fail fast with probability severity.
+  kVmOutage,           ///< Cordon VMs in the attached autoscale::Cluster.
+};
+
+const char* FaultTypeName(FaultType type);
+
+/// One scheduled fault. `duration == 0` means the fault is permanent
+/// (never reverted); pod crashes instead use `restart_delay` to bring the
+/// killed pods back one by one.
+struct FaultEvent {
+  FaultType type = FaultType::kPodCrash;
+  std::string service;        ///< Target service name (ignored by kVmOutage).
+  SimTime at = 0;             ///< Injection time.
+  SimTime duration = 0;       ///< Revert after this long; 0 = permanent.
+  int pods = 1;               ///< Pods to kill / VMs to cordon.
+  SimTime restart_delay = 0;  ///< Crash only: first restart after this; 0 = none.
+  SimTime restart_stagger = 0;  ///< Crash only: gap between successive restarts.
+  double severity = 1.0;      ///< Factor (degrade/inflate) or probability (errors).
+};
+
+/// A typed fault timeline, built fluently:
+///   FaultSchedule s;
+///   s.CrashPods("ts-station", Seconds(50), 25, Seconds(60))
+///    .Blackhole("ts-food", Seconds(20), Seconds(10));
+class FaultSchedule {
+ public:
+  FaultSchedule& Add(FaultEvent event);
+  FaultSchedule& CrashPods(std::string service, SimTime at, int pods,
+                           SimTime restart_delay = 0, SimTime restart_stagger = 0);
+  FaultSchedule& DegradeCapacity(std::string service, SimTime at, SimTime duration,
+                                 double factor);
+  FaultSchedule& InflateServiceTime(std::string service, SimTime at, SimTime duration,
+                                    double factor);
+  FaultSchedule& Blackhole(std::string service, SimTime at, SimTime duration);
+  FaultSchedule& ErrorBurst(std::string service, SimTime at, SimTime duration,
+                            double error_rate);
+  FaultSchedule& VmOutage(SimTime at, SimTime duration, int vms);
+
+  const std::vector<FaultEvent>& events() const { return events_; }
+  bool empty() const { return events_.empty(); }
+  std::size_t size() const { return events_.size(); }
+
+  /// True when any event needs a hop timeout to be survivable (blackholes
+  /// never complete; callers without a timeout leak in-flight requests).
+  bool NeedsHopTimeout() const;
+
+ private:
+  std::vector<FaultEvent> events_;
+};
+
+/// What the injector actually did, for reports and trace export.
+struct FaultRecord {
+  enum class Action : std::uint8_t { kApply, kRevert, kRestart, kSkipped };
+  SimTime at = 0;
+  FaultType type = FaultType::kPodCrash;
+  Action action = Action::kApply;
+  std::string service;  ///< Empty for cluster-wide events.
+  double severity = 1.0;
+  int count = 0;  ///< Pods killed/restored, VMs cordoned/uncordoned.
+};
+
+const char* FaultActionName(FaultRecord::Action action);
+
+/// Arms a FaultSchedule on an application's DES and logs every state
+/// change. Must outlive the simulation run.
+class FaultInjector {
+ public:
+  static constexpr std::uint64_t kDefaultSeed = 0x0FA017'0FA017ULL;
+
+  FaultInjector(sim::Application* app, FaultSchedule schedule,
+                std::uint64_t seed = kDefaultSeed);
+
+  /// Attaches the cluster targeted by kVmOutage events. Optional: without
+  /// it those events are recorded as skipped.
+  void AttachCluster(autoscale::Cluster* cluster) { cluster_ = cluster; }
+
+  /// Schedules every event on the DES. Call once, before (or during) the
+  /// run; events in the past of the sim clock fire immediately. Events
+  /// naming unknown services are logged as skipped at their trigger time.
+  void Arm();
+
+  const FaultSchedule& schedule() const { return schedule_; }
+  const std::vector<FaultRecord>& Log() const { return log_; }
+
+  /// Number of apply/restart/revert records (i.e. real state changes).
+  int InjectionCount() const;
+
+ private:
+  void Apply(const FaultEvent& event);
+  void Revert(const FaultEvent& event);
+  void Record(FaultType type, FaultRecord::Action action, const std::string& service,
+              double severity, int count);
+
+  sim::Application* app_;
+  FaultSchedule schedule_;
+  Rng rng_;  ///< Fault-owned stream; the workload RNG is never touched.
+  autoscale::Cluster* cluster_ = nullptr;
+  std::vector<FaultRecord> log_;
+  bool armed_ = false;
+};
+
+}  // namespace topfull::fault

@@ -1,0 +1,141 @@
+#include "fault/profile.hpp"
+
+#include <cstdlib>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "fault/chaos.hpp"
+
+namespace topfull::fault {
+namespace {
+
+std::vector<std::string> Split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::stringstream stream(s);
+  std::string item;
+  while (std::getline(stream, item, sep)) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+bool Fail(std::string* error, const std::string& reason) {
+  if (error != nullptr) *error = reason;
+  return false;
+}
+
+/// Parses `key=value,key=value` into a map; false on malformed pairs.
+bool ParseKeyValues(const std::string& body, std::map<std::string, std::string>* out,
+                    std::string* error) {
+  for (const auto& pair : Split(body, ',')) {
+    const auto eq = pair.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 >= pair.size()) {
+      return Fail(error, "malformed key=value pair '" + pair + "'");
+    }
+    (*out)[pair.substr(0, eq)] = pair.substr(eq + 1);
+  }
+  return true;
+}
+
+double GetNum(const std::map<std::string, std::string>& kv, const std::string& key,
+              double fallback) {
+  const auto it = kv.find(key);
+  return it == kv.end() ? fallback : std::atof(it->second.c_str());
+}
+
+/// Every key except `svc` carries a number; reject junk like `factor=x`
+/// instead of silently reading it as 0.
+bool CheckNumericValues(const std::map<std::string, std::string>& kv,
+                        std::string* error) {
+  for (const auto& [key, value] : kv) {
+    if (key == "svc") continue;
+    char* end = nullptr;
+    std::strtod(value.c_str(), &end);
+    if (end == value.c_str() || *end != '\0') {
+      return Fail(error, "non-numeric value '" + value + "' for key '" + key + "'");
+    }
+  }
+  return true;
+}
+
+bool RequireKeys(const std::map<std::string, std::string>& kv,
+                 std::initializer_list<const char*> keys, const std::string& kind,
+                 std::string* error) {
+  for (const char* key : keys) {
+    if (kv.find(key) == kv.end()) {
+      return Fail(error, "'" + kind + "' event missing required key '" + key + "'");
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::optional<FaultSchedule> ParseFaultProfile(const std::string& spec,
+                                               const sim::Application& app,
+                                               std::string* error) {
+  FaultSchedule schedule;
+  for (const auto& entry : Split(spec, ';')) {
+    const auto colon = entry.find(':');
+    if (colon == std::string::npos) {
+      Fail(error, "event '" + entry + "' has no 'kind:' prefix");
+      return std::nullopt;
+    }
+    const std::string kind = entry.substr(0, colon);
+    std::map<std::string, std::string> kv;
+    if (!ParseKeyValues(entry.substr(colon + 1), &kv, error)) return std::nullopt;
+    if (!CheckNumericValues(kv, error)) return std::nullopt;
+
+    if (kind == "chaos") {
+      ChaosOptions opts;
+      opts.seed = static_cast<std::uint64_t>(GetNum(kv, "seed", 1.0));
+      opts.events = static_cast<int>(GetNum(kv, "events", 4.0));
+      opts.horizon_s = GetNum(kv, "horizon", 120.0);
+      opts.start_s = GetNum(kv, "start", 10.0);
+      opts.allow_blackhole = GetNum(kv, "blackhole", 0.0) != 0.0;
+      const FaultSchedule chaos = MakeChaosSchedule(app, opts);
+      for (const auto& e : chaos.events()) schedule.Add(e);
+      continue;
+    }
+    if (kind == "vmout") {
+      if (!RequireKeys(kv, {"at", "vms"}, kind, error)) return std::nullopt;
+      schedule.VmOutage(Seconds(GetNum(kv, "at", 0.0)),
+                        Seconds(GetNum(kv, "for", 0.0)),
+                        static_cast<int>(GetNum(kv, "vms", 1.0)));
+      continue;
+    }
+    // All remaining kinds target a named service.
+    if (!RequireKeys(kv, {"svc", "at"}, kind, error)) return std::nullopt;
+    const std::string svc = kv["svc"];
+    if (app.FindService(svc) == sim::kNoService) {
+      Fail(error, "unknown service '" + svc + "'");
+      return std::nullopt;
+    }
+    const SimTime at = Seconds(GetNum(kv, "at", 0.0));
+    const SimTime dur = Seconds(GetNum(kv, "for", 0.0));
+    if (kind == "crash") {
+      if (!RequireKeys(kv, {"pods"}, kind, error)) return std::nullopt;
+      schedule.CrashPods(svc, at, static_cast<int>(GetNum(kv, "pods", 1.0)),
+                         Seconds(GetNum(kv, "restart", 0.0)),
+                         Seconds(GetNum(kv, "stagger", 0.0)));
+    } else if (kind == "degrade") {
+      if (!RequireKeys(kv, {"factor"}, kind, error)) return std::nullopt;
+      schedule.DegradeCapacity(svc, at, dur, GetNum(kv, "factor", 1.0));
+    } else if (kind == "inflate") {
+      if (!RequireKeys(kv, {"factor"}, kind, error)) return std::nullopt;
+      schedule.InflateServiceTime(svc, at, dur, GetNum(kv, "factor", 1.0));
+    } else if (kind == "blackhole") {
+      schedule.Blackhole(svc, at, dur);
+    } else if (kind == "errors") {
+      if (!RequireKeys(kv, {"p"}, kind, error)) return std::nullopt;
+      schedule.ErrorBurst(svc, at, dur, GetNum(kv, "p", 0.0));
+    } else {
+      Fail(error, "unknown fault kind '" + kind + "'");
+      return std::nullopt;
+    }
+  }
+  return schedule;
+}
+
+}  // namespace topfull::fault

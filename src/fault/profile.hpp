@@ -1,0 +1,31 @@
+// Textual fault-profile specs for the CLI and benches.
+//
+// A profile is a ';'-separated list of events, each `kind:key=value,...`:
+//
+//   crash:svc=ts-station,at=50,pods=25,restart=60,stagger=1
+//   degrade:svc=frontend,at=30,for=40,factor=0.5
+//   inflate:svc=cartservice,at=30,for=40,factor=2.5
+//   blackhole:svc=ts-food,at=20,for=10
+//   errors:svc=checkout,at=20,for=15,p=0.3
+//   vmout:at=40,for=30,vms=2
+//   chaos:seed=7,events=6,horizon=120,start=10,blackhole=1
+//
+// Times are seconds of simulated time. `chaos:` expands to a seeded random
+// schedule drawn against the app topology (see chaos.hpp).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "fault/fault.hpp"
+
+namespace topfull::fault {
+
+/// Parses `spec` against `app` (needed to expand `chaos:` profiles).
+/// Returns std::nullopt on malformed input and, when `error` is non-null,
+/// stores a human-readable reason.
+std::optional<FaultSchedule> ParseFaultProfile(const std::string& spec,
+                                               const sim::Application& app,
+                                               std::string* error = nullptr);
+
+}  // namespace topfull::fault

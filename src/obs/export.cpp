@@ -57,7 +57,8 @@ std::string JsonEscape(const std::string& s) {
 }
 
 bool WritePerfettoTrace(const RequestTracer& tracer, const sim::Application& app,
-                        const std::string& path) {
+                        const std::string& path,
+                        const std::vector<fault::FaultRecord>* faults) {
   std::ofstream out(path);
   if (!out) return false;
   out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
@@ -82,6 +83,23 @@ bool WritePerfettoTrace(const RequestTracer& tracer, const sim::Application& app
       emit("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" + U64(pid) +
            ",\"tid\":" + U64(a) + ",\"args\":{\"name\":\"" +
            JsonEscape(app.api(a).name()) + "\"}}");
+    }
+  }
+
+  // Injected faults get their own process row so they line up against the
+  // request spans they disturbed.
+  if (faults != nullptr && !faults->empty()) {
+    const std::string fault_pid = U64(static_cast<std::uint64_t>(app.NumServices()) + 1);
+    emit("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" + fault_pid +
+         ",\"tid\":0,\"args\":{\"name\":\"faults\"}}");
+    for (const fault::FaultRecord& r : *faults) {
+      emit("{\"name\":\"" + std::string(fault::FaultTypeName(r.type)) + ":" +
+           fault::FaultActionName(r.action) +
+           "\",\"cat\":\"fault\",\"ph\":\"i\",\"s\":\"g\",\"ts\":" +
+           U64(static_cast<std::uint64_t>(r.at)) + ",\"pid\":" + fault_pid +
+           ",\"tid\":0,\"args\":{\"service\":\"" + JsonEscape(r.service) +
+           "\",\"severity\":" + Num(r.severity) + ",\"count\":" + U64(r.count) +
+           "}}");
     }
   }
 
@@ -184,7 +202,8 @@ bool WriteDecisionLogJsonl(const DecisionLog& log, const sim::Application& app,
 
 bool WritePrometheusText(const sim::Application& app,
                          const core::TopFullController* controller,
-                         const RequestTracer* tracer, const std::string& path) {
+                         const RequestTracer* tracer, const std::string& path,
+                         const std::vector<fault::FaultRecord>* faults) {
   std::ofstream out(path);
   if (!out) return false;
 
@@ -258,6 +277,27 @@ bool WritePrometheusText(const sim::Application& app,
            "Control decisions taken (Algorithm 1 + recovery).");
     out << "topfull_controller_decisions_total " << U64(controller->Decisions())
         << "\n";
+  }
+
+  if (faults != nullptr) {
+    std::uint64_t applied = 0, reverted = 0, restarts = 0;
+    for (const fault::FaultRecord& r : *faults) {
+      switch (r.action) {
+        case fault::FaultRecord::Action::kApply: ++applied; break;
+        case fault::FaultRecord::Action::kRevert: ++reverted; break;
+        case fault::FaultRecord::Action::kRestart: ++restarts; break;
+        case fault::FaultRecord::Action::kSkipped: break;
+      }
+    }
+    family("topfull_faults_injected_total", "counter",
+           "Fault events applied by the injector.");
+    out << "topfull_faults_injected_total " << U64(applied) << "\n";
+    family("topfull_faults_reverted_total", "counter",
+           "Transient fault events reverted.");
+    out << "topfull_faults_reverted_total " << U64(reverted) << "\n";
+    family("topfull_fault_pod_restarts_total", "counter",
+           "Pods restored after injected crashes.");
+    out << "topfull_fault_pod_restarts_total " << U64(restarts) << "\n";
   }
 
   if (tracer != nullptr) {

@@ -14,7 +14,9 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
+#include "fault/fault.hpp"
 #include "obs/decision_log.hpp"
 #include "obs/trace.hpp"
 #include "sim/app.hpp"
@@ -26,9 +28,12 @@ class TopFullController;
 namespace topfull::obs {
 
 /// Writes the tracer's finished traces as Chrome trace-event JSON. `app`
-/// supplies service/API names. Returns false on I/O failure.
+/// supplies service/API names. When `faults` is non-null, injected fault
+/// records appear as instant events on a dedicated "faults" process row.
+/// Returns false on I/O failure.
 bool WritePerfettoTrace(const RequestTracer& tracer, const sim::Application& app,
-                        const std::string& path);
+                        const std::string& path,
+                        const std::vector<fault::FaultRecord>* faults = nullptr);
 
 /// Writes the decision log as JSONL (one tick per line). Returns false on
 /// I/O failure.
@@ -36,11 +41,12 @@ bool WriteDecisionLogJsonl(const DecisionLog& log, const sim::Application& app,
                            const std::string& path);
 
 /// Writes end-of-run counters/gauges in Prometheus text exposition format.
-/// `controller` and `tracer` are optional (their families are omitted when
-/// null). Returns false on I/O failure.
+/// `controller`, `tracer` and `faults` are optional (their families are
+/// omitted when null). Returns false on I/O failure.
 bool WritePrometheusText(const sim::Application& app,
                          const core::TopFullController* controller,
-                         const RequestTracer* tracer, const std::string& path);
+                         const RequestTracer* tracer, const std::string& path,
+                         const std::vector<fault::FaultRecord>* faults = nullptr);
 
 /// JSON string escaping (exposed for tests).
 std::string JsonEscape(const std::string& s);

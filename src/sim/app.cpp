@@ -95,39 +95,76 @@ void Application::Submit(ApiId api, DoneFn on_done) {
 
 void Application::ExecNode(const std::shared_ptr<Request>& req, const CallNode* node,
                            Continuation cont) {
+  AttemptNode(req, node, /*attempt=*/0, std::move(cont));
+}
+
+void Application::AttemptNode(const std::shared_ptr<Request>& req, const CallNode* node,
+                              int attempt, Continuation cont) {
   Service& svc = *services_[node->service];
   // Synchronous-RPC services hold their worker slot while the request's
   // downstream subtree runs; the slot is released when the subtree
-  // resolves (success or failure).
+  // resolves (success or failure). A fresh handle per attempt: a retried
+  // hop lands on a (possibly) different pod.
   const bool blocking = svc.config().blocking_rpc && !node->children.empty();
   std::shared_ptr<Service::HeldDispatch> held;
-  if (blocking) {
-    held = std::make_shared<Service::HeldDispatch>();
-    cont = [held, inner = std::move(cont)](bool ok) {
-      Service::ReleaseHeld(*held);
-      inner(ok);
-    };
-  }
+  if (blocking) held = std::make_shared<Service::HeldDispatch>();
+  // Failure path shared by shed, injected error, pod death, and hop
+  // timeout: bounded retry with backoff, then propagate the failure. The
+  // retry re-enters AttemptNode, re-picking a pod and re-sampling service
+  // time — work already burned on the failed attempt stays spent.
+  auto fail = [this, req, node, attempt, cont]() {
+    if (attempt < config_.max_retries) {
+      ++retries_;
+      auto retry = [this, req, node, attempt, cont]() {
+        AttemptNode(req, node, attempt + 1, cont);
+      };
+      if (config_.retry_backoff > 0) {
+        sim_.ScheduleAfter(config_.retry_backoff, std::move(retry));
+      } else {
+        retry();
+      }
+    } else {
+      cont(false);
+    }
+  };
   // Span bookkeeping only for traced requests; the shared slot receives the
   // sampled service duration from the dispatch call.
   const bool traced = observer_ != nullptr && observer_->Tracing(req->info.id);
   std::shared_ptr<SimTime> hop_service_time;
   if (traced) hop_service_time = std::make_shared<SimTime>(0);
   const SimTime hop_start = sim_.Now();
-  // `cont` is captured by copy: on dispatch failure the original is still
-  // needed below (only one of the two paths ever runs).
-  auto on_local_done = [this, req, node, cont, traced, hop_start,
-                        hop_service_time](bool ok) mutable {
+  // First of {local completion, hop timeout} settles the attempt; the
+  // loser only cleans up.
+  auto settled = std::make_shared<bool>(false);
+  auto on_local_done = [this, req, node, cont, fail, held, settled, traced,
+                        hop_start, hop_service_time](bool ok) mutable {
+    if (*settled) {
+      // The hop timed out earlier; the server just finished the wasted
+      // work. A blocking attempt's slot is freed here (nobody else will);
+      // non-blocking pods free their own slot.
+      if (held != nullptr) Service::ReleaseHeld(*held);
+      return;
+    }
+    *settled = true;
     if (traced) {
       observer_->OnHopDone(req->info.id, node->service, hop_start, sim_.Now(),
                            *hop_service_time, ok);
     }
     if (!ok) {
-      cont(false);
+      // Pod died mid-service: no slot is held (the hold handle never
+      // activated), so fail/retry directly.
+      fail();
       return;
     }
+    Continuation sub_cont = std::move(cont);
+    if (held != nullptr) {
+      sub_cont = [held, inner = std::move(sub_cont)](bool sub_ok) {
+        Service::ReleaseHeld(*held);
+        inner(sub_ok);
+      };
+    }
     if (node->children.empty()) {
-      cont(true);
+      sub_cont(true);
       return;
     }
     if (node->parallel) {
@@ -136,7 +173,7 @@ void Application::ExecNode(const std::shared_ptr<Request>& req, const CallNode* 
       // matching real partially-constructed responses.
       auto remaining = std::make_shared<int>(static_cast<int>(node->children.size()));
       auto all_ok = std::make_shared<bool>(true);
-      auto joined = std::make_shared<Continuation>(std::move(cont));
+      auto joined = std::make_shared<Continuation>(std::move(sub_cont));
       for (const auto& child : node->children) {
         ExecNode(req, &child, [remaining, all_ok, joined](bool child_ok) {
           if (!child_ok) *all_ok = false;
@@ -144,7 +181,7 @@ void Application::ExecNode(const std::shared_ptr<Request>& req, const CallNode* 
         });
       }
     } else {
-      ExecChildren(req, node, 0, std::move(cont));
+      ExecChildren(req, node, 0, std::move(sub_cont));
     }
   };
   const bool dispatched =
@@ -154,7 +191,26 @@ void Application::ExecNode(const std::shared_ptr<Request>& req, const CallNode* 
                               hop_service_time.get());
   if (!dispatched) {
     if (traced) observer_->OnHopShed(req->info.id, node->service, sim_.Now());
-    cont(false);
+    fail();
+    return;
+  }
+  if (config_.hop_timeout > 0) {
+    // Scheduled identically whether or not the request is traced — the
+    // event sequence (and thus every tie-break) must not depend on
+    // observation.
+    sim_.ScheduleAfter(config_.hop_timeout,
+                       [this, req, node, fail, settled, traced, hop_start,
+                        hop_service_time]() mutable {
+                         if (*settled) return;
+                         *settled = true;
+                         ++hop_timeouts_;
+                         if (traced) {
+                           observer_->OnHopDone(req->info.id, node->service, hop_start,
+                                                sim_.Now(), *hop_service_time,
+                                                /*ok=*/false);
+                         }
+                         fail();
+                       });
   }
 }
 

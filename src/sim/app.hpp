@@ -29,6 +29,15 @@ struct AppConfig {
   SimTime slo = Seconds(1);
   /// Metrics collection window (the paper observes at 1 s granularity).
   SimTime metrics_period = Seconds(1);
+  /// Per-hop RPC timeout; 0 disables (a hop waits forever — required to be
+  /// > 0 for blackhole faults to resolve). The timed-out job keeps running
+  /// on its server: the partial work stays spent.
+  SimTime hop_timeout = 0;
+  /// Bounded retries per hop after a shed, error, or timeout. Each retry
+  /// re-picks a pod and re-samples the service time (retry amplification).
+  int max_retries = 0;
+  /// Delay before each retry attempt.
+  SimTime retry_backoff = 0;
 };
 
 class Application {
@@ -96,12 +105,27 @@ class Application {
   /// In-flight request count (admitted, not yet finalised).
   int Inflight() const { return inflight_; }
 
+  /// Reconfigures the per-hop timeout/retry policy (callable any time; new
+  /// dispatches pick it up immediately). Convenience for benches/CLI so app
+  /// factories need not thread the knobs through.
+  void ConfigureRpc(SimTime hop_timeout, int max_retries, SimTime retry_backoff) {
+    config_.hop_timeout = hop_timeout;
+    config_.max_retries = max_retries < 0 ? 0 : max_retries;
+    config_.retry_backoff = retry_backoff;
+  }
+
+  /// Cumulative hop timeouts fired / retry attempts dispatched.
+  std::uint64_t HopTimeouts() const { return hop_timeouts_; }
+  std::uint64_t Retries() const { return retries_; }
+
  private:
   struct Request;
   using Continuation = std::function<void(bool ok)>;
 
   void ExecNode(const std::shared_ptr<Request>& req, const CallNode* node,
                 Continuation cont);
+  void AttemptNode(const std::shared_ptr<Request>& req, const CallNode* node,
+                   int attempt, Continuation cont);
   void ExecChildren(const std::shared_ptr<Request>& req, const CallNode* node,
                     std::size_t next_child, Continuation cont);
   void FinalizeRequest(const std::shared_ptr<Request>& req, bool ok);
@@ -118,6 +142,8 @@ class Application {
   RequestId next_request_id_ = 1;
   int inflight_ = 0;
   bool finalized_ = false;
+  std::uint64_t hop_timeouts_ = 0;
+  std::uint64_t retries_ = 0;
 };
 
 }  // namespace topfull::sim

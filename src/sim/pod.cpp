@@ -35,6 +35,14 @@ void Pod::Start() {
   if (state_ == PodState::kStarting) state_ = PodState::kRunning;
 }
 
+void Pod::SetOfflineThreads(int n) {
+  offline_threads_ = std::clamp(n, 0, threads_ - 1);
+  // When servers come back online, backfill them from the queue; when they
+  // go offline, in-service jobs simply run to completion and are not
+  // replaced until busy_ drops below the new effective count.
+  StartNext();
+}
+
 void Pod::Kill() {
   state_ = PodState::kKilled;
   ++epoch_;  // orphan all in-flight completion events
@@ -53,7 +61,7 @@ SimTime Pod::HeadOfLineWait() const {
 }
 
 void Pod::StartNext() {
-  while (busy_ < threads_ && !queue_.empty()) {
+  while (busy_ < EffectiveThreads() && !queue_.empty()) {
     Job job = std::move(queue_.front());
     queue_.pop_front();
     ++busy_;

@@ -69,9 +69,19 @@ class Pod {
   /// Kills the pod: every queued and in-service job fails immediately.
   void Kill();
 
+  /// Fault injection: takes `n` worker servers offline (capacity
+  /// degradation — CPU throttling, noisy neighbours). Jobs already in
+  /// service finish; new jobs only enter service while fewer than
+  /// EffectiveThreads() servers are busy. Clamped to keep at least one
+  /// server — full loss of capacity is a crash (Kill), not a degrade.
+  void SetOfflineThreads(int n);
+
   PodState state() const { return state_; }
   bool running() const { return state_ == PodState::kRunning; }
   int threads() const { return threads_; }
+  /// Servers currently allowed to serve (threads minus offline servers).
+  int EffectiveThreads() const { return threads_ - offline_threads_; }
+  int OfflineThreads() const { return offline_threads_; }
 
   /// Jobs waiting (not yet in service).
   int QueueLength() const { return static_cast<int>(queue_.size()); }
@@ -105,6 +115,7 @@ class Pod {
   des::Simulation* sim_;
   int threads_;
   int max_queue_;
+  int offline_threads_ = 0;
   PodState state_ = PodState::kStarting;
   int busy_ = 0;
   std::uint64_t epoch_ = 0;  ///< Bumped on Kill to invalidate in-flight events.

@@ -40,9 +40,22 @@ bool Service::Dispatch(const RequestInfo& info, double work, DoneFn done,
   if (admission_ != nullptr) {
     if (!admission_->Admit(info, id_, pod_index, sim_->Now())) return false;
   }
+  if (blackholed_) {
+    // The caller sees a successful send that never completes; its hop
+    // timeout (if any) converts the silence into a failure. Dropping the
+    // callback before the service-time draw keeps the workload RNG stream
+    // aligned with the post-revert run.
+    ++blackholed_dispatches_;
+    return true;
+  }
+  if (error_rate_ > 0.0 && error_rng_.NextDouble() < error_rate_) {
+    ++injected_errors_;  // transient 5xx: fails fast, retryable
+    return false;
+  }
   const double sigma = config_.service_sigma;
-  const double ms = sigma > 0.0 ? rng_.LogNormal(log_mean_ + std::log(work), sigma)
-                                : config_.mean_service_ms * work;
+  double ms = sigma > 0.0 ? rng_.LogNormal(log_mean_ + std::log(work), sigma)
+                          : config_.mean_service_ms * work;
+  ms *= time_factor_;
   if (sampled_service_time != nullptr) *sampled_service_time = Millis(ms);
   return pod->Enqueue(Millis(ms), std::move(done));
 }
@@ -56,12 +69,38 @@ bool Service::DispatchHeld(const RequestInfo& info, double work, DoneFn done,
   if (admission_ != nullptr) {
     if (!admission_->Admit(info, id_, pod_index, sim_->Now())) return false;
   }
+  if (blackholed_) {
+    // `held->pod` stays null, so a later ReleaseHeld is a no-op: no worker
+    // slot was ever taken by a blackholed dispatch.
+    ++blackholed_dispatches_;
+    return true;
+  }
+  if (error_rate_ > 0.0 && error_rng_.NextDouble() < error_rate_) {
+    ++injected_errors_;
+    return false;
+  }
   const double sigma = config_.service_sigma;
-  const double ms = sigma > 0.0 ? rng_.LogNormal(log_mean_ + std::log(work), sigma)
-                                : config_.mean_service_ms * work;
+  double ms = sigma > 0.0 ? rng_.LogNormal(log_mean_ + std::log(work), sigma)
+                          : config_.mean_service_ms * work;
+  ms *= time_factor_;
   if (sampled_service_time != nullptr) *sampled_service_time = Millis(ms);
   held->pod = pod;
   return pod->EnqueueHeld(Millis(ms), std::move(done), &held->handle);
+}
+
+void Service::AddPod(SimTime startup_delay) {
+  pods_.push_back(std::make_unique<Pod>(sim_, config_.threads, config_.max_queue));
+  probe_strikes_.push_back(0);
+  Pod* pod = pods_.back().get();
+  // New pods land on the same (possibly degraded) machines as the rest of
+  // the fleet, so they inherit the active capacity factor.
+  const int offline = OfflineThreadsPerPod();
+  if (offline > 0) pod->SetOfflineThreads(offline);
+  if (startup_delay <= 0) {
+    pod->Start();
+  } else {
+    sim_->ScheduleAfter(startup_delay, [pod]() { pod->Start(); });
+  }
 }
 
 void Service::SetPodCount(int n, SimTime startup_delay) {
@@ -70,14 +109,7 @@ void Service::SetPodCount(int n, SimTime startup_delay) {
   // Count live pods (running or starting).
   int live = TotalPods();
   while (live < n) {
-    pods_.push_back(std::make_unique<Pod>(sim_, config_.threads, config_.max_queue));
-    probe_strikes_.push_back(0);
-    Pod* pod = pods_.back().get();
-    if (startup_delay <= 0) {
-      pod->Start();
-    } else {
-      sim_->ScheduleAfter(startup_delay, [pod]() { pod->Start(); });
-    }
+    AddPod(startup_delay);
     ++live;
   }
   if (live > n) {
@@ -109,6 +141,39 @@ int Service::KillPods(int n) {
   return killed;
 }
 
+int Service::RestorePods(int n, SimTime startup_delay) {
+  int added = 0;
+  while (added < n && TotalPods() < desired_pods_) {
+    AddPod(startup_delay);
+    ++added;
+  }
+  return added;
+}
+
+int Service::OfflineThreadsPerPod() const {
+  if (capacity_factor_ >= 1.0) return 0;
+  const int effective = std::max(
+      1, static_cast<int>(std::floor(static_cast<double>(config_.threads) *
+                                         capacity_factor_ +
+                                     1e-9)));
+  return config_.threads - effective;
+}
+
+void Service::SetCapacityFactor(double factor) {
+  capacity_factor_ = std::clamp(factor, 1e-6, 1.0);
+  const int offline = OfflineThreadsPerPod();
+  for (auto& pod : pods_) pod->SetOfflineThreads(offline);
+}
+
+void Service::SetServiceTimeFactor(double factor) {
+  time_factor_ = std::max(0.01, factor);
+}
+
+void Service::SetErrorInjection(double rate, Rng rng) {
+  error_rate_ = std::clamp(rate, 0.0, 1.0);
+  error_rng_ = rng;
+}
+
 int Service::RunningPods() const {
   int n = 0;
   for (const auto& pod : pods_) n += pod->running() ? 1 : 0;
@@ -127,6 +192,7 @@ ServiceWindowStats Service::CollectWindow(SimTime window) {
   ServiceWindowStats out;
   double busy = 0.0;
   double qsum = 0.0;
+  int available_threads = 0;
   for (auto& pod : pods_) {
     const PodWindowStats w = pod->DrainWindowStats();
     busy += w.busy_seconds;
@@ -137,11 +203,14 @@ ServiceWindowStats Service::CollectWindow(SimTime window) {
     if (pod->running()) {
       ++out.running_pods;
       out.total_outstanding += pod->Outstanding();
+      available_threads += pod->EffectiveThreads();
     }
   }
   out.avg_queue_delay_s = out.started > 0 ? qsum / static_cast<double>(out.started) : 0.0;
-  const double denom = ToSeconds(window) * static_cast<double>(config_.threads) *
-                       static_cast<double>(out.running_pods);
+  // Utilisation is measured against *effective* servers: a degraded pod
+  // that saturates its remaining capacity reads 100 % busy, which is what
+  // the HPA and the overload detector should see.
+  const double denom = ToSeconds(window) * static_cast<double>(available_threads);
   if (denom > 0.0) {
     out.cpu_utilization = std::clamp(busy / denom, 0.0, 1.0);
   } else {
@@ -151,8 +220,12 @@ ServiceWindowStats Service::CollectWindow(SimTime window) {
 }
 
 double Service::CapacityRps() const {
-  return static_cast<double>(RunningPods()) * static_cast<double>(config_.threads) /
-         (config_.mean_service_ms / 1000.0);
+  int available_threads = 0;
+  for (const auto& pod : pods_) {
+    if (pod->running()) available_threads += pod->EffectiveThreads();
+  }
+  return static_cast<double>(available_threads) /
+         (config_.mean_service_ms * time_factor_ / 1000.0);
 }
 
 void Service::SetProbeFailures(bool enabled) {

@@ -110,6 +110,47 @@ class Service {
   /// number actually killed.
   int KillPods(int n);
 
+  /// Re-adds up to `n` pods toward the desired count without changing it
+  /// (deployment controller replacing crashed pods one by one — the fault
+  /// engine's staggered-restart path). Returns the number added.
+  int RestorePods(int n, SimTime startup_delay = 0);
+
+  // --- Fault injection (src/fault) -----------------------------------------
+  //
+  // All knobs below default to the identity and, while inactive, consume no
+  // randomness and change no behaviour — the same no-perturbation contract
+  // as the observers in src/obs.
+
+  /// Caps per-pod parallelism to `factor` × threads (capacity degradation:
+  /// CPU throttling, noisy neighbours). Applies to current and future pods;
+  /// each pod keeps at least one effective server. factor is clamped to
+  /// (0, 1].
+  void SetCapacityFactor(double factor);
+  double CapacityFactor() const { return capacity_factor_; }
+
+  /// Multiplies every sampled service time by `factor` (>= 0.01). The
+  /// underlying lognormal draw is unchanged, so reverting the fault
+  /// restores the baseline sample stream exactly.
+  void SetServiceTimeFactor(double factor);
+  double ServiceTimeFactor() const { return time_factor_; }
+
+  /// Blackholes the service: dispatches are accepted (the caller believes
+  /// the RPC is in flight) but never complete. Callers need a hop timeout
+  /// to make progress — exactly the dependency-failure mode the fault
+  /// engine models. No RNG is consumed for blackholed dispatches.
+  void SetBlackhole(bool on) { blackholed_ = on; }
+  bool Blackholed() const { return blackholed_; }
+
+  /// Transient error injection: each dispatch fails immediately with
+  /// probability `rate`, drawn from `rng` — a fault-owned stream, never
+  /// the workload RNG, so rate 0 keeps runs byte-identical.
+  void SetErrorInjection(double rate, Rng rng);
+  void ClearErrorInjection() { error_rate_ = 0.0; }
+  double ErrorRate() const { return error_rate_; }
+
+  std::uint64_t BlackholedDispatches() const { return blackholed_dispatches_; }
+  std::uint64_t InjectedErrors() const { return injected_errors_; }
+
   int RunningPods() const;
   int DesiredPods() const { return desired_pods_; }
   /// Pods that exist in any live state (running or starting).
@@ -144,6 +185,11 @@ class Service {
  private:
   /// Index of the least-loaded running pod, or -1 when none is running.
   int PickPod();
+  /// Appends one pod (starting after `startup_delay`) with the current
+  /// capacity factor applied.
+  void AddPod(SimTime startup_delay);
+  /// Offline servers per pod implied by the current capacity factor.
+  int OfflineThreadsPerPod() const;
   void StartProbeLoop();
   void RunProbe();
 
@@ -159,6 +205,15 @@ class Service {
   int probe_kills_ = 0;
   bool probe_loop_running_ = false;
   double log_mean_;  ///< precomputed lognormal mu for the base service time.
+
+  // Fault-injection state (identity defaults = no behaviour change).
+  double capacity_factor_ = 1.0;
+  double time_factor_ = 1.0;
+  bool blackholed_ = false;
+  double error_rate_ = 0.0;
+  Rng error_rng_;  ///< Only drawn from while error_rate_ > 0.
+  std::uint64_t blackholed_dispatches_ = 0;
+  std::uint64_t injected_errors_ = 0;
 };
 
 }  // namespace topfull::sim

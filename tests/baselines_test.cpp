@@ -1,7 +1,11 @@
 // Unit tests for the DAGOR and Breakwater baseline implementations.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+
 #include "baselines/breakwater.hpp"
+#include "common/rng.hpp"
 #include "baselines/dagor.hpp"
 #include "baselines/wisp.hpp"
 #include "workload/generators.hpp"
@@ -206,6 +210,98 @@ TEST(BreakwaterTest, MultiTierDropsCompound) {
 
   EXPECT_LT(two_tier, one_tier);  // uncorrelated drops compound
   EXPECT_GT(two_tier, 100.0);
+}
+
+// --- Conformance: DAGOR admission is monotone in compound priority -----------
+
+TEST(DagorTest, AdmissionMonotoneInCompoundPriority) {
+  auto app = SmallApp();
+  const DagorConfig config;
+  DagorAdmission dagor(app.get(), config);
+  dagor.Install();
+  // 3x overload drives the threshold into the interior of the compound range.
+  workload::TrafficDriver traffic(app.get());
+  traffic.AddOpenLoop(0, workload::Schedule::Constant(1200));
+  traffic.AddOpenLoop(1, workload::Schedule::Constant(1200));
+  app->RunFor(Seconds(20));
+  const int max_compound = config.business_levels * config.user_levels - 1;
+  const int threshold = dagor.Threshold(0, 0);
+  ASSERT_GT(threshold, 0);
+  ASSERT_LT(threshold, max_compound);
+
+  // The admitted set must be exactly the downward-closed prefix of the
+  // compound priority order: admit (b, u) <=> b * 128 + u <= threshold. In
+  // particular no request may be rejected while a lower-priority (higher
+  // compound) one is admitted.
+  int last_admitted_compound = -1;
+  int first_rejected_compound = max_compound + 1;
+  for (int b = 0; b < config.business_levels; ++b) {
+    for (int u = 0; u < config.user_levels; ++u) {
+      sim::RequestInfo info;
+      info.business_priority = b;
+      info.user_priority = u;
+      const int compound = b * config.user_levels + u;
+      const bool admitted = dagor.Admit(info, 0, 0, app->sim().Now());
+      EXPECT_EQ(admitted, compound <= threshold) << "compound " << compound;
+      if (admitted) last_admitted_compound = std::max(last_admitted_compound, compound);
+      if (!admitted) first_rejected_compound = std::min(first_rejected_compound, compound);
+    }
+  }
+  EXPECT_LT(last_admitted_compound, first_rejected_compound);
+}
+
+// --- Conformance: Breakwater credit pool bounded below, converges ------------
+
+TEST(BreakwaterTest, CreditRateNeverFallsBelowFloorUnderRandomChurn) {
+  // Random jam / drain churn across several seeds: however hard the pod is
+  // overloaded, the multiplicative decrease must never drive the credit
+  // rate below min_rate (in particular never to zero or negative, which
+  // would deadlock the edge forever).
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    auto app = SmallApp();
+    BreakwaterConfig config;
+    config.initial_rate = 300.0;
+    BreakwaterAdmission bw(app.get(), config);
+    bw.Admit(sim::RequestInfo{}, 0, 0, 0);  // create pod state
+    Rng rng(seed * 10007);
+    for (int step = 0; step < 200; ++step) {
+      if (rng.Bernoulli(0.5)) {
+        const int jobs = static_cast<int>(rng.UniformInt(1, 8));
+        for (int j = 0; j < jobs; ++j) {
+          app->service(0).pod(0).Enqueue(
+              static_cast<SimTime>(rng.UniformInt(Millis(1), Seconds(1))),
+              [](bool) {});
+        }
+      }
+      app->sim().RunUntil(app->sim().Now() +
+                          static_cast<SimTime>(rng.UniformInt(Millis(1), Millis(200))));
+      bw.Update();
+      const double rate = bw.CreditRate(0, 0);
+      EXPECT_GE(rate, config.min_rate) << "seed " << seed << " step " << step;
+      EXPECT_TRUE(std::isfinite(rate));
+    }
+  }
+}
+
+TEST(BreakwaterTest, ConvergesOnStaticWorkload) {
+  // Static offered load below pod capacity: after warm-up the admitted
+  // throughput must settle at the offered rate (no residual shedding, no
+  // oscillation beyond arrival noise).
+  auto app = SmallApp();
+  BreakwaterAdmission bw(app.get());
+  bw.Install();
+  workload::TrafficDriver traffic(app.get());
+  traffic.AddOpenLoop(0, workload::Schedule::Constant(600));  // cap 800 rps
+  app->RunFor(Seconds(30));
+  std::uint64_t late_rejections = 0;
+  for (const auto& snap : app->metrics().Timeline()) {
+    if (snap.t_end_s <= 20.0) continue;
+    const auto& w = snap.apis[0];
+    EXPECT_NEAR(static_cast<double>(w.admitted), 600.0, 80.0)
+        << "window " << snap.t_end_s;
+    late_rejections += w.rejected_service;
+  }
+  EXPECT_EQ(late_rejections, 0u);
 }
 
 // --- WISP --------------------------------------------------------------------

@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <set>
 #include <vector>
 
@@ -135,6 +136,36 @@ TEST(PercentileTest, InPlaceSortsAndMatchesCopyingForm) {
   std::vector<double> empty;
   EXPECT_DOUBLE_EQ(PercentileInPlace(empty, 50.0, -2.0), -2.0);
   EXPECT_DOUBLE_EQ(PercentileSorted(empty, 50.0, -3.0), -3.0);
+}
+
+TEST(PercentileTest, SingleSampleForEveryP) {
+  // Regression: a one-completion window must report that latency for any
+  // quantile, including the p0/p100 extremes and out-of-range p.
+  for (const double p : {0.0, 1.0, 50.0, 99.0, 100.0, -5.0, 250.0}) {
+    EXPECT_DOUBLE_EQ(Percentile({7.5}, p), 7.5) << "p=" << p;
+  }
+}
+
+TEST(PercentileTest, P0AndP100AreMinAndMax) {
+  const std::vector<double> values = {4.0, -2.0, 11.0, 3.0};
+  EXPECT_DOUBLE_EQ(Percentile(values, 0.0), -2.0);
+  EXPECT_DOUBLE_EQ(Percentile(values, 100.0), 11.0);
+  // Out-of-range p clamps to the extremes instead of indexing out of range.
+  EXPECT_DOUBLE_EQ(Percentile(values, -40.0), -2.0);
+  EXPECT_DOUBLE_EQ(Percentile(values, 700.0), 11.0);
+}
+
+TEST(PercentileTest, NonFinitePReturnsFallback) {
+  // Regression: a NaN rank (e.g. computed from a zero-completion window)
+  // must yield the fallback, not UB from clamping/casting NaN.
+  const std::vector<double> values = {1.0, 2.0, 3.0};
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_DOUBLE_EQ(Percentile(values, nan, -1.0), -1.0);
+  EXPECT_DOUBLE_EQ(Percentile(values, inf, -1.0), -1.0);
+  EXPECT_DOUBLE_EQ(Percentile(values, -inf, -1.0), -1.0);
+  EXPECT_DOUBLE_EQ(Percentile({}, nan, -4.0), -4.0);
+  EXPECT_DOUBLE_EQ(PercentileSorted(values, nan, -5.0), -5.0);
 }
 
 TEST(WindowedSamplesTest, ExpiresOldSamples) {

@@ -294,7 +294,8 @@ TEST(ObsTest, ExportsAreDeterministicAndWellFormed) {
     DriveOverload(traffic);
     app->RunFor(Seconds(15));
     const exp::TelemetrySummary summary =
-        telemetry.Export(*app, "demo", controller.get(), /*log_stderr=*/false);
+        telemetry.Export(*app, "demo", controller.get(), /*faults=*/nullptr,
+                         /*log_stderr=*/false);
     EXPECT_EQ(summary.paths.size(), 3u);
     EXPECT_GT(summary.sampled, 0u);
     EXPECT_GT(summary.ticks, 0u);

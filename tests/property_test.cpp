@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <map>
 #include <set>
+#include <tuple>
 
 #include <cmath>
 
@@ -12,6 +13,7 @@
 #include "common/stats.hpp"
 #include "common/token_bucket.hpp"
 #include "common/union_find.hpp"
+#include "core/cluster_tracker.hpp"
 #include "core/clustering.hpp"
 #include "des/simulation.hpp"
 #include "rl/graph_sim_env.hpp"
@@ -385,6 +387,207 @@ TEST_P(RngForkSweep, SiblingStreamsLookIndependent) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RngForkSweep, ::testing::Range<std::uint64_t>(1, 9));
+
+// --- Token bucket: piecewise admission bound + conservation -------------------
+
+class TokenBucketConservationSweep
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TokenBucketConservationSweep, AdmissionBoundedByBurstPlusRateIntegral) {
+  Rng rng(GetParam() * 7919);
+  const double initial_rate = rng.Uniform(5.0, 500.0);
+  const double burst = rng.Uniform(1.0, 50.0);
+  TokenBucket bucket(initial_rate, burst);
+
+  // Over any sequence of rate changes, admissions are bounded by the
+  // bucket depth plus the piecewise integral of the configured rate:
+  //   admitted <= burst + sum_i rate_i * dt_i.
+  double rate = initial_rate;
+  double budget = bucket.burst();
+  SimTime now = 0;
+  int attempts = 0, admitted = 0, rejected = 0;
+  for (int i = 0; i < 5000; ++i) {
+    if (rng.Bernoulli(0.02)) {
+      // Rate changes land exactly at the previous admission instant, the
+      // boundary of the current refill segment.
+      rate = rng.Uniform(0.0, 800.0);
+      bucket.SetRate(rate);
+    }
+    const SimTime dt = rng.UniformInt(0, 2000);  // 0 = same-instant burst
+    budget += rate * ToSeconds(dt);
+    now += dt;
+    ++attempts;
+    if (bucket.TryAdmit(now)) {
+      ++admitted;
+    } else {
+      ++rejected;
+    }
+    // The token pool stays within [0, burst] at all times.
+    EXPECT_GE(bucket.Tokens(now), 0.0);
+    EXPECT_LE(bucket.Tokens(now), bucket.burst());
+  }
+  EXPECT_EQ(admitted + rejected, attempts);
+  EXPECT_LE(static_cast<double>(admitted), budget + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TokenBucketConservationSweep,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+// --- Union-find: component structure independent of merge order ---------------
+
+class UnionFindOrderSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(UnionFindOrderSweep, ComponentsIndependentOfUnionOrder) {
+  Rng rng(GetParam() * 4243);
+  const std::size_t n = static_cast<std::size_t>(rng.UniformInt(2, 50));
+  std::vector<std::pair<std::size_t, std::size_t>> edges;
+  const int count = static_cast<int>(rng.UniformInt(1, 100));
+  for (int e = 0; e < count; ++e) {
+    edges.emplace_back(
+        static_cast<std::size_t>(rng.UniformInt(0, static_cast<std::int64_t>(n) - 1)),
+        static_cast<std::size_t>(rng.UniformInt(0, static_cast<std::int64_t>(n) - 1)));
+  }
+  // Canonical component labelling: every node mapped to the sorted set of
+  // nodes it is connected to.
+  const auto components = [n](UnionFind& dsu) {
+    std::vector<std::vector<std::size_t>> comp(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        if (dsu.Connected(i, j)) comp[i].push_back(j);
+      }
+    }
+    return comp;
+  };
+  UnionFind forward(n);
+  for (const auto& [a, b] : edges) forward.Union(a, b);
+  // Shuffle the edge list (Fisher-Yates on the sweep's own stream).
+  for (std::size_t i = edges.size(); i > 1; --i) {
+    const auto j = static_cast<std::size_t>(
+        rng.UniformInt(0, static_cast<std::int64_t>(i) - 1));
+    std::swap(edges[i - 1], edges[j]);
+  }
+  UnionFind shuffled(n);
+  for (const auto& [a, b] : edges) shuffled.Union(a, b);
+  EXPECT_EQ(components(forward), components(shuffled));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UnionFindOrderSweep,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+// --- Clustering: result independent of overloaded-input permutation ----------
+
+class ClusteringPermutationSweep
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ClusteringPermutationSweep, ClustersIndependentOfOverloadOrder) {
+  Rng rng(GetParam() * 569);
+  const int num_services = static_cast<int>(rng.UniformInt(3, 20));
+  const int num_apis = static_cast<int>(rng.UniformInt(2, 16));
+  auto app = std::make_unique<sim::Application>("perm", GetParam());
+  for (int s = 0; s < num_services; ++s) {
+    sim::ServiceConfig config;
+    config.name = "s" + std::to_string(s);
+    app->AddService(config);
+  }
+  for (int a = 0; a < num_apis; ++a) {
+    sim::ApiSpec spec("api" + std::to_string(a), 1);
+    std::set<sim::ServiceId> used;
+    const int len =
+        static_cast<int>(rng.UniformInt(1, std::min(5, num_services)));
+    while (static_cast<int>(used.size()) < len) {
+      used.insert(static_cast<sim::ServiceId>(rng.UniformInt(0, num_services - 1)));
+    }
+    spec.AddPath(sim::ExecutionPath{
+        sim::Chain(std::vector<sim::ServiceId>(used.begin(), used.end())), 1.0, {}});
+    app->AddApi(std::move(spec));
+  }
+  app->Finalize();
+  core::ApiRegistry registry(*app);
+
+  std::vector<sim::ServiceId> overloaded;
+  for (int s = 0; s < num_services; ++s) {
+    if (rng.Bernoulli(0.4)) overloaded.push_back(s);
+  }
+  // Canonical form: clusters sorted by their (sorted) API lists.
+  const auto canonical = [&](const std::vector<sim::ServiceId>& input) {
+    auto clusters = core::BuildClusters(registry, input);
+    std::vector<std::tuple<std::vector<sim::ApiId>, std::vector<sim::ServiceId>,
+                           sim::ServiceId, std::vector<sim::ApiId>>>
+        out;
+    out.reserve(clusters.size());
+    for (const auto& c : clusters) {
+      out.emplace_back(c.apis, c.overloaded, c.target, c.candidates);
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  };
+  const auto baseline = canonical(overloaded);
+  for (int trial = 0; trial < 4; ++trial) {
+    std::vector<sim::ServiceId> permuted = overloaded;
+    for (std::size_t i = permuted.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(
+          rng.UniformInt(0, static_cast<std::int64_t>(i) - 1));
+      std::swap(permuted[i - 1], permuted[j]);
+    }
+    EXPECT_EQ(canonical(permuted), baseline) << "trial " << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ClusteringPermutationSweep,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+// --- ClusterTracker: history bookkeeping invariants ---------------------------
+
+class ClusterTrackerSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ClusterTrackerSweep, HistoryCountsAndPartitionLabelsConsistent) {
+  Rng rng(GetParam() * 1693);
+  const int num_apis = static_cast<int>(rng.UniformInt(2, 12));
+  core::ClusterTracker tracker(num_apis);
+  int ticks = 0;
+  for (int t = 0; t < 12; ++t) {
+    // A random disjoint partition of a random API subset.
+    std::vector<core::Cluster> clusters;
+    std::vector<sim::ApiId> apis;
+    for (sim::ApiId a = 0; a < num_apis; ++a) {
+      if (rng.Bernoulli(0.6)) apis.push_back(a);
+    }
+    while (!apis.empty()) {
+      core::Cluster cluster;
+      const auto take = static_cast<std::size_t>(
+          rng.UniformInt(1, static_cast<std::int64_t>(apis.size())));
+      cluster.apis.assign(apis.end() - static_cast<std::ptrdiff_t>(take), apis.end());
+      apis.resize(apis.size() - take);
+      clusters.push_back(std::move(cluster));
+    }
+    tracker.Record(static_cast<double>(t), clusters);
+    ++ticks;
+
+    const auto& snap = tracker.History().back();
+    EXPECT_EQ(snap.clusters, static_cast<int>(clusters.size()));
+    EXPECT_EQ(static_cast<int>(snap.api_cluster.size()), num_apis);
+    int members = 0;
+    for (const int label : snap.api_cluster) {
+      EXPECT_GE(label, -1);
+      EXPECT_LT(label, static_cast<int>(clusters.size()));
+      members += label >= 0 ? 1 : 0;
+    }
+    EXPECT_EQ(members, snap.member_apis);
+    EXPECT_GE(snap.merges, 0);
+    EXPECT_GE(snap.splits, 0);
+  }
+  EXPECT_EQ(static_cast<int>(tracker.History().size()), ticks);
+  int merges = 0, splits = 0;
+  for (const auto& snap : tracker.History()) {
+    merges += snap.merges;
+    splits += snap.splits;
+  }
+  EXPECT_EQ(tracker.TotalMerges(), merges);
+  EXPECT_EQ(tracker.TotalSplits(), splits);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ClusterTrackerSweep,
+                         ::testing::Range<std::uint64_t>(1, 9));
 
 }  // namespace
 }  // namespace topfull

@@ -6,6 +6,8 @@
 //                  [--priorities] [--probe-failures] [--hpa] [--seed S]
 //                  [--csv FILE] [--threads N]
 //                  [--trace-dir DIR] [--trace-sample R]
+//                  [--fault-profile SPEC] [--fault-seed S]
+//                  [--hop-timeout S] [--retries N] [--retry-backoff S]
 //   topfull inspect --app <...>            # print topology + capacities
 //   topfull train   [--episodes N] [--out FILE] [--threads N]   # pre-train
 //
@@ -28,6 +30,7 @@
 #include "exp/csv.hpp"
 #include "exp/harness.hpp"
 #include "exp/model_cache.hpp"
+#include "fault/profile.hpp"
 #include "obs/profile.hpp"
 
 using namespace topfull;
@@ -82,7 +85,15 @@ int Usage() {
       "                   decision log (JSONL) and a Prometheus metrics dump to\n"
       "                   DIR (overrides TOPFULL_TRACE_DIR)\n"
       "  --trace-sample R fraction of requests traced, 0..1 (default 1;\n"
-      "                   overrides TOPFULL_TRACE_SAMPLE)\n");
+      "                   overrides TOPFULL_TRACE_SAMPLE)\n"
+      "  --fault-profile  ';'-separated fault events, e.g.\n"
+      "                   'crash:svc=ts-station,at=50,pods=25,restart=60;\n"
+      "                    degrade:svc=frontend,at=30,for=40,factor=0.5' or\n"
+      "                   'chaos:seed=7,events=6,horizon=120' (seeded random)\n"
+      "  --fault-seed S   RNG seed for the fault engine's own stream\n"
+      "  --hop-timeout S  per-hop RPC timeout in seconds (default 0 = none)\n"
+      "  --retries N      bounded retries per hop (default 0)\n"
+      "  --retry-backoff S delay before each retry (default 0)\n");
   return 2;
 }
 
@@ -158,6 +169,23 @@ int CmdRun(const Args& args) {
   const std::string controller_name = args.Get("controller", "topfull");
   const exp::Variant variant = VariantFromName(controller_name);
 
+  if (args.Has("hop-timeout") || args.Has("retries") || args.Has("retry-backoff")) {
+    app->ConfigureRpc(Seconds(args.Num("hop-timeout", 0)),
+                      static_cast<int>(args.Num("retries", 0)),
+                      Seconds(args.Num("retry-backoff", 0)));
+  }
+
+  fault::FaultSchedule faults;
+  if (args.Has("fault-profile")) {
+    std::string error;
+    const auto parsed = fault::ParseFaultProfile(args.Get("fault-profile"), *app, &error);
+    if (!parsed) {
+      std::fprintf(stderr, "bad --fault-profile: %s\n", error.c_str());
+      return 2;
+    }
+    faults = *parsed;
+  }
+
   exp::TelemetryOptions trace_options = exp::TelemetryOptions::FromEnv();
   if (args.Has("trace-dir")) trace_options.dir = args.Get("trace-dir");
   if (args.Has("trace-sample")) {
@@ -206,11 +234,31 @@ int CmdRun(const Args& args) {
     traffic.AddClosedLoop(exp::UniformUsers(*app), std::move(schedule));
   }
 
+  fault::FaultInjector injector(
+      app.get(), faults,
+      args.Has("fault-seed")
+          ? static_cast<std::uint64_t>(args.Num("fault-seed", 0))
+          : fault::FaultInjector::kDefaultSeed);
+  if (cluster != nullptr) injector.AttachCluster(cluster.get());
+  if (!faults.empty()) injector.Arm();
+
   std::printf("running %s with %s for %.0f s...\n", app->name().c_str(),
               exp::VariantName(variant).c_str(), duration);
   {
     obs::ScopedTimer timer("cli/simulate");
     app->RunFor(Seconds(duration));
+  }
+
+  if (!injector.Log().empty()) {
+    std::printf("faults: %d state changes from %zu scheduled events\n",
+                injector.InjectionCount(), injector.schedule().size());
+    for (const auto& r : injector.Log()) {
+      std::printf("  t=%7.2fs %-20s %-8s %s%s%s severity=%.2f count=%d\n",
+                  ToSeconds(r.at), fault::FaultTypeName(r.type),
+                  fault::FaultActionName(r.action), r.service.empty() ? "" : "svc=",
+                  r.service.c_str(), r.service.empty() ? "(cluster)" : "",
+                  r.severity, r.count);
+    }
   }
 
   Table table("per-API results (whole run)");
@@ -235,6 +283,7 @@ int CmdRun(const Args& args) {
   if (telemetry.enabled()) {
     const exp::TelemetrySummary summary = telemetry.Export(
         *app, exp::SanitizeFileName(app->name()), controllers.topfull(),
+        injector.Log().empty() ? nullptr : &injector.Log(),
         /*log_stderr=*/false);
     std::string paths;
     for (const std::string& path : summary.paths) {
