@@ -4,7 +4,9 @@
 // Paper (Xeon Platinum 8370C): clustering the Train Ticket app costs
 // 1.26e6 cycles, one RL inference 2.33e6 cycles; one core can control
 // ~15,000 microservices / 1,000 clusters per second. We report wall time
-// and a cycle estimate at the measured clock.
+// and a cycle estimate at the measured clock. Also measures the metrics
+// engine's in-line recording costs (counter/histogram updates, registry
+// lookup, collector with the registry on vs off).
 #include <benchmark/benchmark.h>
 
 #include "apps/train_ticket.hpp"
@@ -12,7 +14,9 @@
 #include "core/clustering.hpp"
 #include "core/registry.hpp"
 #include "exp/model_cache.hpp"
+#include "obs/metrics_registry.hpp"
 #include "rl/observation.hpp"
+#include "sim/metrics.hpp"
 #include "trace/synthetic_trace.hpp"
 
 using namespace topfull;
@@ -75,6 +79,80 @@ void BM_TokenBucketAdmit(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_TokenBucketAdmit);
+
+// --- Metrics-registry overhead (ISSUE 4): the in-line recording costs --------
+
+// One counter increment through a cached handle (the steady-state hot path:
+// the name is resolved once, outside the loop).
+void BM_MetricsCounterInc(benchmark::State& state) {
+  obs::MetricsRegistry registry;
+  obs::Counter* counter =
+      registry.GetCounter("topfull_bench_total", "Bench.", {{"api", "a"}});
+  for (auto _ : state) {
+    counter->Inc();
+    benchmark::DoNotOptimize(counter);
+  }
+}
+BENCHMARK(BM_MetricsCounterInc);
+
+// One histogram sample (frexp bucketing + exact moment updates).
+void BM_MetricsHistogramRecord(benchmark::State& state) {
+  obs::MetricsRegistry registry;
+  obs::Histogram* histogram =
+      registry.GetHistogram("topfull_bench_latency_ms", "Bench.");
+  double v = 0.1;
+  for (auto _ : state) {
+    histogram->Record(v);
+    v = v < 1e4 ? v * 1.1 : 0.1;  // walk the buckets
+    benchmark::DoNotOptimize(histogram);
+  }
+}
+BENCHMARK(BM_MetricsHistogramRecord);
+
+// Name -> cell resolution (what handle caching avoids on the hot path).
+void BM_MetricsRegistryLookup(benchmark::State& state) {
+  obs::MetricsRegistry registry;
+  registry.GetCounter("topfull_bench_total", "Bench.", {{"api", "a"}});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        registry.GetCounter("topfull_bench_total", "Bench.", {{"api", "a"}}));
+  }
+}
+BENCHMARK(BM_MetricsRegistryLookup);
+
+// The collector's per-completion cost with the live registry unbound vs
+// bound (registry on adds one counter + one histogram update per event).
+void BM_CollectorOnCompleted(benchmark::State& state) {
+  const bool bind = state.range(0) != 0;
+  sim::MetricsCollector collector(1, Millis(100));
+  obs::MetricsRegistry registry;
+  if (bind) {
+    sim::ApiMetricHandles handles;
+    handles.offered = registry.GetCounter("topfull_requests_offered_total", "O.");
+    handles.admitted = registry.GetCounter("topfull_requests_admitted_total", "A.");
+    handles.rejected_entry =
+        registry.GetCounter("topfull_requests_rejected_entry_total", "R.");
+    handles.rejected_service =
+        registry.GetCounter("topfull_requests_rejected_service_total", "R.");
+    handles.completed = registry.GetCounter("topfull_requests_completed_total", "C.");
+    handles.good = registry.GetCounter("topfull_requests_good_total", "G.");
+    handles.latency_ms = registry.GetHistogram("topfull_request_latency_ms", "L.");
+    collector.BindRegistry({handles});
+  }
+  SimTime now = 0;
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    collector.OnCompleted(0, Millis(5));
+    // Close the window periodically so the latency scratch buffer stays
+    // small; identical in both variants, so the comparison is fair.
+    if ((++i & 0xfff) == 0) {
+      now += Seconds(1);
+      benchmark::DoNotOptimize(&collector.Collect(now, {}));
+    }
+  }
+  state.SetLabel(bind ? "registry on" : "registry off");
+}
+BENCHMARK(BM_CollectorOnCompleted)->Arg(0)->Arg(1);
 
 }  // namespace
 

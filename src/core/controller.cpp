@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <limits>
 
 namespace topfull::core {
 
@@ -14,6 +15,22 @@ TopFullController::TopFullController(sim::Application* app,
       config_(config),
       controls_(app->NumApis()) {
   app_->SetEntryAdmission(this);
+  // Live registry families, updated in-line with every tick/limit change.
+  obs::MetricsRegistry& metrics = app_->metrics_registry();
+  ticks_counter_ = metrics.GetCounter("topfull_controller_ticks_total",
+                                      "Control ticks executed.");
+  decisions_counter_ =
+      metrics.GetCounter("topfull_controller_decisions_total",
+                         "Control decisions taken (Algorithm 1 + recovery).");
+  overloaded_gauge_ = metrics.GetGauge(
+      "topfull_controller_overloaded_services",
+      "Overloaded microservices detected at the last tick (after hysteresis).");
+  for (sim::ApiId a = 0; a < app_->NumApis(); ++a) {
+    limit_gauges_.push_back(metrics.GetGauge(
+        "topfull_api_rate_limit_rps",
+        "Entry rate limit per API (+Inf = uncapped).", {{"api", app_->api(a).name()}}));
+    limit_gauges_.back()->Set(std::numeric_limits<double>::infinity());
+  }
 }
 
 void TopFullController::Start() {
@@ -84,6 +101,7 @@ void TopFullController::SetRate(sim::ApiId api, double rate) {
   if (decision_observer_ != nullptr) {
     decision_observer_->OnRateChange(api, before, control.rate);
   }
+  limit_gauges_[api]->Set(control.rate);
   control.bucket.SetRate(control.rate);
   // Keep a shallow burst so 1 s averages track the limit closely.
   const double burst =
@@ -153,6 +171,7 @@ void TopFullController::AdjustRate(const std::vector<sim::ApiId>& candidates,
 void TopFullController::Tick() {
   const sim::Snapshot& snap = app_->metrics().Latest();
   if (snap.services.empty()) return;
+  ticks_counter_->Inc();
 
   std::vector<sim::ServiceId> overloaded = DetectOverloaded(snap, config_.overload);
   if (config_.overload.util_exit_threshold > 0.0) {
@@ -175,6 +194,7 @@ void TopFullController::Tick() {
     }
     flagged_ = std::move(now_flagged);
   }
+  overloaded_gauge_->Set(static_cast<double>(overloaded.size()));
   last_clusters_ = BuildClusters(registry_, overloaded);
   if (tracker_ != nullptr) {
     tracker_->Record(ToSeconds(app_->sim().Now()), last_clusters_);
@@ -248,6 +268,7 @@ void TopFullController::Tick() {
         const ControlState state = StateOf(candidates, snap);
         const double action = ClusterController(target).DecideStep(state);
         ++decisions_;
+        decisions_counter_->Inc();
         if (decision_observer_ != nullptr) {
           decision_observer_->OnClusterDecision(target, candidates, state, action);
         }
@@ -285,6 +306,7 @@ void TopFullController::Tick() {
       // The limit no longer binds and nothing on the path is overloaded:
       // load control for this API is deactivated (§4.1).
       controls_[a].capped = false;
+      limit_gauges_[a]->Set(std::numeric_limits<double>::infinity());
       continue;
     }
     const ControlState state = StateOf({a}, snap);
@@ -292,6 +314,7 @@ void TopFullController::Tick() {
                               ? config_.recovery_step
                               : RecoveryController(a).DecideStep(state);
     ++decisions_;
+    decisions_counter_->Inc();
     if (decision_observer_ != nullptr) {
       decision_observer_->OnRecoveryDecision(a, state, action);
     }

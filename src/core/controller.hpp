@@ -140,6 +140,11 @@ class TopFullController : public sim::EntryAdmission {
   std::unique_ptr<RateController> prototype_;
   TopFullConfig config_;
   std::vector<ApiControl> controls_;
+  // Live metrics-registry handles (owned by the app's registry).
+  obs::Counter* ticks_counter_ = nullptr;
+  obs::Counter* decisions_counter_ = nullptr;
+  obs::Gauge* overloaded_gauge_ = nullptr;
+  std::vector<obs::Gauge*> limit_gauges_;
   std::map<sim::ServiceId, std::unique_ptr<RateController>> cluster_controllers_;
   std::map<sim::ApiId, std::unique_ptr<RateController>> recovery_controllers_;
   std::vector<Cluster> last_clusters_;

@@ -7,6 +7,7 @@
 #include <filesystem>
 
 #include "obs/export.hpp"
+#include "obs/report.hpp"
 
 namespace topfull::exp {
 
@@ -109,12 +110,15 @@ void Telemetry::Attach(sim::Application& app) {
     tracer_ = std::make_unique<obs::RequestTracer>(config);
   }
   app.SetObserver(tracer_.get());
+  monitor_ = obs::SloMonitor::ForApp(app);
+  if (decision_log_) monitor_->SetDecisionLog(decision_log_.get());
 }
 
 void Telemetry::Attach(core::TopFullController& controller) {
   if (!enabled()) return;
   if (!decision_log_) decision_log_ = std::make_unique<obs::DecisionLog>();
   controller.SetDecisionObserver(decision_log_.get());
+  if (monitor_) monitor_->SetDecisionLog(decision_log_.get());
 }
 
 TelemetrySummary Telemetry::Export(const sim::Application& app,
@@ -140,20 +144,35 @@ TelemetrySummary Telemetry::Export(const sim::Application& app,
     summary.paths.push_back(path);
     if (log_stderr) std::fprintf(stderr, "[obs] wrote %s\n", path.c_str());
   };
+  const std::vector<obs::SloEvent>* events =
+      monitor_ ? &monitor_->events() : nullptr;
   if (tracer_) {
     summary.sampled = tracer_->counters().sampled;
     summary.dropped = tracer_->counters().dropped;
     const std::string path = base + ".trace.json";
-    report(path, obs::WritePerfettoTrace(*tracer_, app, path, faults));
+    report(path, obs::WritePerfettoTrace(*tracer_, app, path, faults, events));
   }
   if (decision_log_) {
     summary.ticks = decision_log_->ticks().size();
     summary.decisions = decision_log_->DecisionCount();
     const std::string path = base + ".decisions.jsonl";
-    report(path, obs::WriteDecisionLogJsonl(*decision_log_, app, path));
+    report(path, obs::WriteDecisionLogJsonl(*decision_log_, app, path, events));
   }
   const std::string prom = base + ".metrics.prom";
-  report(prom, obs::WritePrometheusText(app, controller, tracer_.get(), prom, faults));
+  report(prom, obs::WritePrometheusText(app, tracer_.get(), prom));
+
+  if (events != nullptr) summary.slo_events = events->size();
+  obs::ReportInputs inputs;
+  inputs.app = &app;
+  inputs.label = name;
+  inputs.controller = controller;
+  inputs.monitor = monitor_.get();
+  inputs.decisions = decision_log_.get();
+  inputs.faults = faults;
+  const std::string summary_path = base + ".summary.json";
+  report(summary_path, obs::WriteRunSummaryJson(inputs, summary_path));
+  const std::string html_path = base + ".report.html";
+  report(html_path, obs::WriteHtmlReport(inputs, html_path));
   return summary;
 }
 

@@ -11,6 +11,7 @@
 #include "core/controller.hpp"
 #include "fault/fault.hpp"
 #include "obs/decision_log.hpp"
+#include "obs/slo_monitor.hpp"
 #include "obs/trace.hpp"
 #include "rl/policy.hpp"
 #include "sim/app.hpp"
@@ -88,12 +89,14 @@ struct TelemetrySummary {
   std::uint64_t dropped = 0;
   std::uint64_t ticks = 0;      ///< decision-log ticks
   std::uint64_t decisions = 0;  ///< decision-log decisions (cluster + recovery)
+  std::uint64_t slo_events = 0; ///< SLO monitor events emitted
   std::vector<std::string> paths;  ///< files written
 };
 
-/// Owns a RequestTracer and DecisionLog for one run and writes the Perfetto
-/// trace, decision JSONL and Prometheus dump at the end. Must outlive the
-/// simulation run (the application/controller hold raw observer pointers).
+/// Owns a RequestTracer, DecisionLog and SloMonitor for one run and writes
+/// the Perfetto trace, decision JSONL, Prometheus dump, run summary JSON
+/// and HTML report at the end. Must outlive the simulation run (the
+/// application/controller hold raw observer pointers).
 class Telemetry {
  public:
   Telemetry() = default;
@@ -101,17 +104,22 @@ class Telemetry {
 
   bool enabled() const { return options_.enabled(); }
 
-  /// Installs the span tracer on `app`. No-op when disabled.
+  /// Installs the span tracer and the SLO/overload monitor on `app`.
+  /// No-op when disabled.
   void Attach(sim::Application& app);
-  /// Installs the decision log on `controller`. No-op when disabled.
+  /// Installs the decision log on `controller` (and feeds it to the SLO
+  /// monitor's oscillation detector). No-op when disabled.
   void Attach(core::TopFullController& controller);
 
   /// Writes "<dir>/<name>.trace.json", "<dir>/<name>.decisions.jsonl" (when
-  /// a controller was attached) and "<dir>/<name>.metrics.prom", creating
+  /// a controller was attached), "<dir>/<name>.metrics.prom",
+  /// "<dir>/<name>.summary.json" and "<dir>/<name>.report.html", creating
   /// `dir` recursively. Paths are reported on stderr when `log_stderr`
   /// (bench stdout must stay byte-identical with telemetry on or off).
   /// When `faults` is non-null, injected fault records are embedded in the
-  /// trace (instant events) and the Prometheus dump (counters).
+  /// trace (instant events), the summary and the report. SLO monitor
+  /// events appear in the decision JSONL, the Perfetto trace, the summary
+  /// and the report.
   TelemetrySummary Export(const sim::Application& app, const std::string& name,
                           const core::TopFullController* controller = nullptr,
                           const std::vector<fault::FaultRecord>* faults = nullptr,
@@ -119,11 +127,13 @@ class Telemetry {
 
   const obs::RequestTracer* tracer() const { return tracer_.get(); }
   const obs::DecisionLog* decision_log() const { return decision_log_.get(); }
+  const obs::SloMonitor* monitor() const { return monitor_.get(); }
 
  private:
   TelemetryOptions options_;
   std::unique_ptr<obs::RequestTracer> tracer_;
   std::unique_ptr<obs::DecisionLog> decision_log_;
+  std::unique_ptr<obs::SloMonitor> monitor_;
 };
 
 /// Replaces path-hostile characters so a run label can name a trace file.

@@ -112,6 +112,13 @@ FaultInjector::FaultInjector(sim::Application* app, FaultSchedule schedule,
 void FaultInjector::Arm() {
   if (armed_) return;
   armed_ = true;
+  obs::MetricsRegistry& metrics = app_->metrics_registry();
+  applied_counter_ = metrics.GetCounter("topfull_faults_injected_total",
+                                        "Fault events applied by the injector.");
+  reverted_counter_ = metrics.GetCounter("topfull_faults_reverted_total",
+                                         "Transient fault events reverted.");
+  restarts_counter_ = metrics.GetCounter("topfull_fault_pod_restarts_total",
+                                         "Pods restored after injected crashes.");
   if (schedule_.NeedsHopTimeout() && app_->config().hop_timeout <= 0) {
     std::fprintf(stderr,
                  "[fault] warning: schedule contains blackhole events but the "
@@ -233,6 +240,19 @@ void FaultInjector::Record(FaultType type, FaultRecord::Action action,
   r.service = service;
   r.severity = severity;
   r.count = count;
+  switch (action) {
+    case FaultRecord::Action::kApply:
+      if (applied_counter_ != nullptr) applied_counter_->Inc();
+      break;
+    case FaultRecord::Action::kRevert:
+      if (reverted_counter_ != nullptr) reverted_counter_->Inc();
+      break;
+    case FaultRecord::Action::kRestart:
+      if (restarts_counter_ != nullptr) restarts_counter_->Inc();
+      break;
+    case FaultRecord::Action::kSkipped:
+      break;
+  }
   log_.push_back(std::move(r));
 }
 

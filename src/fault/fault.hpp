@@ -132,6 +132,11 @@ class FaultInjector {
   Rng rng_;  ///< Fault-owned stream; the workload RNG is never touched.
   autoscale::Cluster* cluster_ = nullptr;
   std::vector<FaultRecord> log_;
+  // Live metrics-registry counters (owned by the app's registry; resolved
+  // at Arm so fault-free runs add no families).
+  obs::Counter* applied_counter_ = nullptr;
+  obs::Counter* reverted_counter_ = nullptr;
+  obs::Counter* restarts_counter_ = nullptr;
   bool armed_ = false;
 };
 

@@ -1,5 +1,6 @@
 #include "obs/export.hpp"
 
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 
@@ -31,7 +32,104 @@ const char* OutcomeName(sim::Outcome outcome) {
   return "unknown";
 }
 
+/// Sample-value rendering: Prometheus spells out non-finite values.
+std::string PromNum(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  return Num(v);
+}
+
+/// Renders a label set as {k1="v1",k2="v2"}; empty string for no labels.
+/// `extra_key`/`extra_value` append one more pair (the histogram `le`).
+std::string PromLabels(const Labels& labels, const char* extra_key = nullptr,
+                       const std::string& extra_value = {}) {
+  if (labels.empty() && extra_key == nullptr) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ",";
+    first = false;
+    out += k + "=\"" + PromEscapeLabel(v) + "\"";
+  }
+  if (extra_key != nullptr) {
+    if (!first) out += ",";
+    out += std::string(extra_key) + "=\"" + PromEscapeLabel(extra_value) + "\"";
+  }
+  return out + "}";
+}
+
+void RenderHistogramCell(const std::string& name, const MetricsRegistry::Cell& cell,
+                         std::string* out) {
+  const Histogram& h = *cell.histogram;
+  // Cumulative bucket series. Empty buckets are elided (cumulative counts
+  // stay valid under any subset of boundaries); the +Inf bucket is always
+  // present, as the spec requires.
+  std::uint64_t cumulative = 0;
+  for (int b = 0; b < h.NumBuckets() - 1; ++b) {  // last bucket == +Inf
+    const std::uint64_t c = h.BucketCount(b);
+    if (c == 0) continue;
+    cumulative += c;
+    *out += name + "_bucket" + PromLabels(cell.labels, "le", Num(h.UpperBound(b))) +
+            " " + U64(cumulative) + "\n";
+  }
+  *out += name + "_bucket" + PromLabels(cell.labels, "le", "+Inf") + " " +
+          U64(h.count()) + "\n";
+  *out += name + "_sum" + PromLabels(cell.labels) + " " + Num(h.sum()) + "\n";
+  *out += name + "_count" + PromLabels(cell.labels) + " " + U64(h.count()) + "\n";
+}
+
 }  // namespace
+
+std::string PromEscapeLabel(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string PromEscapeHelp(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string PromTextFromRegistry(const MetricsRegistry& registry) {
+  std::string out;
+  for (const auto& [name, family] : registry.families()) {
+    out += "# HELP " + name + " " + PromEscapeHelp(family.help) + "\n";
+    out += "# TYPE " + name + " " + MetricTypeName(family.type) + "\n";
+    for (const auto& [key, cell] : family.cells) {
+      switch (family.type) {
+        case MetricType::kCounter:
+          out += name + PromLabels(cell->labels) + " " + U64(cell->counter.value()) +
+                 "\n";
+          break;
+        case MetricType::kGauge:
+          out += name + PromLabels(cell->labels) + " " + PromNum(cell->gauge.value()) +
+                 "\n";
+          break;
+        case MetricType::kHistogram:
+          RenderHistogramCell(name, *cell, &out);
+          break;
+      }
+    }
+  }
+  return out;
+}
 
 std::string JsonEscape(const std::string& s) {
   std::string out;
@@ -58,7 +156,8 @@ std::string JsonEscape(const std::string& s) {
 
 bool WritePerfettoTrace(const RequestTracer& tracer, const sim::Application& app,
                         const std::string& path,
-                        const std::vector<fault::FaultRecord>* faults) {
+                        const std::vector<fault::FaultRecord>* faults,
+                        const std::vector<SloEvent>* slo_events) {
   std::ofstream out(path);
   if (!out) return false;
   out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
@@ -103,6 +202,22 @@ bool WritePerfettoTrace(const RequestTracer& tracer, const sim::Application& app
     }
   }
 
+  // SLO monitor events, likewise on their own row. Timestamps are window
+  // closes in simulation time — deterministic by construction.
+  if (slo_events != nullptr && !slo_events->empty()) {
+    const std::string slo_pid = U64(static_cast<std::uint64_t>(app.NumServices()) + 2);
+    emit("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" + slo_pid +
+         ",\"tid\":0,\"args\":{\"name\":\"slo\"}}");
+    for (const SloEvent& e : *slo_events) {
+      emit("{\"name\":\"" + std::string(SloEventTypeName(e.type)) +
+           "\",\"cat\":\"slo\",\"ph\":\"i\",\"s\":\"g\",\"ts\":" +
+           U64(static_cast<std::uint64_t>(e.t_s * 1e6)) + ",\"pid\":" + slo_pid +
+           ",\"tid\":0,\"args\":{\"subject\":\"" + JsonEscape(e.subject) +
+           "\",\"value\":" + Num(e.value) + ",\"threshold\":" + Num(e.threshold) +
+           "}}");
+    }
+  }
+
   for (const RequestTrace& trace : tracer.finished()) {
     const std::string tid = U64(static_cast<std::uint64_t>(trace.api));
     if (trace.outcome == sim::Outcome::kRejectedEntry) {
@@ -133,8 +248,19 @@ bool WritePerfettoTrace(const RequestTracer& tracer, const sim::Application& app
   return static_cast<bool>(out);
 }
 
+namespace {
+
+std::string SloEventLine(const SloEvent& e) {
+  return "{\"t_s\":" + Num(e.t_s) + ",\"event\":\"" + SloEventTypeName(e.type) +
+         "\",\"subject\":\"" + JsonEscape(e.subject) + "\",\"value\":" +
+         Num(e.value) + ",\"threshold\":" + Num(e.threshold) + "}";
+}
+
+}  // namespace
+
 bool WriteDecisionLogJsonl(const DecisionLog& log, const sim::Application& app,
-                           const std::string& path) {
+                           const std::string& path,
+                           const std::vector<SloEvent>* slo_events) {
   std::ofstream out(path);
   if (!out) return false;
   const auto api_name = [&app](sim::ApiId a) {
@@ -165,7 +291,21 @@ bool WriteDecisionLogJsonl(const DecisionLog& log, const sim::Application& app,
            ",\"slo_s\":" + Num(state.slo_s);
   };
 
+  // Merge the SLO event stream into the tick stream in time order. An
+  // event at t fires at the window close, before the control tick of the
+  // same second — the order the simulation executes them in.
+  std::size_t next_event = 0;
+  const auto flush_events = [&out, &next_event, slo_events](double upto_s) {
+    if (slo_events == nullptr) return;
+    while (next_event < slo_events->size() &&
+           (*slo_events)[next_event].t_s <= upto_s) {
+      out << SloEventLine((*slo_events)[next_event]) << "\n";
+      ++next_event;
+    }
+  };
+
   for (const TickRecord& tick : log.ticks()) {
+    flush_events(tick.t_s);
     out << "{\"t_s\":" << Num(tick.t_s) << ",\"overloaded\":"
         << svc_list(tick.overloaded) << ",\"clusters\":[";
     for (std::size_t i = 0; i < tick.clusters.size(); ++i) {
@@ -197,120 +337,38 @@ bool WriteDecisionLogJsonl(const DecisionLog& log, const sim::Application& app,
     }
     out << "]}\n";
   }
+  if (slo_events != nullptr) {
+    // Events after the last tick (or all of them, when no controller ran).
+    while (next_event < slo_events->size()) {
+      out << SloEventLine((*slo_events)[next_event]) << "\n";
+      ++next_event;
+    }
+  }
   return static_cast<bool>(out);
 }
 
-bool WritePrometheusText(const sim::Application& app,
-                         const core::TopFullController* controller,
-                         const RequestTracer* tracer, const std::string& path,
-                         const std::vector<fault::FaultRecord>* faults) {
+bool WritePrometheusText(const sim::Application& app, const RequestTracer* tracer,
+                         const std::string& path) {
   std::ofstream out(path);
   if (!out) return false;
+  out << PromTextFromRegistry(app.metrics_registry());
 
-  const auto family = [&out](const char* name, const char* type,
-                             const char* help) {
-    out << "# HELP " << name << " " << help << "\n# TYPE " << name << " "
-        << type << "\n";
-  };
-  const auto api_label = [&app](sim::ApiId a) {
-    return "{api=\"" + JsonEscape(app.api(a).name()) + "\"}";
-  };
-
-  struct CounterField {
-    const char* name;
-    const char* help;
-    std::uint64_t sim::ApiTotals::*field;
-  };
-  const CounterField counters[] = {
-      {"topfull_requests_offered_total", "Client requests offered at the gateway.",
-       &sim::ApiTotals::offered},
-      {"topfull_requests_admitted_total", "Requests admitted by the entry limiter.",
-       &sim::ApiTotals::admitted},
-      {"topfull_requests_rejected_entry_total",
-       "Requests shed by the entry rate limiter.", &sim::ApiTotals::rejected_entry},
-      {"topfull_requests_rejected_service_total",
-       "Admitted requests that failed at some microservice.",
-       &sim::ApiTotals::rejected_service},
-      {"topfull_requests_completed_total", "Requests that completed end to end.",
-       &sim::ApiTotals::completed},
-      {"topfull_requests_good_total", "Completions within the end-to-end SLO.",
-       &sim::ApiTotals::good},
-  };
-  for (const CounterField& counter : counters) {
-    family(counter.name, "counter", counter.help);
-    for (sim::ApiId a = 0; a < app.NumApis(); ++a) {
-      out << counter.name << api_label(a) << " "
-          << U64(app.metrics().Totals()[a].*counter.field) << "\n";
-    }
-  }
-
-  family("topfull_slo_seconds", "gauge", "End-to-end latency SLO.");
-  out << "topfull_slo_seconds " << Num(ToSeconds(app.metrics().slo())) << "\n";
-  family("topfull_sim_end_seconds", "gauge",
-         "Simulation time at the last closed metrics window.");
-  out << "topfull_sim_end_seconds " << Num(app.metrics().Latest().t_end_s) << "\n";
-
-  family("topfull_service_running_pods", "gauge",
-         "Running pods per microservice at end of run.");
-  for (int s = 0; s < app.NumServices(); ++s) {
-    out << "topfull_service_running_pods{service=\""
-        << JsonEscape(app.service(s).name()) << "\"} "
-        << app.service(s).RunningPods() << "\n";
-  }
-  family("topfull_service_capacity_rps", "gauge",
-         "Estimated sustainable throughput per microservice at work=1.");
-  for (int s = 0; s < app.NumServices(); ++s) {
-    out << "topfull_service_capacity_rps{service=\""
-        << JsonEscape(app.service(s).name()) << "\"} "
-        << Num(app.service(s).CapacityRps()) << "\n";
-  }
-
-  if (controller != nullptr) {
-    family("topfull_api_rate_limit_rps", "gauge",
-           "Entry rate limit per API at end of run (+Inf = uncapped).");
-    for (sim::ApiId a = 0; a < app.NumApis(); ++a) {
-      const auto limit = controller->RateLimit(a);
-      out << "topfull_api_rate_limit_rps" << api_label(a) << " "
-          << (limit ? Num(*limit) : "+Inf") << "\n";
-    }
-    family("topfull_controller_decisions_total", "counter",
-           "Control decisions taken (Algorithm 1 + recovery).");
-    out << "topfull_controller_decisions_total " << U64(controller->Decisions())
-        << "\n";
-  }
-
-  if (faults != nullptr) {
-    std::uint64_t applied = 0, reverted = 0, restarts = 0;
-    for (const fault::FaultRecord& r : *faults) {
-      switch (r.action) {
-        case fault::FaultRecord::Action::kApply: ++applied; break;
-        case fault::FaultRecord::Action::kRevert: ++reverted; break;
-        case fault::FaultRecord::Action::kRestart: ++restarts; break;
-        case fault::FaultRecord::Action::kSkipped: break;
-      }
-    }
-    family("topfull_faults_injected_total", "counter",
-           "Fault events applied by the injector.");
-    out << "topfull_faults_injected_total " << U64(applied) << "\n";
-    family("topfull_faults_reverted_total", "counter",
-           "Transient fault events reverted.");
-    out << "topfull_faults_reverted_total " << U64(reverted) << "\n";
-    family("topfull_fault_pod_restarts_total", "counter",
-           "Pods restored after injected crashes.");
-    out << "topfull_fault_pod_restarts_total " << U64(restarts) << "\n";
-  }
-
+  // The tracer lives outside the application (it is attached per run, the
+  // registry belongs to the app), so its counters are appended here.
   if (tracer != nullptr) {
     const TracerCounters& c = tracer->counters();
-    family("topfull_trace_sampled_total", "counter", "Request traces recorded.");
+    const auto family = [&out](const char* name, const char* help) {
+      out << "# HELP " << name << " " << help << "\n# TYPE " << name
+          << " counter\n";
+    };
+    family("topfull_trace_sampled_total", "Request traces recorded.");
     out << "topfull_trace_sampled_total " << U64(c.sampled) << "\n";
-    family("topfull_trace_dropped_total", "counter",
+    family("topfull_trace_dropped_total",
            "Sampled traces discarded by the memory cap.");
     out << "topfull_trace_dropped_total " << U64(c.dropped) << "\n";
     std::uint64_t spans = 0;
     for (const RequestTrace& trace : tracer->finished()) spans += trace.spans.size();
-    family("topfull_trace_spans_total", "counter",
-           "Service hop spans across finished traces.");
+    family("topfull_trace_spans_total", "Service hop spans across finished traces.");
     out << "topfull_trace_spans_total " << U64(spans) << "\n";
   }
   return static_cast<bool>(out);

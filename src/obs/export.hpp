@@ -3,11 +3,15 @@
 // - WritePerfettoTrace: Chrome trace-event JSON (loadable in Perfetto /
 //   chrome://tracing). One pid per service (pid 0 is the client/gateway),
 //   one tid per API; timestamps are SimTime microseconds. Hop spans carry
-//   queue-wait / service-time args; entry rejections are instant events.
-// - WriteDecisionLogJsonl: one JSON object per control tick.
-// - WritePrometheusText: text-exposition dump of end-of-run counters and
-//   gauges (per-API totals, per-service pods/capacity, controller and
-//   tracer counters).
+//   queue-wait / service-time args; entry rejections are instant events;
+//   injected faults and SLO-monitor events get dedicated process rows.
+// - WriteDecisionLogJsonl: one JSON object per control tick, with SLO
+//   monitor events merged in at their window-close timestamps.
+// - WritePrometheusText: text-exposition dump of the application's live
+//   metrics registry (every counter/gauge/histogram family the run
+//   touched), plus the tracer counters when a tracer is attached. Label
+//   values and help text are escaped per the Prometheus text-exposition
+//   spec and every family carries a # TYPE line.
 //
 // All writers are deterministic: output depends only on simulation state,
 // never on wall-clock time or thread scheduling.
@@ -18,35 +22,47 @@
 
 #include "fault/fault.hpp"
 #include "obs/decision_log.hpp"
+#include "obs/metrics_registry.hpp"
+#include "obs/slo_monitor.hpp"
 #include "obs/trace.hpp"
 #include "sim/app.hpp"
-
-namespace topfull::core {
-class TopFullController;
-}
 
 namespace topfull::obs {
 
 /// Writes the tracer's finished traces as Chrome trace-event JSON. `app`
 /// supplies service/API names. When `faults` is non-null, injected fault
-/// records appear as instant events on a dedicated "faults" process row.
-/// Returns false on I/O failure.
+/// records appear as instant events on a dedicated "faults" process row;
+/// when `slo_events` is non-null, SLO monitor events appear on an "slo"
+/// row. Returns false on I/O failure.
 bool WritePerfettoTrace(const RequestTracer& tracer, const sim::Application& app,
                         const std::string& path,
-                        const std::vector<fault::FaultRecord>* faults = nullptr);
+                        const std::vector<fault::FaultRecord>* faults = nullptr,
+                        const std::vector<SloEvent>* slo_events = nullptr);
 
-/// Writes the decision log as JSONL (one tick per line). Returns false on
-/// I/O failure.
+/// Writes the decision log as JSONL (one tick per line). When `slo_events`
+/// is non-null the monitor's events are merged into the stream in time
+/// order (an event at t precedes the control tick of the same second, the
+/// order they occur in the simulation). Returns false on I/O failure.
 bool WriteDecisionLogJsonl(const DecisionLog& log, const sim::Application& app,
-                           const std::string& path);
+                           const std::string& path,
+                           const std::vector<SloEvent>* slo_events = nullptr);
 
-/// Writes end-of-run counters/gauges in Prometheus text exposition format.
-/// `controller`, `tracer` and `faults` are optional (their families are
-/// omitted when null). Returns false on I/O failure.
-bool WritePrometheusText(const sim::Application& app,
-                         const core::TopFullController* controller,
-                         const RequestTracer* tracer, const std::string& path,
-                         const std::vector<fault::FaultRecord>* faults = nullptr);
+/// Writes the application's metrics registry in Prometheus text exposition
+/// format; `tracer` (optional) appends the tracer counter families.
+/// Returns false on I/O failure.
+bool WritePrometheusText(const sim::Application& app, const RequestTracer* tracer,
+                         const std::string& path);
+
+/// Renders a registry in Prometheus text exposition format: families in
+/// name order, a # HELP/# TYPE pair per family, histogram families as
+/// cumulative `_bucket{le=...}` series (empty buckets elided) plus `_sum`
+/// and `_count`. Exposed for tests and the report layer.
+std::string PromTextFromRegistry(const MetricsRegistry& registry);
+
+/// Prometheus label-value escaping (backslash, double-quote, newline).
+std::string PromEscapeLabel(const std::string& s);
+/// Prometheus HELP-text escaping (backslash, newline).
+std::string PromEscapeHelp(const std::string& s);
 
 /// JSON string escaping (exposed for tests).
 std::string JsonEscape(const std::string& s);

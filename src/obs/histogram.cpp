@@ -1,0 +1,93 @@
+#include "obs/histogram.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace topfull::obs {
+
+Histogram::Histogram(HistogramConfig config) : config_(config) {
+  assert(config_.min_value > 0.0 && config_.max_value > config_.min_value);
+  assert(config_.sub_buckets >= 1);
+  // Number of power-of-two octaves covering [min_value, max_value).
+  int exp = 0;
+  std::frexp(config_.max_value / config_.min_value, &exp);
+  octaves_ = std::max(exp, 1);
+  buckets_.assign(static_cast<std::size_t>(octaves_) * config_.sub_buckets + 2, 0);
+}
+
+int Histogram::BucketIndex(double value) const {
+  if (!(value > config_.min_value)) return 0;  // underflow (also NaN)
+  if (value >= config_.max_value) return NumBuckets() - 1;
+  // value / min_value = frac * 2^exp with frac in [0.5, 1), so the value
+  // sits in octave exp-1 at linear position (frac - 0.5) * 2 within it.
+  int exp = 0;
+  const double frac = std::frexp(value / config_.min_value, &exp);
+  const int octave = std::min(exp - 1, octaves_ - 1);
+  int sub = static_cast<int>((frac - 0.5) * 2.0 * config_.sub_buckets);
+  sub = std::clamp(sub, 0, config_.sub_buckets - 1);
+  return 1 + octave * config_.sub_buckets + sub;
+}
+
+void Histogram::RecordN(double value, std::uint64_t n) {
+  if (n == 0) return;
+  buckets_[static_cast<std::size_t>(BucketIndex(value))] += n;
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  count_ += n;
+  sum_ += value * static_cast<double>(n);
+}
+
+void Histogram::Merge(const Histogram& other) {
+  assert(config_ == other.config_ && "merging histograms with different layouts");
+  for (std::size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
+  if (other.count_ > 0) {
+    if (count_ == 0) {
+      min_ = other.min_;
+      max_ = other.max_;
+    } else {
+      min_ = std::min(min_, other.min_);
+      max_ = std::max(max_, other.max_);
+    }
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+double Histogram::UpperBound(int i) const {
+  if (i <= 0) return config_.min_value;
+  if (i >= NumBuckets() - 1) return std::numeric_limits<double>::infinity();
+  const int octave = (i - 1) / config_.sub_buckets;
+  const int sub = (i - 1) % config_.sub_buckets;
+  // Bucket (octave, sub) covers value/min in
+  // [2^octave * (1 + sub/S), 2^octave * (1 + (sub+1)/S)).
+  return config_.min_value * std::ldexp(1.0, octave) *
+         (1.0 + static_cast<double>(sub + 1) / config_.sub_buckets);
+}
+
+double Histogram::Percentile(double p) const {
+  if (count_ == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  const auto rank = static_cast<std::uint64_t>(
+      std::ceil(p / 100.0 * static_cast<double>(count_)));
+  const std::uint64_t target = std::max<std::uint64_t>(rank, 1);
+  std::uint64_t seen = 0;
+  for (int i = 0; i < NumBuckets(); ++i) {
+    seen += buckets_[static_cast<std::size_t>(i)];
+    if (seen >= target) return std::clamp(UpperBound(i), min_, max_);
+  }
+  return max_;
+}
+
+void Histogram::Reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = min_ = max_ = 0.0;
+}
+
+}  // namespace topfull::obs

@@ -1,0 +1,75 @@
+// Log-bucketed streaming histogram (the registry's distribution primitive).
+//
+// Fixed memory, allocated once at construction: values land in log-linear
+// buckets — each power-of-two octave between `min_value` and `max_value` is
+// split into `sub_buckets` equal-width slices, bounding the relative
+// quantile error at 1/sub_buckets. Everything below the range goes to a
+// dedicated underflow bucket, everything at/above to an overflow bucket, so
+// Record never loses a sample. Recording is a frexp + two integer ops; no
+// allocation, no floating-point accumulation error beyond the exact
+// `sum`. Histograms with the same config are mergeable by bucket-wise
+// addition, and every derived statistic is a pure function of the bucket
+// counts + exact min/max/sum — deterministic across runs and thread counts.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace topfull::obs {
+
+struct HistogramConfig {
+  /// Lower edge of the bucketed range; values <= min_value underflow.
+  double min_value = 1e-6;
+  /// Upper edge; values >= max_value overflow.
+  double max_value = 1e9;
+  /// Linear slices per power-of-two octave (relative error <= 1/sub_buckets).
+  int sub_buckets = 16;
+
+  bool operator==(const HistogramConfig&) const = default;
+};
+
+class Histogram {
+ public:
+  explicit Histogram(HistogramConfig config = {});
+
+  void Record(double value) { RecordN(value, 1); }
+  void RecordN(double value, std::uint64_t n);
+
+  /// Adds `other`'s samples; requires an identical bucket layout.
+  void Merge(const Histogram& other);
+
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+  double Mean() const {
+    return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0;
+  }
+
+  /// Quantile estimate in [0, 100]: the upper bound of the bucket holding
+  /// the rank-th sample, clamped to the exact observed [min, max]. Returns
+  /// 0 when empty.
+  double Percentile(double p) const;
+
+  // --- Bucket access (exporters) --------------------------------------------
+  const HistogramConfig& config() const { return config_; }
+  int NumBuckets() const { return static_cast<int>(buckets_.size()); }
+  std::uint64_t BucketCount(int i) const { return buckets_[i]; }
+  /// Inclusive upper bound of bucket `i` (+infinity for the overflow bucket).
+  double UpperBound(int i) const;
+
+  void Reset();
+
+ private:
+  int BucketIndex(double value) const;
+
+  HistogramConfig config_;
+  int octaves_ = 0;
+  std::vector<std::uint64_t> buckets_;  // [underflow, octave slices..., overflow]
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace topfull::obs

@@ -1,0 +1,51 @@
+// Minimal JSON document model + recursive-descent parser.
+//
+// Just enough JSON to read back the run summaries this repo writes (and
+// any well-formed JSON document): null/bool/number/string/array/object,
+// \uXXXX escapes decoded to UTF-8, numbers as double. Object members keep
+// their source order so round-trip tooling stays deterministic. No
+// external dependencies; errors carry a byte offset.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace topfull::obs {
+
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  /// Members in source order (summaries never repeat keys).
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  bool IsNull() const { return type == Type::kNull; }
+  bool IsNumber() const { return type == Type::kNumber; }
+  bool IsObject() const { return type == Type::kObject; }
+  bool IsArray() const { return type == Type::kArray; }
+  bool IsString() const { return type == Type::kString; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* Find(const std::string& key) const;
+};
+
+/// Parses `text` into `out`. On failure returns false and describes the
+/// problem (with a byte offset) in `error` when non-null.
+bool ParseJson(const std::string& text, JsonValue* out, std::string* error = nullptr);
+
+/// Flattens every numeric leaf into dotted paths ("total.goodput_rps",
+/// "apis.compose.latency_ms.p95", "events.list.3.t_s"). Array elements use
+/// their index as the path segment. Booleans count as 0/1; strings and
+/// nulls are skipped.
+void FlattenNumbers(const JsonValue& value, const std::string& prefix,
+                    std::map<std::string, double>* out);
+
+}  // namespace topfull::obs

@@ -27,8 +27,14 @@ void Profiler::Record(const char* phase, double seconds) {
 }
 
 std::vector<std::pair<std::string, PhaseStats>> Profiler::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return {phases_.begin(), phases_.end()};
+  std::vector<std::pair<std::string, PhaseStats>> phases;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    phases.assign(phases_.begin(), phases_.end());
+  }
+  std::sort(phases.begin(), phases.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return phases;
 }
 
 void Profiler::Report(std::FILE* out) const {

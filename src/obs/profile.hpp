@@ -12,9 +12,9 @@
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
-#include <map>
 #include <mutex>
 #include <string>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -37,7 +37,9 @@ class Profiler {
 
   void Record(const char* phase, double seconds);
 
-  /// Phases sorted by name (deterministic iteration for reporting/tests).
+  /// Phases sorted by name. The sort happens here (storage is unordered),
+  /// so reports and tests see a stable order regardless of which phases
+  /// were recorded first or on which thread.
   std::vector<std::pair<std::string, PhaseStats>> Snapshot() const;
 
   void Report(std::FILE* out) const;
@@ -47,7 +49,7 @@ class Profiler {
   Profiler() = default;
 
   mutable std::mutex mu_;
-  std::map<std::string, PhaseStats> phases_;
+  std::unordered_map<std::string, PhaseStats> phases_;
   std::atomic<bool> enabled_{false};
 };
 

@@ -1,0 +1,103 @@
+// Per-run reports and regression diffing.
+//
+// - BuildRunSummaryJson: one machine-readable JSON document per run —
+//   whole-run totals, per-API counters + latency digests (from the live
+//   metrics registry's histograms), per-service gauges, controller totals,
+//   SLO monitor events and fault records. The schema is flat enough that
+//   FlattenNumbers yields stable dotted metric paths for diffing.
+// - BuildHtmlReport: a self-contained HTML page (no external assets) with
+//   inline SVG timelines of goodput and queueing delay, SLO/overload event
+//   annotations, and the tabular summaries.
+// - CompareRunSummaries: per-metric diff of two summaries with
+//   per-direction semantics (goodput up = good, latency up = bad) and
+//   configurable tolerances; drives `topfull_cli compare`'s exit code.
+//
+// Everything here is a pure function of simulation state: byte-identical
+// output for byte-identical runs.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "obs/decision_log.hpp"
+#include "obs/json.hpp"
+#include "obs/slo_monitor.hpp"
+#include "sim/app.hpp"
+
+namespace topfull::core {
+class TopFullController;
+}
+
+namespace topfull::obs {
+
+/// Everything a report can draw on. `app` is required; the rest are
+/// optional (their sections are omitted when null).
+struct ReportInputs {
+  const sim::Application* app = nullptr;
+  std::string label;
+  const core::TopFullController* controller = nullptr;
+  const SloMonitor* monitor = nullptr;
+  const DecisionLog* decisions = nullptr;
+  const std::vector<fault::FaultRecord>* faults = nullptr;
+};
+
+/// Renders the machine-readable run summary (schema
+/// "topfull.run_summary.v1").
+std::string BuildRunSummaryJson(const ReportInputs& inputs);
+
+/// Renders the self-contained HTML report.
+std::string BuildHtmlReport(const ReportInputs& inputs);
+
+/// Convenience writers; false on I/O failure.
+bool WriteRunSummaryJson(const ReportInputs& inputs, const std::string& path);
+bool WriteHtmlReport(const ReportInputs& inputs, const std::string& path);
+
+// --- Regression diffing ------------------------------------------------------
+
+struct CompareOptions {
+  /// Relative tolerance: |delta| within rel_tol * |baseline| is noise.
+  double rel_tol = 0.05;
+  /// Absolute floor below which deltas never count (guards zero baselines).
+  double abs_tol = 1e-9;
+};
+
+/// How a metric's movement is judged.
+enum class MetricDirection { kNeutral, kHigherBetter, kLowerBetter };
+
+/// Direction of a flattened summary path ("total.goodput_rps" is
+/// higher-better, "apis.x.latency_ms.p95" lower-better, counters and
+/// timestamps neutral). Exposed for tests.
+MetricDirection DirectionOf(const std::string& path);
+
+struct MetricDiff {
+  std::string path;
+  double baseline = 0.0;
+  double candidate = 0.0;
+  MetricDirection direction = MetricDirection::kNeutral;
+  bool regression = false;  ///< moved the bad way, beyond tolerance
+};
+
+struct CompareResult {
+  /// Metrics whose values differ beyond tolerance, in path order.
+  std::vector<MetricDiff> changed;
+  /// Paths present only in the baseline / only in the candidate.
+  std::vector<std::string> missing;
+  std::vector<std::string> added;
+  int regressions = 0;
+
+  bool HasRegression() const { return regressions > 0 || !missing.empty(); }
+};
+
+/// Diffs two parsed run summaries (per-event "events.list.*" entries are
+/// excluded — event totals are compared via "events.by_type.*").
+CompareResult CompareRunSummaries(const JsonValue& baseline,
+                                  const JsonValue& candidate,
+                                  const CompareOptions& options = {});
+
+/// Human-readable diff table for the CLI.
+std::string FormatCompareResult(const CompareResult& result,
+                                const CompareOptions& options);
+
+}  // namespace topfull::obs

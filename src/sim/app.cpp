@@ -36,17 +36,85 @@ void Application::Finalize() {
   finalized_ = true;
   for (auto& api : apis_) api.Finalize();
   metrics_ = std::make_unique<MetricsCollector>(NumApis(), config_.slo);
+
+  // Streaming-metrics registry: resolve every request/service family once
+  // so the per-event hot path is a single pointer add.
+  std::vector<ApiMetricHandles> api_handles;
+  api_handles.reserve(apis_.size());
+  for (const auto& api : apis_) {
+    const obs::Labels labels{{"api", api.name()}};
+    ApiMetricHandles h;
+    h.offered = registry_.GetCounter("topfull_requests_offered_total",
+                                     "Client requests offered at the gateway.", labels);
+    h.admitted = registry_.GetCounter("topfull_requests_admitted_total",
+                                      "Requests admitted by the entry limiter.", labels);
+    h.rejected_entry =
+        registry_.GetCounter("topfull_requests_rejected_entry_total",
+                             "Requests shed by the entry rate limiter.", labels);
+    h.rejected_service = registry_.GetCounter(
+        "topfull_requests_rejected_service_total",
+        "Admitted requests that failed at some microservice.", labels);
+    h.completed = registry_.GetCounter("topfull_requests_completed_total",
+                                       "Requests that completed end to end.", labels);
+    h.good = registry_.GetCounter("topfull_requests_good_total",
+                                  "Completions within the end-to-end SLO.", labels);
+    obs::HistogramConfig latency_buckets;
+    latency_buckets.min_value = 1e-2;  // 10 us, in ms
+    latency_buckets.max_value = 1e6;   // ~17 min, in ms
+    h.latency_ms = registry_.GetHistogram(
+        "topfull_request_latency_ms", "End-to-end latency of completed requests.",
+        labels, latency_buckets);
+    api_handles.push_back(h);
+  }
+  metrics_->BindRegistry(std::move(api_handles));
+
+  service_handles_.clear();
+  for (const auto& svc : services_) {
+    const obs::Labels labels{{"service", svc->name()}};
+    ServiceMetricHandles h;
+    h.cpu = registry_.GetGauge("topfull_service_cpu_utilization",
+                               "CPU utilisation over the last closed window.", labels);
+    h.pods = registry_.GetGauge("topfull_service_running_pods",
+                                "Running pods per microservice.", labels);
+    h.outstanding =
+        registry_.GetGauge("topfull_service_outstanding_jobs",
+                           "Queued + in-service jobs at the window close.", labels);
+    h.capacity = registry_.GetGauge(
+        "topfull_service_capacity_rps",
+        "Estimated sustainable throughput per microservice at work=1.", labels);
+    h.capacity->Set(svc->CapacityRps());
+    obs::HistogramConfig delay_buckets;
+    delay_buckets.min_value = 1e-3;  // 1 us, in ms
+    delay_buckets.max_value = 1e6;
+    h.queue_delay_ms = registry_.GetHistogram(
+        "topfull_service_queue_delay_ms",
+        "Per-window average queueing delay (one sample per window).", labels,
+        delay_buckets);
+    service_handles_.push_back(h);
+  }
+  registry_.GetGauge("topfull_slo_seconds", "End-to-end latency SLO.")
+      ->Set(ToSeconds(config_.slo));
+  sim_end_gauge_ = registry_.GetGauge(
+      "topfull_sim_end_seconds", "Simulation time at the last closed metrics window.");
+
   // Metric collection loop. Registered before any controller loop so that
   // within every tick, controllers observe the freshly closed window.
   sim_.SchedulePeriodic(config_.metrics_period, config_.metrics_period, [this]() {
     std::vector<ServiceWindow> windows;
     windows.reserve(services_.size());
-    for (auto& svc : services_) {
-      const ServiceWindowStats w = svc->CollectWindow(config_.metrics_period);
+    for (std::size_t s = 0; s < services_.size(); ++s) {
+      const ServiceWindowStats w = services_[s]->CollectWindow(config_.metrics_period);
       windows.push_back(ServiceWindow{w.cpu_utilization, w.avg_queue_delay_s,
                                       w.max_queue_delay_s, w.running_pods,
                                       w.total_outstanding});
+      ServiceMetricHandles& h = service_handles_[s];
+      h.cpu->Set(w.cpu_utilization);
+      h.pods->Set(w.running_pods);
+      h.outstanding->Set(w.total_outstanding);
+      h.capacity->Set(services_[s]->CapacityRps());
+      h.queue_delay_ms->Record(1e3 * w.avg_queue_delay_s);
     }
+    sim_end_gauge_->Set(ToSeconds(sim_.Now()));
     metrics_->Collect(sim_.Now(), std::move(windows));
   });
 }

@@ -15,6 +15,7 @@
 
 #include "common/rng.hpp"
 #include "des/simulation.hpp"
+#include "obs/metrics_registry.hpp"
 #include "sim/call_graph.hpp"
 #include "sim/metrics.hpp"
 #include "sim/request_observer.hpp"
@@ -81,6 +82,13 @@ class Application {
   MetricsCollector& metrics() { return *metrics_; }
   const MetricsCollector& metrics() const { return *metrics_; }
 
+  /// The live streaming-metrics registry. Populated by Finalize() with the
+  /// request/service families (updated in-line as the DES advances);
+  /// controllers and fault injectors add their own families. One registry
+  /// per Application — never shared across parallel runs.
+  obs::MetricsRegistry& metrics_registry() { return registry_; }
+  const obs::MetricsRegistry& metrics_registry() const { return registry_; }
+
   Service& service(ServiceId id) { return *services_[id]; }
   const Service& service(ServiceId id) const { return *services_[id]; }
   int NumServices() const { return static_cast<int>(services_.size()); }
@@ -137,6 +145,17 @@ class Application {
   std::vector<std::unique_ptr<Service>> services_;
   std::vector<ApiSpec> apis_;
   std::unique_ptr<MetricsCollector> metrics_;
+  obs::MetricsRegistry registry_;
+  /// Per-service live handles updated at every window close.
+  struct ServiceMetricHandles {
+    obs::Gauge* cpu = nullptr;
+    obs::Gauge* pods = nullptr;
+    obs::Gauge* outstanding = nullptr;
+    obs::Gauge* capacity = nullptr;
+    obs::Histogram* queue_delay_ms = nullptr;
+  };
+  std::vector<ServiceMetricHandles> service_handles_;
+  obs::Gauge* sim_end_gauge_ = nullptr;
   EntryAdmission* entry_ = nullptr;
   RequestObserver* observer_ = nullptr;
   RequestId next_request_id_ = 1;

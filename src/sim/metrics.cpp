@@ -14,34 +14,50 @@ void MetricsCollector::Resize(int num_apis) {
   empty_.apis.assign(num_apis, ApiWindow{});
 }
 
+void MetricsCollector::BindRegistry(std::vector<ApiMetricHandles> handles) {
+  assert(handles.empty() || handles.size() == window_.size());
+  registry_ = std::move(handles);
+}
+
 void MetricsCollector::OnOffered(ApiId api) {
   ++window_[api].offered;
   ++totals_[api].offered;
+  if (!registry_.empty()) registry_[api].offered->Inc();
 }
 
 void MetricsCollector::OnRejectedEntry(ApiId api) {
   ++window_[api].rejected_entry;
   ++totals_[api].rejected_entry;
+  if (!registry_.empty()) registry_[api].rejected_entry->Inc();
 }
 
 void MetricsCollector::OnAdmitted(ApiId api) {
   ++window_[api].admitted;
   ++totals_[api].admitted;
+  if (!registry_.empty()) registry_[api].admitted->Inc();
 }
 
 void MetricsCollector::OnRejectedService(ApiId api) {
   ++window_[api].rejected_service;
   ++totals_[api].rejected_service;
+  if (!registry_.empty()) registry_[api].rejected_service->Inc();
 }
 
 void MetricsCollector::OnCompleted(ApiId api, SimTime latency) {
   ++window_[api].completed;
   ++totals_[api].completed;
-  if (latency <= slo_) {
+  const bool good = latency <= slo_;
+  if (good) {
     ++window_[api].good;
     ++totals_[api].good;
   }
-  window_lat_[api].push_back(ToMillis(latency));
+  const double latency_ms = ToMillis(latency);
+  window_lat_[api].push_back(latency_ms);
+  if (!registry_.empty()) {
+    registry_[api].completed->Inc();
+    if (good) registry_[api].good->Inc();
+    registry_[api].latency_ms->Record(latency_ms);
+  }
 }
 
 const Snapshot& MetricsCollector::Collect(SimTime now,
@@ -69,6 +85,7 @@ const Snapshot& MetricsCollector::Collect(SimTime now,
     window_lat_[i].clear();
   }
   timeline_.push_back(std::move(snap));
+  if (window_observer_ != nullptr) window_observer_->OnWindow(timeline_.back());
   return timeline_.back();
 }
 

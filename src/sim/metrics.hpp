@@ -14,6 +14,7 @@
 
 #include "common/sim_time.hpp"
 #include "common/stats.hpp"
+#include "obs/metrics_registry.hpp"
 #include "sim/service.hpp"
 #include "sim/types.hpp"
 
@@ -60,6 +61,28 @@ struct ApiTotals {
   std::uint64_t good = 0;
 };
 
+/// Receives every freshly closed metrics window, synchronously from
+/// Collect (i.e. at the Snapshot boundary, before any controller tick of
+/// the same second). Strictly pass-through: observers cannot influence the
+/// simulation. obs::SloMonitor consumes the window stream this way.
+class WindowObserver {
+ public:
+  virtual ~WindowObserver() = default;
+  virtual void OnWindow(const Snapshot& snapshot) = 0;
+};
+
+/// Live registry handles for one API's hot-path updates (resolved once so
+/// recording is a single pointer add; see obs::MetricsRegistry).
+struct ApiMetricHandles {
+  obs::Counter* offered = nullptr;
+  obs::Counter* admitted = nullptr;
+  obs::Counter* rejected_entry = nullptr;
+  obs::Counter* rejected_service = nullptr;
+  obs::Counter* completed = nullptr;
+  obs::Counter* good = nullptr;
+  obs::Histogram* latency_ms = nullptr;
+};
+
 class MetricsCollector {
  public:
   MetricsCollector(int num_apis, SimTime slo) : slo_(slo) { Resize(num_apis); }
@@ -90,6 +113,13 @@ class MetricsCollector {
   /// Sum over all APIs of AvgGoodput.
   double AvgTotalGoodput(double from_s = 0.0, double to_s = -1.0) const;
 
+  /// Mirrors every recording hook into live registry metrics (one handle
+  /// set per API, in ApiId order). Empty vector unbinds.
+  void BindRegistry(std::vector<ApiMetricHandles> handles);
+
+  /// Installs the window-stream observer (not owned; must outlive the run).
+  void SetWindowObserver(WindowObserver* observer) { window_observer_ = observer; }
+
  private:
   void Resize(int num_apis);
 
@@ -98,6 +128,8 @@ class MetricsCollector {
   std::vector<std::vector<double>> window_lat_;   // latencies (ms) per API
   std::vector<ApiTotals> totals_;
   std::vector<Snapshot> timeline_;
+  std::vector<ApiMetricHandles> registry_;        // empty = not bound
+  WindowObserver* window_observer_ = nullptr;
   Snapshot empty_;
 };
 

@@ -296,7 +296,7 @@ TEST(ObsTest, ExportsAreDeterministicAndWellFormed) {
     const exp::TelemetrySummary summary =
         telemetry.Export(*app, "demo", controller.get(), /*faults=*/nullptr,
                          /*log_stderr=*/false);
-    EXPECT_EQ(summary.paths.size(), 3u);
+    EXPECT_EQ(summary.paths.size(), 5u);
     EXPECT_GT(summary.sampled, 0u);
     EXPECT_GT(summary.ticks, 0u);
     return summary;
@@ -307,7 +307,8 @@ TEST(ObsTest, ExportsAreDeterministicAndWellFormed) {
   export_to(dir2);
 
   for (const char* file :
-       {"/demo.trace.json", "/demo.decisions.jsonl", "/demo.metrics.prom"}) {
+       {"/demo.trace.json", "/demo.decisions.jsonl", "/demo.metrics.prom",
+        "/demo.summary.json", "/demo.report.html"}) {
     const std::string a = ReadFile(dir1 + file);
     const std::string b = ReadFile(dir2 + file);
     ASSERT_FALSE(a.empty()) << file;
@@ -324,6 +325,18 @@ TEST(ObsTest, ExportsAreDeterministicAndWellFormed) {
             std::string::npos);
   EXPECT_NE(prom.find("topfull_api_rate_limit_rps"), std::string::npos);
   EXPECT_NE(prom.find("topfull_trace_sampled_total"), std::string::npos);
+
+  const std::string summary_json = ReadFile(dir1 + "/demo.summary.json");
+  EXPECT_NE(summary_json.find("\"schema\":\"topfull.run_summary.v1\""),
+            std::string::npos);
+  EXPECT_NE(summary_json.find("\"goodput_rps\""), std::string::npos);
+
+  const std::string html = ReadFile(dir1 + "/demo.report.html");
+  EXPECT_EQ(html.rfind("<!DOCTYPE html>", 0), 0u);
+  EXPECT_NE(html.find("<svg"), std::string::npos);
+  // Self-contained: no external stylesheet/script/image references.
+  EXPECT_EQ(html.find("src=\"http"), std::string::npos);
+  EXPECT_EQ(html.find("href=\"http"), std::string::npos);
 }
 
 TEST(ObsTest, RunExecutorTelemetryIsIdenticalAcrossPoolSizes) {
@@ -364,7 +377,8 @@ TEST(ObsTest, RunExecutorTelemetryIsIdenticalAcrossPoolSizes) {
     ASSERT_FALSE(a.empty()) << name;
     EXPECT_EQ(a, b) << name << " differs between pool sizes 1 and 4";
   }
-  EXPECT_EQ(files, 3 * 2);  // trace + prom per run (custom attach: no jsonl)
+  // trace + prom + summary + report per run (custom attach: no jsonl).
+  EXPECT_EQ(files, 3 * 4);
 }
 
 // --- Satellite: CSV export creates its directory -----------------------------
@@ -399,6 +413,38 @@ TEST(ObsTest, ProfilerRecordsScopesWhenEnabled) {
   EXPECT_EQ(snapshot[0].first, "test/enabled");
   EXPECT_EQ(snapshot[0].second.count, 2u);
   EXPECT_GE(snapshot[0].second.total_s, 0.0);
+  profiler.SetEnabled(was_enabled);
+  profiler.Reset();
+}
+
+TEST(ObsTest, ProfilerAggregatesNestedScopesAndSortsSnapshot) {
+  obs::Profiler& profiler = obs::Profiler::Global();
+  const bool was_enabled = profiler.enabled();
+  profiler.Reset();
+  profiler.SetEnabled(true);
+  // Nested scopes: the outer phase's time includes the inner ones, each
+  // phase aggregates independently by name.
+  for (int i = 0; i < 3; ++i) {
+    obs::ScopedTimer outer("zeta/outer");
+    {
+      obs::ScopedTimer inner("alpha/inner");
+      { obs::ScopedTimer leaf("mid/leaf"); }
+    }
+  }
+  { obs::ScopedTimer again("alpha/inner"); }
+  const auto snapshot = profiler.Snapshot();
+  ASSERT_EQ(snapshot.size(), 3u);
+  // Sorted by phase name regardless of first-recorded order.
+  EXPECT_EQ(snapshot[0].first, "alpha/inner");
+  EXPECT_EQ(snapshot[1].first, "mid/leaf");
+  EXPECT_EQ(snapshot[2].first, "zeta/outer");
+  EXPECT_EQ(snapshot[0].second.count, 4u);
+  EXPECT_EQ(snapshot[1].second.count, 3u);
+  EXPECT_EQ(snapshot[2].second.count, 3u);
+  // Wall time of an enclosing scope covers its nested scopes.
+  EXPECT_GE(snapshot[2].second.total_s, snapshot[1].second.total_s);
+  EXPECT_GE(snapshot[0].second.max_s, 0.0);
+  EXPECT_LE(snapshot[0].second.max_s, snapshot[0].second.total_s + 1e-12);
   profiler.SetEnabled(was_enabled);
   profiler.Reset();
 }

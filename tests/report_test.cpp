@@ -1,0 +1,201 @@
+// Tests for the report layer: the JSON parser, metric-path flattening,
+// direction inference and run-summary regression diffing.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "core/controller.hpp"
+#include "core/rate_controller.hpp"
+#include "obs/json.hpp"
+#include "obs/report.hpp"
+#include "obs/slo_monitor.hpp"
+#include "workload/generators.hpp"
+
+namespace topfull {
+namespace {
+
+obs::JsonValue Parse(const std::string& text) {
+  obs::JsonValue value;
+  std::string error;
+  EXPECT_TRUE(obs::ParseJson(text, &value, &error)) << error;
+  return value;
+}
+
+// --- JSON parser -------------------------------------------------------------
+
+TEST(ReportTest, JsonParserHandlesTheFullValueGrammar) {
+  const obs::JsonValue doc = Parse(
+      R"({"s": "a\"b\\c\nd", "n": -1.25e2, "b": true, "z": null,)"
+      R"( "arr": [1, [2]], "nested": {"k": 0}})");
+  ASSERT_TRUE(doc.IsObject());
+  EXPECT_EQ(doc.Find("s")->string, "a\"b\\c\nd");
+  EXPECT_DOUBLE_EQ(doc.Find("n")->number, -125.0);
+  EXPECT_TRUE(doc.Find("b")->boolean);
+  EXPECT_TRUE(doc.Find("z")->IsNull());
+  ASSERT_TRUE(doc.Find("arr")->IsArray());
+  EXPECT_DOUBLE_EQ(doc.Find("arr")->array[0].number, 1.0);
+  EXPECT_DOUBLE_EQ(doc.Find("arr")->array[1].array[0].number, 2.0);
+  EXPECT_DOUBLE_EQ(doc.Find("nested")->Find("k")->number, 0.0);
+  EXPECT_EQ(doc.Find("absent"), nullptr);
+}
+
+TEST(ReportTest, JsonParserDecodesUnicodeEscapes) {
+  const obs::JsonValue doc = Parse(R"({"a": "A", "emoji": "😀"})");
+  EXPECT_EQ(doc.Find("a")->string, "A");
+  EXPECT_EQ(doc.Find("emoji")->string, "\xF0\x9F\x98\x80");  // U+1F600
+}
+
+TEST(ReportTest, JsonParserReportsErrors) {
+  obs::JsonValue value;
+  std::string error;
+  EXPECT_FALSE(obs::ParseJson("{\"a\": }", &value, &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(obs::ParseJson("[1, 2] trailing", &value, &error));
+  EXPECT_FALSE(obs::ParseJson("", &value, &error));
+}
+
+// --- Flattening --------------------------------------------------------------
+
+TEST(ReportTest, FlattenNumbersYieldsDottedPathsForNumericLeaves) {
+  const obs::JsonValue doc = Parse(
+      R"({"a": {"b": 2.5}, "arr": [7, true, "skip"], "s": "skip", "z": null})");
+  std::map<std::string, double> flat;
+  obs::FlattenNumbers(doc, "", &flat);
+  const std::map<std::string, double> expected = {
+      {"a.b", 2.5}, {"arr.0", 7.0}, {"arr.1", 1.0}};
+  EXPECT_EQ(flat, expected);
+}
+
+// --- Direction inference -----------------------------------------------------
+
+TEST(ReportTest, DirectionOfClassifiesSummaryPaths) {
+  using obs::MetricDirection;
+  EXPECT_EQ(obs::DirectionOf("total.goodput_rps"), MetricDirection::kHigherBetter);
+  EXPECT_EQ(obs::DirectionOf("services.B.capacity_rps"),
+            MetricDirection::kHigherBetter);
+  EXPECT_EQ(obs::DirectionOf("total.counters.good"), MetricDirection::kHigherBetter);
+  EXPECT_EQ(obs::DirectionOf("apis.api0.latency_ms.p95"),
+            MetricDirection::kLowerBetter);
+  EXPECT_EQ(obs::DirectionOf("services.B.queue_delay_ms.p99"),
+            MetricDirection::kLowerBetter);
+  EXPECT_EQ(obs::DirectionOf("total.counters.rejected_entry"),
+            MetricDirection::kLowerBetter);
+  EXPECT_EQ(obs::DirectionOf("events.by_type.slo_burn_start"),
+            MetricDirection::kLowerBetter);
+  EXPECT_EQ(obs::DirectionOf("sim_end_s"), MetricDirection::kNeutral);
+  EXPECT_EQ(obs::DirectionOf("controller.ticks"), MetricDirection::kNeutral);
+}
+
+// --- Regression diffing ------------------------------------------------------
+
+TEST(ReportTest, CompareFlagsOnlyDirectionalMovesBeyondTolerance) {
+  const obs::JsonValue baseline = Parse(
+      R"({"total": {"goodput_rps": 100.0, "latency_ms": {"p95": 50.0}},)"
+      R"( "apis": {"x": {"counters": {"completed": 1000}}},)"
+      R"( "noise": {"goodput_rps": 96.0}, "extra": 1})");
+  const obs::JsonValue candidate = Parse(
+      R"({"total": {"goodput_rps": 80.0, "latency_ms": {"p95": 40.0}},)"
+      R"( "apis": {"x": {"counters": {"completed": 1000}}},)"
+      R"( "noise": {"goodput_rps": 100.0}, "new": 2})");
+
+  const obs::CompareResult result = obs::CompareRunSummaries(baseline, candidate);
+  EXPECT_TRUE(result.HasRegression());
+  EXPECT_EQ(result.regressions, 1);
+  ASSERT_EQ(result.missing, std::vector<std::string>{"extra"});
+  ASSERT_EQ(result.added, std::vector<std::string>{"new"});
+
+  std::map<std::string, bool> regression_by_path;
+  for (const obs::MetricDiff& diff : result.changed) {
+    regression_by_path[diff.path] = diff.regression;
+  }
+  // 20 % goodput drop: regression. 20 % latency drop: improvement, listed
+  // as changed but not a regression. Equal counters: not listed at all.
+  // "noise" moved 4 % up (within rel_tol 5 %): not listed.
+  ASSERT_EQ(regression_by_path.size(), 2u);
+  EXPECT_TRUE(regression_by_path.at("total.goodput_rps"));
+  EXPECT_FALSE(regression_by_path.at("total.latency_ms.p95"));
+
+  const std::string table = obs::FormatCompareResult(result, obs::CompareOptions{});
+  EXPECT_NE(table.find("REGRESSION"), std::string::npos);
+  EXPECT_NE(table.find("total.goodput_rps"), std::string::npos);
+}
+
+TEST(ReportTest, CompareIdenticalDocumentsFindsNothing) {
+  const obs::JsonValue doc = Parse(
+      R"({"total": {"goodput_rps": 123.456}, "events": {"by_type": {"oscillation": 2}}})");
+  const obs::CompareResult result = obs::CompareRunSummaries(doc, doc);
+  EXPECT_FALSE(result.HasRegression());
+  EXPECT_TRUE(result.changed.empty());
+  EXPECT_TRUE(result.missing.empty());
+  EXPECT_TRUE(result.added.empty());
+}
+
+TEST(ReportTest, ComparisonIgnoresPerEventListEntries) {
+  const obs::JsonValue baseline = Parse(
+      R"({"events": {"list": [{"t_s": 1.0, "value": 3.0}], "by_type": {"oscillation": 1}}})");
+  const obs::JsonValue candidate = Parse(
+      R"({"events": {"list": [{"t_s": 9.0, "value": 7.0}, {"t_s": 11.0, "value": 1.0}],)"
+      R"( "by_type": {"oscillation": 1}}})");
+  const obs::CompareResult result = obs::CompareRunSummaries(baseline, candidate);
+  EXPECT_FALSE(result.HasRegression()) << obs::FormatCompareResult(result, {});
+  EXPECT_TRUE(result.changed.empty());
+  EXPECT_TRUE(result.missing.empty());
+}
+
+// --- End to end: summary of a real run diffs cleanly against itself ----------
+
+TEST(ReportTest, RunSummaryRoundTripsAndDetectsInjectedRegression) {
+  auto app = std::make_unique<sim::Application>("report-app", 5);
+  sim::ServiceConfig svc;
+  svc.name = "B";
+  svc.mean_service_ms = 10.0;
+  svc.service_sigma = 0.25;
+  svc.threads = 4;
+  svc.initial_pods = 1;
+  const sim::ServiceId b = app->AddService(svc);
+  sim::ApiSpec api0("api0", 1);
+  api0.AddPath(sim::ExecutionPath{sim::Chain({b}), 1.0, {}});
+  app->AddApi(std::move(api0));
+  app->Finalize();
+  auto monitor = obs::SloMonitor::ForApp(*app);
+  auto controller = std::make_unique<core::TopFullController>(
+      app.get(), std::make_unique<core::MimdRateController>(0.05, 0.01));
+  controller->Start();
+  workload::TrafficDriver traffic(app.get());
+  traffic.AddOpenLoop(0, workload::Schedule::Constant(800));
+  app->RunFor(Seconds(12));
+
+  obs::ReportInputs inputs;
+  inputs.app = app.get();
+  inputs.label = "roundtrip";
+  inputs.controller = controller.get();
+  inputs.monitor = monitor.get();
+  const std::string text = obs::BuildRunSummaryJson(inputs);
+
+  obs::JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(obs::ParseJson(text, &doc, &error)) << error;
+  EXPECT_EQ(doc.Find("schema")->string, "topfull.run_summary.v1");
+  EXPECT_EQ(doc.Find("label")->string, "roundtrip");
+  ASSERT_NE(doc.Find("total"), nullptr);
+  EXPECT_GT(doc.Find("total")->Find("goodput_rps")->number, 0.0);
+
+  // Identical summaries: clean diff.
+  EXPECT_FALSE(obs::CompareRunSummaries(doc, doc).HasRegression());
+
+  // Inject a 50 % goodput drop into the candidate: must flag a regression.
+  obs::JsonValue hurt = doc;
+  for (auto& [key, value] : hurt.object) {
+    if (key != "total") continue;
+    for (auto& [k2, v2] : value.object) {
+      if (k2 == "goodput_rps") v2.number *= 0.5;
+    }
+  }
+  const obs::CompareResult result = obs::CompareRunSummaries(doc, hurt);
+  EXPECT_TRUE(result.HasRegression());
+  EXPECT_GE(result.regressions, 1);
+}
+
+}  // namespace
+}  // namespace topfull

@@ -10,16 +10,23 @@
 //                  [--hop-timeout S] [--retries N] [--retry-backoff S]
 //   topfull inspect --app <...>            # print topology + capacities
 //   topfull train   [--episodes N] [--out FILE] [--threads N]   # pre-train
+//   topfull report  [run options] [--out DIR]   # run + HTML report + summary
+//   topfull compare BASELINE.json CANDIDATE.json [--rel-tol R] [--abs-tol A]
 //
 // Examples:
 //   topfull run --app boutique --controller topfull --users 2600 --duration 120
 //   topfull run --app trainticket --controller dagor --users 800 --surge 40:3500
 //   topfull inspect --app alibaba
+//   topfull report --app boutique --users 2600 --surge 30:5200 --duration 90
+//   topfull compare baseline.summary.json candidate.summary.json
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <map>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "apps/alibaba_demo.hpp"
 #include "apps/online_boutique.hpp"
@@ -31,7 +38,9 @@
 #include "exp/harness.hpp"
 #include "exp/model_cache.hpp"
 #include "fault/profile.hpp"
+#include "obs/json.hpp"
 #include "obs/profile.hpp"
+#include "obs/report.hpp"
 
 using namespace topfull;
 
@@ -40,6 +49,7 @@ namespace {
 struct Args {
   std::string command;
   std::map<std::string, std::string> options;
+  std::vector<std::string> positional;
   bool Has(const std::string& key) const { return options.count(key) > 0; }
   std::string Get(const std::string& key, const std::string& fallback = "") const {
     const auto it = options.find(key);
@@ -56,7 +66,10 @@ Args Parse(int argc, char** argv) {
   if (argc >= 2) args.command = argv[1];
   for (int i = 2; i < argc; ++i) {
     std::string key = argv[i];
-    if (key.rfind("--", 0) != 0) continue;
+    if (key.rfind("--", 0) != 0) {
+      args.positional.push_back(key);
+      continue;
+    }
     key = key.substr(2);
     std::string value = "1";
     if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
@@ -78,6 +91,12 @@ int Usage() {
       "              [--trace-dir DIR] [--trace-sample R]\n"
       "  topfull inspect --app <boutique|trainticket|alibaba>\n"
       "  topfull train [--episodes N] [--out FILE]\n"
+      "  topfull report [run options] [--out DIR]\n"
+      "                   run + self-contained HTML report, run summary JSON,\n"
+      "                   Perfetto trace, decision log and Prometheus dump in DIR\n"
+      "  topfull compare BASELINE.json CANDIDATE.json [--rel-tol R] [--abs-tol A]\n"
+      "                   per-metric regression diff of two run summaries;\n"
+      "                   exit 0 = no regression, 1 = regression, 2 = bad input\n"
       "\n"
       "  --threads N      worker-pool size for parallel rollouts/sweeps\n"
       "                   (overrides TOPFULL_THREADS; default: all cores)\n"
@@ -328,6 +347,54 @@ int CmdTrain(const Args& args) {
   return 0;
 }
 
+// `report` is `run` with telemetry forced into --out: the exporters already
+// write the HTML report and run summary alongside the trace artifacts.
+int CmdReport(const Args& args) {
+  const std::string out_dir = args.Get("out", "topfull-report");
+  Args forwarded = args;
+  forwarded.options["trace-dir"] = out_dir;
+  forwarded.options.erase("out");
+  const int rc = CmdRun(forwarded);
+  if (rc == 0) std::printf("report written under %s/\n", out_dir.c_str());
+  return rc;
+}
+
+int CmdCompare(const Args& args) {
+  if (args.positional.size() != 2) {
+    std::fprintf(stderr, "compare needs exactly two summary files\n");
+    return Usage();
+  }
+  obs::JsonValue docs[2];
+  for (int i = 0; i < 2; ++i) {
+    std::ifstream in(args.positional[i]);
+    if (!in) {
+      std::fprintf(stderr, "cannot read %s\n", args.positional[i].c_str());
+      return 2;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    std::string error;
+    if (!obs::ParseJson(text.str(), &docs[i], &error)) {
+      std::fprintf(stderr, "%s: %s\n", args.positional[i].c_str(), error.c_str());
+      return 2;
+    }
+  }
+  obs::CompareOptions options;
+  options.rel_tol = args.Num("rel-tol", options.rel_tol);
+  options.abs_tol = args.Num("abs-tol", options.abs_tol);
+  const obs::CompareResult result =
+      obs::CompareRunSummaries(docs[0], docs[1], options);
+  std::printf("baseline:  %s\ncandidate: %s\n", args.positional[0].c_str(),
+              args.positional[1].c_str());
+  std::fputs(obs::FormatCompareResult(result, options).c_str(), stdout);
+  if (result.HasRegression()) {
+    std::printf("RESULT: regression\n");
+    return 1;
+  }
+  std::printf("RESULT: ok\n");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -338,5 +405,7 @@ int main(int argc, char** argv) {
   if (args.command == "run") return CmdRun(args);
   if (args.command == "inspect") return CmdInspect(args);
   if (args.command == "train") return CmdTrain(args);
+  if (args.command == "report") return CmdReport(args);
+  if (args.command == "compare") return CmdCompare(args);
   return Usage();
 }
