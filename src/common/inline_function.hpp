@@ -1,0 +1,111 @@
+// A small-buffer-only, move-only callable: std::function without the heap.
+//
+// Every simulator event and pod completion callback used to be a
+// std::function whose captures routinely exceeded the 16-byte libstdc++
+// small-buffer and therefore cost one heap allocation per event. An
+// InlineFunction stores its callable inline — always — and refuses to
+// compile otherwise, so the DES hot path cannot silently regress back to
+// allocating. Capacity overruns are a static_assert at the capture site:
+// either shrink the capture or (deliberately, reviewably) grow the buffer.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace topfull {
+
+template <typename Signature, std::size_t Capacity>
+class InlineFunction;
+
+template <typename R, typename... Args, std::size_t Capacity>
+class InlineFunction<R(Args...), Capacity> {
+ public:
+  InlineFunction() noexcept = default;
+  InlineFunction(std::nullptr_t) noexcept {}  // NOLINT(runtime/explicit)
+
+  /// Wraps any callable (lambda, function pointer, std::function, …) whose
+  /// decayed type fits the inline buffer. Lvalues are copied, rvalues moved.
+  template <typename F, typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, InlineFunction> &&
+                                        std::is_invocable_r_v<R, D&, Args...>>>
+  InlineFunction(F&& f) {  // NOLINT(runtime/explicit)
+    static_assert(sizeof(D) <= Capacity,
+                  "callable exceeds InlineFunction capacity: shrink the "
+                  "capture (pointers + ids, not values) or grow the buffer");
+    static_assert(alignof(D) <= alignof(std::max_align_t),
+                  "over-aligned callables are not supported");
+    static_assert(std::is_nothrow_move_constructible_v<D>,
+                  "callables must be nothrow-move-constructible");
+    ::new (static_cast<void*>(storage_)) D(std::forward<F>(f));
+    invoke_ = [](void* s, Args... args) -> R {
+      return (*static_cast<D*>(s))(std::forward<Args>(args)...);
+    };
+    if constexpr (!std::is_trivially_copyable_v<D> ||
+                  !std::is_trivially_destructible_v<D>) {
+      manage_ = [](void* dst, void* src) {
+        if (dst != nullptr) ::new (dst) D(std::move(*static_cast<D*>(src)));
+        static_cast<D*>(src)->~D();
+      };
+    }
+  }
+
+  InlineFunction(InlineFunction&& other) noexcept { MoveFrom(other); }
+
+  InlineFunction& operator=(InlineFunction&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      MoveFrom(other);
+    }
+    return *this;
+  }
+
+  InlineFunction& operator=(std::nullptr_t) noexcept {
+    Reset();
+    return *this;
+  }
+
+  InlineFunction(const InlineFunction&) = delete;
+  InlineFunction& operator=(const InlineFunction&) = delete;
+
+  ~InlineFunction() { Reset(); }
+
+  explicit operator bool() const noexcept { return invoke_ != nullptr; }
+
+  R operator()(Args... args) {
+    return invoke_(static_cast<void*>(storage_), std::forward<Args>(args)...);
+  }
+
+ private:
+  void Reset() noexcept {
+    if (manage_ != nullptr) manage_(nullptr, storage_);
+    invoke_ = nullptr;
+    manage_ = nullptr;
+  }
+
+  // Trivially-copyable callables (the hot-path ones) move as a raw byte
+  // copy with no manage indirection; everything else move-constructs.
+  void MoveFrom(InlineFunction& other) noexcept {
+    invoke_ = other.invoke_;
+    manage_ = other.manage_;
+    if (manage_ != nullptr) {
+      manage_(storage_, other.storage_);
+    } else if (invoke_ != nullptr) {
+      __builtin_memcpy(storage_, other.storage_, Capacity);
+    }
+    other.invoke_ = nullptr;
+    other.manage_ = nullptr;
+  }
+
+  using Invoke = R (*)(void*, Args...);
+  /// dst == nullptr: destroy src. Otherwise: move-construct dst from src,
+  /// then destroy src. Null for trivially-copyable callables.
+  using Manage = void (*)(void* dst, void* src);
+
+  alignas(std::max_align_t) unsigned char storage_[Capacity];
+  Invoke invoke_ = nullptr;
+  Manage manage_ = nullptr;
+};
+
+}  // namespace topfull

@@ -1,0 +1,64 @@
+// Slab allocator with a free list: pooled fixed-type records for the DES
+// hot path.
+//
+// Records live in chunked slabs so their addresses are stable for the whole
+// pool lifetime (callbacks capture raw pointers into the pool; a growing
+// pool must never move live records). Freed records go on a LIFO free list
+// and are handed back, still constructed, by the next Alloc — the caller
+// re-initialises the fields it uses and owns any generation counter that
+// guards against stale handles (see sim::Application's attempt records).
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+namespace topfull {
+
+template <typename T>
+class SlabPool {
+ public:
+  explicit SlabPool(std::size_t slab_size = 256) : slab_size_(slab_size) {
+    assert(slab_size_ > 0);
+  }
+
+  /// Returns a record, reusing the most recently freed one when available.
+  /// The record keeps whatever state it had when freed; callers reset the
+  /// fields they rely on (and must NOT reset generation counters).
+  T* Alloc() {
+    if (free_.empty()) Grow();
+    T* p = free_.back();
+    free_.pop_back();
+    ++live_;
+    return p;
+  }
+
+  /// Returns `p` to the pool. `p` must have come from this pool's Alloc.
+  void Free(T* p) {
+    assert(live_ > 0);
+    --live_;
+    free_.push_back(p);
+  }
+
+  /// Records currently handed out.
+  std::size_t live() const { return live_; }
+  /// Total records ever created (live + free).
+  std::size_t capacity() const { return slabs_.size() * slab_size_; }
+
+ private:
+  void Grow() {
+    slabs_.push_back(std::make_unique<T[]>(slab_size_));
+    free_.reserve(capacity());
+    T* slab = slabs_.back().get();
+    // Pushed in reverse so the free list hands out records in slab order.
+    for (std::size_t i = slab_size_; i > 0; --i) free_.push_back(&slab[i - 1]);
+  }
+
+  std::size_t slab_size_;
+  std::size_t live_ = 0;
+  std::vector<std::unique_ptr<T[]>> slabs_;  ///< stable record storage
+  std::vector<T*> free_;
+};
+
+}  // namespace topfull

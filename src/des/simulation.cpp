@@ -1,49 +1,208 @@
 #include "des/simulation.hpp"
 
 #include <cassert>
-#include <memory>
 #include <utility>
 
 namespace topfull::des {
 
-void Simulation::ScheduleAt(SimTime when, Callback fn) {
-  assert(when >= now_ && "cannot schedule in the past");
-  queue_.push(Event{when < now_ ? now_ : when, next_seq_++, std::move(fn)});
+// --- Slot pool ---------------------------------------------------------------
+
+std::uint32_t Simulation::AllocSlot() {
+  if (free_slots_.empty()) {
+    const auto base = static_cast<std::uint32_t>(slabs_.size() * kSlabSize);
+    slabs_.push_back(std::make_unique<Slot[]>(kSlabSize));
+    free_slots_.reserve(slabs_.size() * kSlabSize);
+    // Reverse order so slot ids are handed out ascending.
+    for (std::size_t i = kSlabSize; i > 0; --i) {
+      free_slots_.push_back(base + static_cast<std::uint32_t>(i - 1));
+    }
+  }
+  const std::uint32_t id = free_slots_.back();
+  free_slots_.pop_back();
+  return id;
 }
 
-void Simulation::SchedulePeriodic(SimTime start, SimTime period, Callback fn) {
-  // Re-arms itself after each firing. Shared callback keeps one copy alive.
-  auto shared = std::make_shared<Callback>(std::move(fn));
-  struct Rearm {
-    Simulation* sim;
-    SimTime period;
-    std::shared_ptr<Callback> fn;
-    void operator()() const {
-      (*fn)();
-      sim->ScheduleAfter(period, Rearm{sim, period, fn});
+void Simulation::FreeSlot(std::uint32_t id) {
+  Slot& s = SlotAt(id);
+  s.fn = nullptr;
+  ++s.gen;  // invalidate every outstanding handle to this slot
+  free_slots_.push_back(id);
+}
+
+std::uint32_t Simulation::Resolve(TimerHandle handle) const {
+  if (!handle.valid()) return kNoSlot;
+  if (handle.slot >= slabs_.size() * kSlabSize) return kNoSlot;
+  return SlotAt(handle.slot).gen == handle.gen ? handle.slot : kNoSlot;
+}
+
+// --- 4-ary indexed heap ------------------------------------------------------
+
+void Simulation::SiftUp(std::uint32_t pos) {
+  const std::uint32_t id = heap_[pos];
+  const Slot& s = SlotAt(id);
+  while (pos > 0) {
+    const std::uint32_t parent = (pos - 1) >> 2;
+    const std::uint32_t parent_id = heap_[parent];
+    if (!Earlier(s, SlotAt(parent_id))) break;
+    heap_[pos] = parent_id;
+    SlotAt(parent_id).heap_pos = pos;
+    pos = parent;
+  }
+  heap_[pos] = id;
+  SlotAt(id).heap_pos = pos;
+}
+
+void Simulation::SiftDown(std::uint32_t pos) {
+  const auto n = static_cast<std::uint32_t>(heap_.size());
+  const std::uint32_t id = heap_[pos];
+  const Slot& s = SlotAt(id);
+  while (true) {
+    const std::uint32_t first_child = (pos << 2) + 1;
+    if (first_child >= n) break;
+    std::uint32_t best = first_child;
+    const std::uint32_t last_child = first_child + 3 < n ? first_child + 3 : n - 1;
+    for (std::uint32_t c = first_child + 1; c <= last_child; ++c) {
+      if (Earlier(SlotAt(heap_[c]), SlotAt(heap_[best]))) best = c;
     }
-  };
-  ScheduleAt(start, Rearm{this, period, shared});
+    const std::uint32_t best_id = heap_[best];
+    if (!Earlier(SlotAt(best_id), s)) break;
+    heap_[pos] = best_id;
+    SlotAt(best_id).heap_pos = pos;
+    pos = best;
+  }
+  heap_[pos] = id;
+  SlotAt(id).heap_pos = pos;
+}
+
+void Simulation::HeapPush(std::uint32_t id) {
+  heap_.push_back(id);
+  SlotAt(id).heap_pos = static_cast<std::uint32_t>(heap_.size() - 1);
+  SiftUp(SlotAt(id).heap_pos);
+}
+
+void Simulation::HeapRemove(std::uint32_t pos) {
+  const std::uint32_t last = heap_.back();
+  heap_.pop_back();
+  if (pos == heap_.size()) return;  // removed the tail
+  heap_[pos] = last;
+  SlotAt(last).heap_pos = pos;
+  // The swapped-in tail may order either way relative to the hole's
+  // neighbourhood; one of the two sifts is a no-op.
+  SiftUp(pos);
+  SiftDown(SlotAt(last).heap_pos);
+}
+
+// --- Scheduling --------------------------------------------------------------
+
+Simulation::TimerHandle Simulation::ScheduleAt(SimTime when, Callback fn) {
+  assert(when >= now_ && "cannot schedule in the past");
+  const std::uint32_t id = AllocSlot();
+  Slot& s = SlotAt(id);
+  s.when = when < now_ ? now_ : when;
+  s.seq = next_seq_++;
+  s.period = 0;
+  s.fn = std::move(fn);
+  HeapPush(id);
+  ++events_scheduled_;
+  return TimerHandle{id, s.gen};
+}
+
+Simulation::TimerHandle Simulation::SchedulePeriodic(SimTime start, SimTime period,
+                                                     Callback fn) {
+  assert(period > 0 && "periodic events need a positive period");
+  TimerHandle handle = ScheduleAt(start, std::move(fn));
+  SlotAt(handle.slot).period = period;
+  return handle;
+}
+
+bool Simulation::Cancel(TimerHandle handle) {
+  const std::uint32_t id = Resolve(handle);
+  if (id == kNoSlot) return false;
+  if (id == running_slot_) {
+    // A periodic event cancelling itself mid-callback: suppress the re-arm;
+    // RunFront frees the slot when the callback returns.
+    if (running_cancelled_) return false;
+    running_cancelled_ = true;
+    ++events_cancelled_;
+    return true;
+  }
+  HeapRemove(SlotAt(id).heap_pos);
+  FreeSlot(id);
+  ++events_cancelled_;
+  return true;
+}
+
+bool Simulation::Reschedule(TimerHandle handle, SimTime when) {
+  const std::uint32_t id = Resolve(handle);
+  if (id == kNoSlot || id == running_slot_) return false;
+  Slot& s = SlotAt(id);
+  s.when = when < now_ ? now_ : when;
+  s.seq = next_seq_++;  // same tie-break position as cancel + re-schedule
+  SiftUp(s.heap_pos);
+  SiftDown(s.heap_pos);
+  return true;
+}
+
+// --- Execution ---------------------------------------------------------------
+
+void Simulation::RunFront() {
+  const std::uint32_t id = heap_[0];
+  Slot& s = SlotAt(id);
+  now_ = s.when;
+  ++events_processed_;
+  if (s.period == 0) {
+    // One-shot: free the slot before running so the callback can observe a
+    // consistent queue (its own handle is already dead, like the old
+    // pop-then-run engine).
+    InlineEvent fn = std::move(s.fn);
+    HeapRemove(0);
+    FreeSlot(id);
+    fn();
+    return;
+  }
+  // Periodic: run, then re-arm the same slot in place. The fresh seq is
+  // allocated AFTER the callback returns, matching the old self-re-arming
+  // event's tie-break position relative to events the callback scheduled.
+  running_slot_ = id;
+  running_cancelled_ = false;
+  s.fn();
+  running_slot_ = kNoSlot;
+  if (running_cancelled_) {
+    running_cancelled_ = false;
+    HeapRemove(s.heap_pos);
+    FreeSlot(id);
+    return;
+  }
+  s.when = now_ + s.period;
+  s.seq = next_seq_++;
+  // Only sift down: the re-armed event moved later in (when, seq) order.
+  SiftDown(s.heap_pos);
 }
 
 void Simulation::RunUntil(SimTime end) {
-  while (!queue_.empty() && queue_.top().when <= end) {
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
-    now_ = ev.when;
-    ++events_processed_;
-    ev.fn();
-  }
+  while (!heap_.empty() && SlotAt(heap_[0]).when <= end) RunFront();
   if (now_ < end) now_ = end;
 }
 
 bool Simulation::Step() {
-  if (queue_.empty()) return false;
-  Event ev = std::move(const_cast<Event&>(queue_.top()));
-  queue_.pop();
-  now_ = ev.when;
-  ++events_processed_;
-  ev.fn();
+  if (heap_.empty()) return false;
+  RunFront();
+  return true;
+}
+
+// --- Invariant check (tests) -------------------------------------------------
+
+bool Simulation::CheckHeapInvariant() const {
+  const std::size_t total = slabs_.size() * kSlabSize;
+  if (heap_.size() + free_slots_.size() != total) return false;
+  for (std::uint32_t pos = 0; pos < heap_.size(); ++pos) {
+    const std::uint32_t id = heap_[pos];
+    if (id >= total) return false;
+    const Slot& s = SlotAt(id);
+    if (s.heap_pos != pos) return false;
+    if (!s.fn) return false;
+    if (pos > 0 && Earlier(s, SlotAt(heap_[(pos - 1) >> 2]))) return false;
+  }
   return true;
 }
 

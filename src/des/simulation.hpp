@@ -5,33 +5,75 @@
 // order so runs are fully deterministic. The engine is single-threaded by
 // design — determinism and reproducibility outrank parallel speed for the
 // reproduction experiments.
+//
+// The queue is an indexed 4-ary heap over stable slot storage: every
+// scheduled event has a pool slot whose address never moves, and the heap
+// orders slot ids by (when, seq). That indirection is what buys O(log n)
+// cancellation — ScheduleAt returns a generation-counted TimerHandle, and
+// Cancel/Reschedule locate the slot through its back-pointer instead of
+// leaving a dead event to fire as a no-op. Callbacks are InlineEvents
+// (fixed inline storage, no heap), so scheduling costs zero allocations
+// once the slot pool and heap have reached their high-water marks.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <memory>
 #include <vector>
 
+#include "common/inline_function.hpp"
 #include "common/sim_time.hpp"
 
 namespace topfull::des {
 
+/// Event callback with guaranteed-inline capture storage. 112 bytes fits
+/// the fattest sim-internal capture (a pod completion event carrying its
+/// 64-byte DoneFn) with room for a std::function-based test callback;
+/// anything larger is a compile error at the schedule site.
+using InlineEvent = InlineFunction<void(), 112>;
+
 class Simulation {
  public:
-  using Callback = std::function<void()>;
+  using Callback = InlineEvent;
+
+  /// Identity of a scheduled event, valid until it fires or is cancelled.
+  /// Slot ids are reused; `gen` makes stale handles harmless (Cancel and
+  /// Reschedule on a fired/cancelled handle return false — ABA-safe).
+  struct TimerHandle {
+    std::uint32_t slot = 0xffffffffu;
+    std::uint32_t gen = 0;
+    bool valid() const { return slot != 0xffffffffu; }
+  };
 
   /// Current simulation time.
   SimTime Now() const { return now_; }
 
   /// Schedules `fn` at absolute time `when` (>= Now()).
-  void ScheduleAt(SimTime when, Callback fn);
+  TimerHandle ScheduleAt(SimTime when, Callback fn);
 
   /// Schedules `fn` after `delay` (>= 0) from now.
-  void ScheduleAfter(SimTime delay, Callback fn) { ScheduleAt(now_ + delay, std::move(fn)); }
+  TimerHandle ScheduleAfter(SimTime delay, Callback fn) {
+    return ScheduleAt(now_ + delay, std::move(fn));
+  }
 
-  /// Schedules `fn` every `period`, starting at `start`, until the
-  /// simulation ends. The callback sees the Simulation clock advance.
-  void SchedulePeriodic(SimTime start, SimTime period, Callback fn);
+  /// Schedules `fn` every `period` (> 0), starting at `start`, until the
+  /// simulation ends or the handle is cancelled. The slot re-arms in place
+  /// after each firing (no allocation, no new handle); the returned handle
+  /// stays valid across firings.
+  TimerHandle SchedulePeriodic(SimTime start, SimTime period, Callback fn);
+
+  /// Cancels a pending event in O(log n). Returns false when the handle is
+  /// stale (already fired, already cancelled, or one-shot currently
+  /// executing). Cancelling a periodic event from inside its own callback
+  /// is allowed and stops the re-arm.
+  bool Cancel(TimerHandle handle);
+
+  /// Moves a pending event to absolute time `when` (clamped to >= Now()),
+  /// as if it had been cancelled and re-scheduled: the event goes to the
+  /// back of the tie-break order at its new time. For a periodic event
+  /// this shifts the next firing; the period is unchanged. Returns false
+  /// for stale handles and for a periodic event currently executing.
+  bool Reschedule(TimerHandle handle, SimTime when);
 
   /// Runs events until the queue is empty or time would exceed `end`.
   /// The clock is left at `end` afterwards.
@@ -40,29 +82,75 @@ class Simulation {
   /// Processes a single event; returns false if the queue is empty.
   bool Step();
 
-  /// Number of events processed so far.
+  /// Number of events processed so far. Cancelled events never fire and
+  /// are not counted here.
   std::uint64_t EventsProcessed() const { return events_processed_; }
 
+  /// Number of events cancelled before firing.
+  std::uint64_t EventsCancelled() const { return events_cancelled_; }
+
+  /// Number of ScheduleAt/ScheduleAfter/SchedulePeriodic calls (periodic
+  /// re-arms not included).
+  std::uint64_t EventsScheduled() const { return events_scheduled_; }
+
   /// Pending event count (for tests).
-  std::size_t PendingEvents() const { return queue_.size(); }
+  std::size_t PendingEvents() const { return heap_.size(); }
+
+  /// Verifies the 4-ary heap order, the slot back-pointers, and the
+  /// free-list accounting. O(n); for tests.
+  bool CheckHeapInvariant() const;
 
  private:
-  struct Event {
-    SimTime when;
-    std::uint64_t seq;
-    Callback fn;
+  struct Slot {
+    SimTime when = 0;
+    std::uint64_t seq = 0;
+    SimTime period = 0;  ///< 0 = one-shot
+    std::uint32_t heap_pos = 0;
+    std::uint32_t gen = 0;
+    InlineEvent fn;
   };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.when != b.when) return a.when > b.when;
-      return a.seq > b.seq;
-    }
-  };
+
+  static constexpr std::uint32_t kNoSlot = 0xffffffffu;
+  static constexpr std::size_t kSlabShift = 8;  ///< 256 slots per slab
+  static constexpr std::size_t kSlabSize = std::size_t{1} << kSlabShift;
+
+  Slot& SlotAt(std::uint32_t id) {
+    return slabs_[id >> kSlabShift][id & (kSlabSize - 1)];
+  }
+  const Slot& SlotAt(std::uint32_t id) const {
+    return slabs_[id >> kSlabShift][id & (kSlabSize - 1)];
+  }
+
+  std::uint32_t AllocSlot();
+  void FreeSlot(std::uint32_t id);
+  /// Resolves a handle to a live slot id, or kNoSlot when stale.
+  std::uint32_t Resolve(TimerHandle handle) const;
+
+  static bool Earlier(const Slot& a, const Slot& b) {
+    if (a.when != b.when) return a.when < b.when;
+    return a.seq < b.seq;
+  }
+  void HeapPush(std::uint32_t id);
+  void HeapRemove(std::uint32_t pos);
+  void SiftUp(std::uint32_t pos);
+  void SiftDown(std::uint32_t pos);
+
+  /// Pops and runs the front event. Pre: heap non-empty.
+  void RunFront();
 
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_processed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::uint64_t events_cancelled_ = 0;
+  std::uint64_t events_scheduled_ = 0;
+  std::vector<std::unique_ptr<Slot[]>> slabs_;  ///< stable slot storage
+  std::vector<std::uint32_t> free_slots_;
+  std::vector<std::uint32_t> heap_;  ///< slot ids, 4-ary min-heap order
+  /// Slot id of the periodic event currently executing (kNoSlot otherwise);
+  /// lets Cancel/Reschedule from inside the callback interact with the
+  /// re-arm correctly.
+  std::uint32_t running_slot_ = kNoSlot;
+  bool running_cancelled_ = false;
 };
 
 }  // namespace topfull::des

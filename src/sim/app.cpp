@@ -5,16 +5,50 @@
 
 namespace topfull::sim {
 
-struct Application::Request {
+// One pooled record per admitted request. Recycled through a SlabPool; the
+// generation counter survives recycling and invalidates any stale pointer
+// (retry events assert against it).
+struct Application::RequestRec {
   RequestInfo info;
   SimTime start = 0;
   const ExecutionPath* path = nullptr;
   DoneFn on_done;
+  std::uint32_t gen = 0;
   bool finalized = false;
+};
+
+// One pooled record per hop attempt. Replaces the old per-attempt closure
+// web (shared_ptr<Request> + shared_ptr<bool> settled + shared_ptr<SimTime>
+// + shared_ptr<HeldDispatch> + std::function captures) with a single
+// recycled struct. `pending` counts the references that may still touch the
+// record: the attempt logic itself, the dispatch completion callback, and
+// the hop-timeout timer; the record is freed (generation bumped) when all
+// are gone.
+struct Application::AttemptRec {
+  RequestRec* req = nullptr;
+  const CallNode* node = nullptr;
+  int attempt = 0;
+  ContRef cont{};
+  std::uint32_t gen = 0;
+  int pending = 0;
+  bool settled = false;
+  /// Settled by the hop timeout: the held worker slot (if any) must NOT be
+  /// released at subtree resolution — the late completion releases it.
+  bool timed_out = false;
+  bool traced = false;
+  Service::HeldDispatch held{};
+  SimTime hop_start = 0;
+  SimTime hop_service_time = 0;
+  des::Simulation::TimerHandle timeout{};
+  std::uint32_t next_child = 0;   // sequential-children cursor
+  int join_remaining = 0;         // parallel join
+  bool join_all_ok = true;
 };
 
 Application::Application(std::string name, std::uint64_t seed, AppConfig config)
     : name_(std::move(name)), config_(config), rng_(seed) {}
+
+Application::~Application() = default;
 
 ServiceId Application::AddService(ServiceConfig config) {
   assert(!finalized_ && "cannot add services after Finalize()");
@@ -36,6 +70,15 @@ void Application::Finalize() {
   finalized_ = true;
   for (auto& api : apis_) api.Finalize();
   metrics_ = std::make_unique<MetricsCollector>(NumApis(), config_.slo);
+
+  // Name -> id indices. Topology is frozen from here on, so the maps never
+  // go stale; controllers and fault profiles resolve names every tick.
+  service_index_.reserve(services_.size());
+  for (const auto& svc : services_) service_index_.emplace(svc->name(), svc->id());
+  api_index_.reserve(apis_.size());
+  for (std::size_t i = 0; i < apis_.size(); ++i) {
+    api_index_.emplace(apis_[i].name(), static_cast<ApiId>(i));
+  }
 
   // Streaming-metrics registry: resolve every request/service family once
   // so the per-event hot path is a single pointer add.
@@ -99,14 +142,14 @@ void Application::Finalize() {
 
   // Metric collection loop. Registered before any controller loop so that
   // within every tick, controllers observe the freshly closed window.
+  window_scratch_.reserve(services_.size());
   sim_.SchedulePeriodic(config_.metrics_period, config_.metrics_period, [this]() {
-    std::vector<ServiceWindow> windows;
-    windows.reserve(services_.size());
+    window_scratch_.clear();
     for (std::size_t s = 0; s < services_.size(); ++s) {
       const ServiceWindowStats w = services_[s]->CollectWindow(config_.metrics_period);
-      windows.push_back(ServiceWindow{w.cpu_utilization, w.avg_queue_delay_s,
-                                      w.max_queue_delay_s, w.running_pods,
-                                      w.total_outstanding});
+      window_scratch_.push_back(ServiceWindow{w.cpu_utilization, w.avg_queue_delay_s,
+                                              w.max_queue_delay_s, w.running_pods,
+                                              w.total_outstanding});
       ServiceMetricHandles& h = service_handles_[s];
       h.cpu->Set(w.cpu_utilization);
       h.pods->Set(w.running_pods);
@@ -115,11 +158,15 @@ void Application::Finalize() {
       h.queue_delay_ms->Record(1e3 * w.avg_queue_delay_s);
     }
     sim_end_gauge_->Set(ToSeconds(sim_.Now()));
-    metrics_->Collect(sim_.Now(), std::move(windows));
+    metrics_->Collect(sim_.Now(), window_scratch_);
   });
 }
 
 ServiceId Application::FindService(const std::string& name) const {
+  if (finalized_) {
+    const auto it = service_index_.find(name);
+    return it != service_index_.end() ? it->second : kNoService;
+  }
   for (const auto& svc : services_) {
     if (svc->name() == name) return svc->id();
   }
@@ -127,10 +174,19 @@ ServiceId Application::FindService(const std::string& name) const {
 }
 
 ApiId Application::FindApi(const std::string& name) const {
+  if (finalized_) {
+    const auto it = api_index_.find(name);
+    return it != api_index_.end() ? it->second : kNoApi;
+  }
   for (std::size_t i = 0; i < apis_.size(); ++i) {
     if (apis_[i].name() == name) return static_cast<ApiId>(i);
   }
   return kNoApi;
+}
+
+Application::ArenaStats Application::Arena() const {
+  return ArenaStats{request_pool_.live(), request_pool_.capacity(),
+                    attempt_pool_.live(), attempt_pool_.capacity()};
 }
 
 void Application::Submit(ApiId api, DoneFn on_done) {
@@ -145,7 +201,7 @@ void Application::Submit(ApiId api, DoneFn on_done) {
   }
   metrics_->OnAdmitted(api);
 
-  auto req = std::make_shared<Request>();
+  RequestRec* req = request_pool_.Alloc();
   req->info.id = next_request_id_++;
   req->info.api = api;
   req->info.business_priority = apis_[api].business_priority();
@@ -154,166 +210,239 @@ void Application::Submit(ApiId api, DoneFn on_done) {
   const auto& spec = apis_[api];
   req->path = &spec.paths()[spec.SamplePath(rng_.NextDouble())];
   req->on_done = std::move(on_done);
+  req->finalized = false;
   ++inflight_;
   if (observer_ != nullptr) observer_->OnAdmitted(req->info.id, api, sim_.Now());
 
-  ExecNode(req, &req->path->root,
-           [this, req](bool ok) { FinalizeRequest(req, ok); });
+  StartAttempt(req, &req->path->root, /*attempt=*/0, ContRef{});
 }
 
-void Application::ExecNode(const std::shared_ptr<Request>& req, const CallNode* node,
-                           Continuation cont) {
-  AttemptNode(req, node, /*attempt=*/0, std::move(cont));
-}
-
-void Application::AttemptNode(const std::shared_ptr<Request>& req, const CallNode* node,
-                              int attempt, Continuation cont) {
+void Application::StartAttempt(RequestRec* req, const CallNode* node, int attempt,
+                               ContRef cont) {
   Service& svc = *services_[node->service];
+  AttemptRec* a = attempt_pool_.Alloc();
+  a->req = req;
+  a->node = node;
+  a->attempt = attempt;
+  a->cont = cont;
+  a->pending = 1;  // the attempt logic itself
+  a->settled = false;
+  a->timed_out = false;
+  a->traced = observer_ != nullptr && observer_->Tracing(req->info.id);
+  a->held = Service::HeldDispatch{};
+  a->hop_start = sim_.Now();
+  a->hop_service_time = 0;
+  a->timeout = des::Simulation::TimerHandle{};
+  a->next_child = 0;
+  a->join_remaining = 0;
+  a->join_all_ok = true;
+
   // Synchronous-RPC services hold their worker slot while the request's
   // downstream subtree runs; the slot is released when the subtree
   // resolves (success or failure). A fresh handle per attempt: a retried
   // hop lands on a (possibly) different pod.
   const bool blocking = svc.config().blocking_rpc && !node->children.empty();
-  std::shared_ptr<Service::HeldDispatch> held;
-  if (blocking) held = std::make_shared<Service::HeldDispatch>();
-  // Failure path shared by shed, injected error, pod death, and hop
-  // timeout: bounded retry with backoff, then propagate the failure. The
-  // retry re-enters AttemptNode, re-picking a pod and re-sampling service
-  // time — work already burned on the failed attempt stays spent.
-  auto fail = [this, req, node, attempt, cont]() {
-    if (attempt < config_.max_retries) {
-      ++retries_;
-      auto retry = [this, req, node, attempt, cont]() {
-        AttemptNode(req, node, attempt + 1, cont);
-      };
-      if (config_.retry_backoff > 0) {
-        sim_.ScheduleAfter(config_.retry_backoff, std::move(retry));
-      } else {
-        retry();
-      }
-    } else {
-      cont(false);
-    }
-  };
-  // Span bookkeeping only for traced requests; the shared slot receives the
-  // sampled service duration from the dispatch call.
-  const bool traced = observer_ != nullptr && observer_->Tracing(req->info.id);
-  std::shared_ptr<SimTime> hop_service_time;
-  if (traced) hop_service_time = std::make_shared<SimTime>(0);
-  const SimTime hop_start = sim_.Now();
-  // First of {local completion, hop timeout} settles the attempt; the
-  // loser only cleans up.
-  auto settled = std::make_shared<bool>(false);
-  auto on_local_done = [this, req, node, cont, fail, held, settled, traced,
-                        hop_start, hop_service_time](bool ok) mutable {
-    if (*settled) {
-      // The hop timed out earlier; the server just finished the wasted
-      // work. A blocking attempt's slot is freed here (nobody else will);
-      // non-blocking pods free their own slot.
-      if (held != nullptr) Service::ReleaseHeld(*held);
-      return;
-    }
-    *settled = true;
-    if (traced) {
-      observer_->OnHopDone(req->info.id, node->service, hop_start, sim_.Now(),
-                           *hop_service_time, ok);
-    }
-    if (!ok) {
-      // Pod died mid-service: no slot is held (the hold handle never
-      // activated), so fail/retry directly.
-      fail();
-      return;
-    }
-    Continuation sub_cont = std::move(cont);
-    if (held != nullptr) {
-      sub_cont = [held, inner = std::move(sub_cont)](bool sub_ok) {
-        Service::ReleaseHeld(*held);
-        inner(sub_ok);
-      };
-    }
-    if (node->children.empty()) {
-      sub_cont(true);
-      return;
-    }
-    if (node->parallel) {
-      // Fan out all children; join when every branch resolves. Failed
-      // branches do not cancel their siblings (their work is wasted),
-      // matching real partially-constructed responses.
-      auto remaining = std::make_shared<int>(static_cast<int>(node->children.size()));
-      auto all_ok = std::make_shared<bool>(true);
-      auto joined = std::make_shared<Continuation>(std::move(sub_cont));
-      for (const auto& child : node->children) {
-        ExecNode(req, &child, [remaining, all_ok, joined](bool child_ok) {
-          if (!child_ok) *all_ok = false;
-          if (--*remaining == 0) (*joined)(*all_ok);
-        });
-      }
-    } else {
-      ExecChildren(req, node, 0, std::move(sub_cont));
-    }
-  };
+  const std::uint32_t gen = a->gen;
+  // The service-time slot is written unconditionally (a dead store when the
+  // request is untraced) so the dispatch call — and thus the RNG stream —
+  // is identical with and without tracing.
+  bool callback_retained = false;
   const bool dispatched =
-      blocking ? svc.DispatchHeld(req->info, node->work, on_local_done, held,
-                                  hop_service_time.get())
-               : svc.Dispatch(req->info, node->work, on_local_done,
-                              hop_service_time.get());
+      blocking ? svc.DispatchHeld(req->info, node->work,
+                                  [this, a, gen](bool ok) { OnLocalDone(a, gen, ok); },
+                                  &a->held, &a->hop_service_time, &callback_retained)
+               : svc.Dispatch(req->info, node->work,
+                              [this, a, gen](bool ok) { OnLocalDone(a, gen, ok); },
+                              &a->hop_service_time, &callback_retained);
   if (!dispatched) {
-    if (traced) observer_->OnHopShed(req->info.id, node->service, sim_.Now());
-    fail();
+    if (a->traced) observer_->OnHopShed(req->info.id, node->service, sim_.Now());
+    FailAttempt(a);  // consumes the logic reference
     return;
   }
+  if (callback_retained) ++a->pending;
   if (config_.hop_timeout > 0) {
     // Scheduled identically whether or not the request is traced — the
     // event sequence (and thus every tie-break) must not depend on
-    // observation.
-    sim_.ScheduleAfter(config_.hop_timeout,
-                       [this, req, node, fail, settled, traced, hop_start,
-                        hop_service_time]() mutable {
-                         if (*settled) return;
-                         *settled = true;
-                         ++hop_timeouts_;
-                         if (traced) {
-                           observer_->OnHopDone(req->info.id, node->service, hop_start,
-                                                sim_.Now(), *hop_service_time,
-                                                /*ok=*/false);
-                         }
-                         fail();
-                       });
+    // observation. Cancelled when the hop settles first.
+    ++a->pending;
+    a->timeout = sim_.ScheduleAfter(config_.hop_timeout,
+                                    [this, a, gen]() { OnHopTimeout(a, gen); });
   }
 }
 
-void Application::ExecChildren(const std::shared_ptr<Request>& req, const CallNode* node,
-                               std::size_t next_child, Continuation cont) {
-  if (next_child >= node->children.size()) {
-    cont(true);
+void Application::OnLocalDone(AttemptRec* a, std::uint32_t gen, bool ok) {
+  // The dispatch-callback reference pins the record, so the generation can
+  // only match; the check documents (and guards, in debug builds) the
+  // lifetime contract.
+  assert(a->gen == gen);
+  (void)gen;
+  if (a->settled) {
+    // The hop timed out earlier; the server just finished the wasted
+    // work. A blocking attempt's slot is freed here (nobody else will);
+    // non-blocking pods free their own slot.
+    Service::ReleaseHeld(a->held);
+    ReleaseAttempt(a);
     return;
   }
-  ExecNode(req, &node->children[next_child],
-           [this, req, node, next_child, cont = std::move(cont)](bool ok) mutable {
-             if (!ok) {
-               cont(false);
-               return;
-             }
-             ExecChildren(req, node, next_child + 1, std::move(cont));
-           });
+  a->settled = true;
+  if (a->timeout.valid()) {
+    if (sim_.Cancel(a->timeout)) ReleaseAttempt(a);  // timer reference gone
+    a->timeout = des::Simulation::TimerHandle{};
+  }
+  if (a->traced) {
+    observer_->OnHopDone(a->req->info.id, a->node->service, a->hop_start,
+                         sim_.Now(), a->hop_service_time, ok);
+  }
+  if (!ok) {
+    // Pod died mid-service: no slot is held (the hold handle never
+    // activated), so fail/retry directly.
+    FailAttempt(a);
+  } else {
+    AfterLocalSuccess(a);
+  }
+  ReleaseAttempt(a);  // the dispatch-callback reference
 }
 
-void Application::FinalizeRequest(const std::shared_ptr<Request>& req, bool ok) {
+void Application::OnHopTimeout(AttemptRec* a, std::uint32_t gen) {
+  assert(a->gen == gen);  // the timer reference pins the record
+  (void)gen;
+  if (!a->settled) {
+    a->settled = true;
+    a->timed_out = true;
+    a->timeout = des::Simulation::TimerHandle{};
+    ++hop_timeouts_;
+    if (a->traced) {
+      observer_->OnHopDone(a->req->info.id, a->node->service, a->hop_start,
+                           sim_.Now(), a->hop_service_time, /*ok=*/false);
+    }
+    FailAttempt(a);  // consumes the logic reference
+  }
+  ReleaseAttempt(a);  // the timer reference
+}
+
+void Application::FailAttempt(AttemptRec* a) {
+  if (a->attempt < config_.max_retries) {
+    ++retries_;
+    RequestRec* req = a->req;
+    const CallNode* node = a->node;
+    const int next_attempt = a->attempt + 1;
+    const ContRef cont = a->cont;
+    if (config_.retry_backoff > 0) {
+      // A pending retry keeps the subtree unresolved, which pins the
+      // request and the continuation parent until the retry runs.
+      const std::uint32_t req_gen = req->gen;
+      sim_.ScheduleAfter(config_.retry_backoff,
+                         [this, req, req_gen, node, next_attempt, cont]() {
+                           assert(req->gen == req_gen);
+                           (void)req_gen;
+                           StartAttempt(req, node, next_attempt, cont);
+                         });
+      ReleaseAttempt(a);
+    } else {
+      ReleaseAttempt(a);
+      StartAttempt(req, node, next_attempt, cont);
+    }
+  } else {
+    ResolveSubtree(a, false);
+  }
+}
+
+void Application::AfterLocalSuccess(AttemptRec* a) {
+  const CallNode* node = a->node;
+  if (node->children.empty()) {
+    ResolveSubtree(a, true);
+    return;
+  }
+  if (node->parallel) {
+    // Fan out all children; join when every branch resolves. Failed
+    // branches do not cancel their siblings (their work is wasted),
+    // matching real partially-constructed responses.
+    a->join_remaining = static_cast<int>(node->children.size());
+    a->join_all_ok = true;
+    const std::uint32_t gen = a->gen;
+    for (const auto& child : node->children) {
+      StartAttempt(a->req, &child, /*attempt=*/0,
+                   ContRef{ContRef::Kind::kJoin, a, gen});
+    }
+  } else {
+    a->next_child = 0;
+    RunNextChild(a);
+  }
+}
+
+void Application::RunNextChild(AttemptRec* a) {
+  const auto& children = a->node->children;
+  if (a->next_child >= children.size()) {
+    ResolveSubtree(a, true);
+    return;
+  }
+  StartAttempt(a->req, &children[a->next_child], /*attempt=*/0,
+               ContRef{ContRef::Kind::kSeq, a, a->gen});
+}
+
+void Application::ResolveSubtree(AttemptRec* a, bool ok) {
+  // A timed-out attempt must keep its held slot: the server is still
+  // working and the late completion handler is the one that frees it.
+  if (!a->timed_out) Service::ReleaseHeld(a->held);
+  const ContRef cont = a->cont;
+  RequestRec* req = a->req;
+  switch (cont.kind) {
+    case ContRef::Kind::kRoot:
+      FinalizeRequest(req, ok);
+      break;
+    case ContRef::Kind::kSeq: {
+      AttemptRec* p = cont.parent;
+      assert(p->gen == cont.parent_gen);
+      if (!ok) {
+        ResolveSubtree(p, false);
+      } else {
+        ++p->next_child;
+        RunNextChild(p);
+      }
+      break;
+    }
+    case ContRef::Kind::kJoin: {
+      AttemptRec* p = cont.parent;
+      assert(p->gen == cont.parent_gen);
+      if (!ok) p->join_all_ok = false;
+      if (--p->join_remaining == 0) ResolveSubtree(p, p->join_all_ok);
+      break;
+    }
+  }
+  ReleaseAttempt(a);  // the logic reference
+}
+
+void Application::FinalizeRequest(RequestRec* req, bool ok) {
   if (req->finalized) return;
   req->finalized = true;
   --inflight_;
   const SimTime latency = sim_.Now() - req->start;
+  const ApiId api = req->info.api;
   if (observer_ != nullptr && observer_->Tracing(req->info.id)) {
     observer_->OnRequestDone(req->info.id, req->info.api, req->start, sim_.Now(),
                              ok ? Outcome::kCompleted : Outcome::kRejectedService,
                              ok && latency <= config_.slo);
   }
+  // Recycle the record before running the user callback: on_done may
+  // Submit re-entrantly and is welcome to reuse this slot.
+  DoneFn done = std::move(req->on_done);
+  req->on_done = nullptr;
+  ++req->gen;
+  request_pool_.Free(req);
   if (ok) {
-    metrics_->OnCompleted(req->info.api, latency);
-    if (req->on_done) req->on_done(Outcome::kCompleted, latency);
+    metrics_->OnCompleted(api, latency);
+    if (done) done(Outcome::kCompleted, latency);
   } else {
-    metrics_->OnRejectedService(req->info.api);
-    if (req->on_done) req->on_done(Outcome::kRejectedService, latency);
+    metrics_->OnRejectedService(api);
+    if (done) done(Outcome::kRejectedService, latency);
+  }
+}
+
+void Application::ReleaseAttempt(AttemptRec* a) {
+  assert(a->pending > 0);
+  if (--a->pending == 0) {
+    ++a->gen;  // invalidate any stale pointer into this record
+    attempt_pool_.Free(a);
   }
 }
 

@@ -6,13 +6,23 @@
 // accounting. A rejection at any service fails the whole request while the
 // work already done upstream stays spent — the waste/starvation mechanism
 // of Fig. 1.
+//
+// The request engine runs on pooled records instead of shared_ptr-chained
+// closures: one RequestRec per admitted request and one AttemptRec per hop
+// attempt, both slab-allocated and recycled, with generation counters
+// guarding every callback that might outlive its attempt. Hop timeouts are
+// cancellable timers that are withdrawn when the hop settles, so the
+// steady-state per-hop path performs zero heap allocations.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
+#include "common/object_pool.hpp"
 #include "common/rng.hpp"
 #include "des/simulation.hpp"
 #include "obs/metrics_registry.hpp"
@@ -47,6 +57,7 @@ class Application {
   using DoneFn = std::function<void(Outcome, SimTime)>;
 
   Application(std::string name, std::uint64_t seed, AppConfig config = {});
+  ~Application();
 
   // --- Topology construction ----------------------------------------------
 
@@ -59,7 +70,8 @@ class Application {
 
   /// Must be called once after all services/APIs are added. Starts the
   /// metrics collection loop (which therefore ticks before any controller
-  /// loop registered afterwards — controllers see fresh windows).
+  /// loop registered afterwards — controllers see fresh windows) and
+  /// builds the name -> id lookup indices.
   void Finalize();
 
   // --- Entry point ---------------------------------------------------------
@@ -97,9 +109,11 @@ class Application {
   ApiSpec& mutable_api(ApiId id) { return apis_[id]; }
   int NumApis() const { return static_cast<int>(apis_.size()); }
 
-  /// Looks up a service by name; returns kNoService when absent.
+  /// Looks up a service by name; returns kNoService when absent. O(1)
+  /// after Finalize() (hash index), linear scan before.
   ServiceId FindService(const std::string& name) const;
-  /// Looks up an API by name; returns kNoApi when absent.
+  /// Looks up an API by name; returns kNoApi when absent. O(1) after
+  /// Finalize().
   ApiId FindApi(const std::string& name) const;
 
   const std::string& name() const { return name_; }
@@ -126,17 +140,48 @@ class Application {
   std::uint64_t HopTimeouts() const { return hop_timeouts_; }
   std::uint64_t Retries() const { return retries_; }
 
- private:
-  struct Request;
-  using Continuation = std::function<void(bool ok)>;
+  /// Request-engine arena usage (benches/tests): live records and pool
+  /// high-water capacity. Steady-state capacity growth means the hot path
+  /// is allocating — the tab_event_throughput bench watches this.
+  struct ArenaStats {
+    std::size_t live_requests = 0;
+    std::size_t request_capacity = 0;
+    std::size_t live_attempts = 0;
+    std::size_t attempt_capacity = 0;
+  };
+  ArenaStats Arena() const;
 
-  void ExecNode(const std::shared_ptr<Request>& req, const CallNode* node,
-                Continuation cont);
-  void AttemptNode(const std::shared_ptr<Request>& req, const CallNode* node,
-                   int attempt, Continuation cont);
-  void ExecChildren(const std::shared_ptr<Request>& req, const CallNode* node,
-                    std::size_t next_child, Continuation cont);
-  void FinalizeRequest(const std::shared_ptr<Request>& req, bool ok);
+ private:
+  struct RequestRec;
+  struct AttemptRec;
+
+  /// Where an attempt's subtree result is delivered: the owning request
+  /// (root of the call tree), a sequential parent (advance to the next
+  /// child), or a parallel parent (join). Parent access is generation-
+  /// checked; the parent record is pinned until its subtree resolves, so
+  /// the check is an assertion rather than a branch.
+  struct ContRef {
+    enum class Kind : std::uint8_t { kRoot, kSeq, kJoin };
+    Kind kind = Kind::kRoot;
+    AttemptRec* parent = nullptr;
+    std::uint32_t parent_gen = 0;
+  };
+
+  void StartAttempt(RequestRec* req, const CallNode* node, int attempt,
+                    ContRef cont);
+  void OnLocalDone(AttemptRec* a, std::uint32_t gen, bool ok);
+  void OnHopTimeout(AttemptRec* a, std::uint32_t gen);
+  /// Shed/error/pod-death/timeout: bounded retry, else resolve(false).
+  void FailAttempt(AttemptRec* a);
+  /// Local service succeeded: run children (or resolve a leaf).
+  void AfterLocalSuccess(AttemptRec* a);
+  void RunNextChild(AttemptRec* a);
+  /// The attempt's whole subtree is decided: release the held worker slot,
+  /// deliver to the continuation, drop the logic reference.
+  void ResolveSubtree(AttemptRec* a, bool ok);
+  void FinalizeRequest(RequestRec* req, bool ok);
+  /// Drops one reference; frees the record (bumping its generation) at 0.
+  void ReleaseAttempt(AttemptRec* a);
 
   std::string name_;
   AppConfig config_;
@@ -163,6 +208,12 @@ class Application {
   bool finalized_ = false;
   std::uint64_t hop_timeouts_ = 0;
   std::uint64_t retries_ = 0;
+  SlabPool<RequestRec> request_pool_;
+  SlabPool<AttemptRec> attempt_pool_;
+  std::unordered_map<std::string, ServiceId> service_index_;  // built at Finalize
+  std::unordered_map<std::string, ApiId> api_index_;
+  /// Reused per metrics window; reallocating it every second was measurable.
+  std::vector<ServiceWindow> window_scratch_;
 };
 
 }  // namespace topfull::sim

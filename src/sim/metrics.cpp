@@ -61,10 +61,10 @@ void MetricsCollector::OnCompleted(ApiId api, SimTime latency) {
 }
 
 const Snapshot& MetricsCollector::Collect(SimTime now,
-                                          std::vector<ServiceWindow> services) {
+                                          const std::vector<ServiceWindow>& services) {
   Snapshot snap;
   snap.t_end_s = ToSeconds(now);
-  snap.services = std::move(services);
+  snap.services = services;  // snapshot copy; the caller's buffer is reused
   snap.apis.reserve(window_.size());
   for (std::size_t i = 0; i < window_.size(); ++i) {
     ApiWindow w = window_[i];

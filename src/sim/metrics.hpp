@@ -95,9 +95,10 @@ class MetricsCollector {
   void OnCompleted(ApiId api, SimTime latency);
 
   /// Closes the current window: computes per-API digests, appends the
-  /// snapshot (services stats passed in by the Application), resets window
-  /// counters. Returns the new snapshot.
-  const Snapshot& Collect(SimTime now, std::vector<ServiceWindow> services);
+  /// snapshot (services stats passed in by the Application, copied — the
+  /// caller keeps and reuses its buffer), resets window counters. Returns
+  /// the new snapshot.
+  const Snapshot& Collect(SimTime now, const std::vector<ServiceWindow>& services);
 
   /// Most recent snapshot; empty timeline yields an all-zero snapshot.
   const Snapshot& Latest() const;

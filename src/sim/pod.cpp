@@ -50,7 +50,9 @@ void Pod::Kill() {
   // Fail queued jobs. Move them out first: their callbacks may re-enter.
   std::vector<DoneFn> to_fail;
   to_fail.reserve(queue_.size());
-  for (auto& job : queue_) to_fail.push_back(std::move(job.done));
+  for (std::size_t i = 0; i < queue_.size(); ++i) {
+    to_fail.push_back(std::move(queue_.at(i).done));
+  }
   queue_.clear();
   for (auto& done : to_fail) done(false);
 }

@@ -8,12 +8,17 @@
 // Pods are never destructed while the simulation runs (services keep them and
 // mark state); in-flight completion events are invalidated by an epoch
 // counter when the pod is killed.
+//
+// Completion callbacks are InlineFunctions (64 bytes of capture storage:
+// the request engine captures {app, attempt record, generation}) and the
+// job queue is a recycling ring buffer, so the enqueue → serve → complete
+// cycle performs no heap allocations in steady state.
 #pragma once
 
 #include <cstdint>
-#include <deque>
-#include <functional>
 
+#include "common/inline_function.hpp"
+#include "common/ring_queue.hpp"
 #include "common/sim_time.hpp"
 #include "des/simulation.hpp"
 
@@ -37,7 +42,7 @@ struct PodWindowStats {
 
 class Pod {
  public:
-  using DoneFn = std::function<void(bool ok)>;
+  using DoneFn = InlineFunction<void(bool ok), 48>;
 
   /// Token identifying a worker slot kept occupied past local service
   /// completion (synchronous-RPC mode: the thread blocks on downstream
@@ -102,8 +107,8 @@ class Pod {
 
  private:
   struct Job {
-    SimTime service_time;
-    SimTime enqueued_at;
+    SimTime service_time = 0;
+    SimTime enqueued_at = 0;
     DoneFn done;
     HoldHandle* hold = nullptr;  ///< non-null => keep the slot until Release
   };
@@ -119,7 +124,7 @@ class Pod {
   PodState state_ = PodState::kStarting;
   int busy_ = 0;
   std::uint64_t epoch_ = 0;  ///< Bumped on Kill to invalidate in-flight events.
-  std::deque<Job> queue_;
+  RingQueue<Job> queue_;
   PodWindowStats window_;
   double total_busy_seconds_ = 0.0;
 };

@@ -33,7 +33,8 @@ int Service::PickPod() {
 }
 
 bool Service::Dispatch(const RequestInfo& info, double work, DoneFn done,
-                       SimTime* sampled_service_time) {
+                       SimTime* sampled_service_time, bool* callback_retained) {
+  if (callback_retained != nullptr) *callback_retained = true;
   const int pod_index = PickPod();
   if (pod_index < 0) return false;
   Pod* pod = pods_[pod_index].get();
@@ -46,6 +47,7 @@ bool Service::Dispatch(const RequestInfo& info, double work, DoneFn done,
     // callback before the service-time draw keeps the workload RNG stream
     // aligned with the post-revert run.
     ++blackholed_dispatches_;
+    if (callback_retained != nullptr) *callback_retained = false;
     return true;
   }
   if (error_rate_ > 0.0 && error_rng_.NextDouble() < error_rate_) {
@@ -61,8 +63,9 @@ bool Service::Dispatch(const RequestInfo& info, double work, DoneFn done,
 }
 
 bool Service::DispatchHeld(const RequestInfo& info, double work, DoneFn done,
-                           const std::shared_ptr<HeldDispatch>& held,
-                           SimTime* sampled_service_time) {
+                           HeldDispatch* held, SimTime* sampled_service_time,
+                           bool* callback_retained) {
+  if (callback_retained != nullptr) *callback_retained = true;
   const int pod_index = PickPod();
   if (pod_index < 0) return false;
   Pod* pod = pods_[pod_index].get();
@@ -73,6 +76,7 @@ bool Service::DispatchHeld(const RequestInfo& info, double work, DoneFn done,
     // `held->pod` stays null, so a later ReleaseHeld is a no-op: no worker
     // slot was ever taken by a blackholed dispatch.
     ++blackholed_dispatches_;
+    if (callback_retained != nullptr) *callback_retained = false;
     return true;
   }
   if (error_rate_ > 0.0 && error_rng_.NextDouble() < error_rate_) {

@@ -74,9 +74,14 @@ class Service {
   /// pod); `done` is only retained on success. When `sampled_service_time`
   /// is non-null, the sampled service duration is written to it on success
   /// (tracing observes the queue-wait/service-time split this way; the RNG
-  /// draw is identical either way).
+  /// draw is identical either way). A blackholed service returns true but
+  /// drops the callback; `*callback_retained` (when non-null) tells the
+  /// caller whether `done` will eventually fire — the request engine's
+  /// attempt records count outstanding callback references and must not
+  /// wait for one that was dropped.
   bool Dispatch(const RequestInfo& info, double work, DoneFn done,
-                SimTime* sampled_service_time = nullptr);
+                SimTime* sampled_service_time = nullptr,
+                bool* callback_retained = nullptr);
 
   /// Worker-slot token for blocking-RPC dispatches; call ReleaseHeld once
   /// the request's downstream subtree has completed.
@@ -86,11 +91,12 @@ class Service {
   };
 
   /// Like Dispatch, but the worker slot stays occupied after local service
-  /// completes until ReleaseHeld(*held). `held` must outlive the call
-  /// (the request engine keeps it on the heap).
+  /// completes until ReleaseHeld(*held). `held` must stay at a stable
+  /// address until the attempt resolves (it lives in the request engine's
+  /// pooled attempt record).
   bool DispatchHeld(const RequestInfo& info, double work, DoneFn done,
-                    const std::shared_ptr<HeldDispatch>& held,
-                    SimTime* sampled_service_time = nullptr);
+                    HeldDispatch* held, SimTime* sampled_service_time = nullptr,
+                    bool* callback_retained = nullptr);
 
   static void ReleaseHeld(HeldDispatch& held) {
     if (held.pod != nullptr) held.pod->Release(held.handle);

@@ -34,6 +34,7 @@ void ClosedLoopPool::Reconcile() {
   target_users_ = static_cast<int>(users_.At(app_->sim().Now()));
   // Ramp-down is gradual: excess users terminate at their next loop
   // boundary (a user whose index >= target exits instead of re-issuing).
+  if (static_cast<int>(states_.size()) < target_users_) states_.resize(target_users_);
   while (live_users_ < target_users_) {
     const int index = live_users_++;
     UserLoop(index);
@@ -46,23 +47,33 @@ void ClosedLoopPool::UserLoop(int user_index) {
     return;
   }
   const sim::ApiId api = config_.mix.Sample(rng_.NextDouble());
-  // state: 0 = waiting, 1 = responded, 2 = client timed out.
-  auto state = std::make_shared<int>(0);
-  app_->Submit(api, [this, user_index, state](sim::Outcome, SimTime) {
-    if (*state == 0) {
-      *state = 1;
-      UserThink(user_index);
-    } else {
-      *state = 1;  // response arrived after the client gave up; work wasted
+  UserState& st = states_[static_cast<std::size_t>(user_index)];
+  const std::uint32_t epoch = ++st.epoch;
+  st.waiting = true;
+  st.timeout = des::Simulation::TimerHandle{};
+  // The capture {pool, index, epoch} fits std::function's small buffer, so
+  // submitting costs no allocation; the epoch check drops late responses
+  // (the user already gave up — the server work was wasted).
+  app_->Submit(api, [this, user_index, epoch](sim::Outcome, SimTime) {
+    UserState& s = states_[static_cast<std::size_t>(user_index)];
+    if (s.epoch != epoch || !s.waiting) return;
+    s.waiting = false;
+    if (s.timeout.valid()) {
+      app_->sim().Cancel(s.timeout);
+      s.timeout = des::Simulation::TimerHandle{};
     }
+    UserThink(user_index);
   });
-  if (*state != 0) return;  // resolved synchronously (e.g. entry rejection)
-  app_->sim().ScheduleAfter(config_.client_timeout, [this, user_index, state]() {
-    if (*state == 0) {
-      *state = 2;
-      UserThink(user_index);
-    }
-  });
+  UserState& after = states_[static_cast<std::size_t>(user_index)];
+  if (after.epoch != epoch || !after.waiting) return;  // resolved synchronously
+  after.timeout = app_->sim().ScheduleAfter(
+      config_.client_timeout, [this, user_index, epoch]() {
+        UserState& s = states_[static_cast<std::size_t>(user_index)];
+        if (s.epoch != epoch || !s.waiting) return;
+        s.waiting = false;  // client gives up; a late response is ignored
+        s.timeout = des::Simulation::TimerHandle{};
+        UserThink(user_index);
+      });
 }
 
 void ClosedLoopPool::UserThink(int user_index) {

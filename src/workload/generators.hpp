@@ -8,6 +8,7 @@
 // load per API.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -50,6 +51,16 @@ class ClosedLoopPool {
   int LiveUsers() const { return live_users_; }
 
  private:
+  /// Per-user request state, reused across the user's whole lifetime (no
+  /// per-request allocation). `epoch` stamps each issued request so a late
+  /// response or a stale pointer can never be mistaken for the current
+  /// one; the client-timeout timer is cancelled when the response wins.
+  struct UserState {
+    std::uint32_t epoch = 0;
+    bool waiting = false;
+    des::Simulation::TimerHandle timeout{};
+  };
+
   void Reconcile();
   void UserLoop(int user_index);
   void UserThink(int user_index);
@@ -58,6 +69,7 @@ class ClosedLoopPool {
   ClosedLoopConfig config_;
   Schedule users_;
   Rng rng_;
+  std::vector<UserState> states_;
   int live_users_ = 0;
   int target_users_ = 0;
   bool started_ = false;

@@ -1,13 +1,20 @@
 // Unit tests for src/common: RNG determinism and distributions, streaming
-// stats, percentiles, EWMA, token bucket, union-find, schedules/tables.
+// stats, percentiles, EWMA, token bucket, union-find, schedules/tables, and
+// the allocation-free building blocks (InlineFunction, SlabPool, RingQueue).
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <limits>
+#include <memory>
 #include <set>
+#include <utility>
 #include <vector>
 
+#include "common/inline_function.hpp"
+#include "common/object_pool.hpp"
+#include "common/ring_queue.hpp"
 #include "common/rng.hpp"
 #include "common/sim_time.hpp"
 #include "common/stats.hpp"
@@ -265,6 +272,137 @@ TEST(TableTest, RendersAlignedColumns) {
 TEST(FmtTest, Precision) {
   EXPECT_EQ(Fmt(3.14159, 2), "3.14");
   EXPECT_EQ(Fmt(2.0, 0), "2");
+}
+
+TEST(InlineFunctionTest, InvokesStoredCallable) {
+  InlineFunction<int(int), 32> f = [](int x) { return x * 2; };
+  ASSERT_TRUE(static_cast<bool>(f));
+  EXPECT_EQ(f(21), 42);
+}
+
+TEST(InlineFunctionTest, EmptyAndNullptrAreFalsy) {
+  InlineFunction<void(), 32> f;
+  EXPECT_FALSE(static_cast<bool>(f));
+  InlineFunction<void(), 32> g = nullptr;
+  EXPECT_FALSE(static_cast<bool>(g));
+}
+
+TEST(InlineFunctionTest, MoveTransfersOwnership) {
+  int calls = 0;
+  InlineFunction<void(), 32> f = [&calls]() { ++calls; };
+  InlineFunction<void(), 32> g = std::move(f);
+  EXPECT_FALSE(static_cast<bool>(f));
+  ASSERT_TRUE(static_cast<bool>(g));
+  g();
+  EXPECT_EQ(calls, 1);
+  f = std::move(g);  // move-assign back
+  EXPECT_FALSE(static_cast<bool>(g));
+  f();
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(InlineFunctionTest, CopiesLvalueCallable) {
+  int calls = 0;
+  auto lambda = [&calls]() { ++calls; };
+  InlineFunction<void(), 32> f = lambda;  // lambda itself stays usable
+  f();
+  lambda();
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(InlineFunctionTest, DestroysNonTrivialCaptureExactlyOnce) {
+  // A shared_ptr capture counts destructions via use_count.
+  auto token = std::make_shared<int>(7);
+  {
+    InlineFunction<int(), 32> f = [token]() { return *token; };
+    EXPECT_EQ(token.use_count(), 2);
+    EXPECT_EQ(f(), 7);
+    InlineFunction<int(), 32> g = std::move(f);
+    EXPECT_EQ(token.use_count(), 2);  // moved, not copied
+    EXPECT_EQ(g(), 7);
+    g = nullptr;
+    EXPECT_EQ(token.use_count(), 1);
+  }
+  EXPECT_EQ(token.use_count(), 1);
+}
+
+TEST(InlineFunctionTest, MoveOnlyCaptureWorks) {
+  auto owned = std::make_unique<int>(5);
+  InlineFunction<int(), 32> f = [p = std::move(owned)]() { return *p; };
+  EXPECT_EQ(f(), 5);
+  InlineFunction<int(), 32> g = std::move(f);
+  EXPECT_EQ(g(), 5);
+}
+
+TEST(SlabPoolTest, ReusesFreedRecordsLifo) {
+  SlabPool<int> pool;
+  int* a = pool.Alloc();
+  int* b = pool.Alloc();
+  EXPECT_EQ(pool.live(), 2u);
+  pool.Free(a);
+  EXPECT_EQ(pool.live(), 1u);
+  int* c = pool.Alloc();
+  EXPECT_EQ(c, a);  // LIFO free list hands the hot record back first
+  pool.Free(b);
+  pool.Free(c);
+  EXPECT_EQ(pool.live(), 0u);
+}
+
+TEST(SlabPoolTest, AddressesStableAcrossGrowth) {
+  SlabPool<std::uint64_t> pool;
+  std::vector<std::uint64_t*> ptrs;
+  for (int i = 0; i < 2000; ++i) {  // spans many slabs
+    ptrs.push_back(pool.Alloc());
+    *ptrs.back() = static_cast<std::uint64_t>(i);
+  }
+  EXPECT_GE(pool.capacity(), 2000u);
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_EQ(*ptrs[static_cast<std::size_t>(i)], static_cast<std::uint64_t>(i));
+  }
+  for (auto* p : ptrs) pool.Free(p);
+  EXPECT_EQ(pool.live(), 0u);
+  // Steady state: capacity stays put, no new slabs.
+  const std::size_t cap = pool.capacity();
+  for (int i = 0; i < 2000; ++i) ptrs[static_cast<std::size_t>(i)] = pool.Alloc();
+  EXPECT_EQ(pool.capacity(), cap);
+}
+
+TEST(RingQueueTest, FifoOrderAcrossGrowthAndWraparound) {
+  RingQueue<int> q;
+  int next_in = 0, next_out = 0;
+  // Interleave pushes and pops so head/tail wrap while the buffer grows.
+  for (int round = 0; round < 50; ++round) {
+    for (int i = 0; i < 7; ++i) q.push_back(next_in++);
+    for (int i = 0; i < 5 && !q.empty(); ++i) {
+      EXPECT_EQ(q.front(), next_out);
+      q.pop_front();
+      ++next_out;
+    }
+  }
+  while (!q.empty()) {
+    EXPECT_EQ(q.front(), next_out++);
+    q.pop_front();
+  }
+  EXPECT_EQ(next_out, next_in);
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(RingQueueTest, AtIndexesFromFront) {
+  RingQueue<int> q;
+  for (int i = 0; i < 20; ++i) q.push_back(i);
+  for (int i = 0; i < 6; ++i) q.pop_front();
+  for (std::size_t i = 0; i < q.size(); ++i) {
+    EXPECT_EQ(q.at(i), static_cast<int>(i) + 6);
+  }
+}
+
+TEST(RingQueueTest, PopReleasesHeldResources) {
+  RingQueue<std::shared_ptr<int>> q;
+  auto token = std::make_shared<int>(1);
+  q.push_back(token);
+  EXPECT_EQ(token.use_count(), 2);
+  q.pop_front();  // popped slot must not keep the shared_ptr alive
+  EXPECT_EQ(token.use_count(), 1);
 }
 
 }  // namespace

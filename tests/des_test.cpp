@@ -1,9 +1,15 @@
 // Unit tests for the discrete-event engine: ordering, determinism, periodic
-// scheduling, run-until semantics.
+// scheduling, run-until semantics, timer cancellation, and a randomized
+// property test of the indexed heap against a std::multimap reference model.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <utility>
 #include <vector>
 
+#include "common/rng.hpp"
 #include "des/simulation.hpp"
 
 namespace topfull::des {
@@ -107,6 +113,225 @@ TEST(SimulationTest, StepProcessesSingleEvent) {
   EXPECT_TRUE(sim.Step());
   EXPECT_EQ(count, 2);
   EXPECT_FALSE(sim.Step());
+}
+
+// --- Cancellation / reschedule semantics ------------------------------------
+
+TEST(TimerCancelTest, CancelRemovesPendingEvent) {
+  Simulation sim;
+  bool a = false, b = false;
+  const auto ha = sim.ScheduleAt(Seconds(1), [&]() { a = true; });
+  sim.ScheduleAt(Seconds(2), [&]() { b = true; });
+  EXPECT_TRUE(sim.Cancel(ha));
+  EXPECT_EQ(sim.PendingEvents(), 1u);
+  sim.RunUntil(Seconds(3));
+  EXPECT_FALSE(a);
+  EXPECT_TRUE(b);
+  EXPECT_EQ(sim.EventsProcessed(), 1u);  // cancelled events never fire
+  EXPECT_EQ(sim.EventsCancelled(), 1u);
+  EXPECT_EQ(sim.EventsScheduled(), 2u);
+}
+
+TEST(TimerCancelTest, CancelIsIdempotentAndStaleAfterFiring) {
+  Simulation sim;
+  const auto h = sim.ScheduleAt(Seconds(1), []() {});
+  EXPECT_TRUE(sim.Cancel(h));
+  EXPECT_FALSE(sim.Cancel(h));  // double cancel
+
+  const auto h2 = sim.ScheduleAt(Seconds(1), []() {});
+  sim.RunUntil(Seconds(2));
+  EXPECT_FALSE(sim.Cancel(h2));  // already fired
+  EXPECT_FALSE(sim.Cancel(Simulation::TimerHandle{}));  // never scheduled
+}
+
+TEST(TimerCancelTest, SlotReuseIsAbaSafe) {
+  Simulation sim;
+  bool old_fired = false, new_fired = false;
+  const auto stale = sim.ScheduleAt(Seconds(1), [&]() { old_fired = true; });
+  ASSERT_TRUE(sim.Cancel(stale));
+  // The freed slot is reused immediately (LIFO free list); the stale handle
+  // must not be able to touch the new occupant.
+  const auto fresh = sim.ScheduleAt(Seconds(1), [&]() { new_fired = true; });
+  EXPECT_EQ(fresh.slot, stale.slot);
+  EXPECT_NE(fresh.gen, stale.gen);
+  EXPECT_FALSE(sim.Cancel(stale));
+  EXPECT_FALSE(sim.Reschedule(stale, Seconds(5)));
+  sim.RunUntil(Seconds(2));
+  EXPECT_FALSE(old_fired);
+  EXPECT_TRUE(new_fired);
+}
+
+TEST(TimerCancelTest, RescheduleMovesEventToFreshTieBreakPosition) {
+  Simulation sim;
+  std::vector<char> order;
+  const auto ha = sim.ScheduleAt(Seconds(1), [&]() { order.push_back('a'); });
+  sim.ScheduleAt(Seconds(2), [&]() { order.push_back('b'); });
+  // Moving 'a' onto 'b''s time slots it BEHIND 'b': a reschedule reads as
+  // cancel + schedule, so the event goes to the back of the tie.
+  EXPECT_TRUE(sim.Reschedule(ha, Seconds(2)));
+  sim.RunUntil(Seconds(3));
+  EXPECT_EQ(order, (std::vector<char>{'b', 'a'}));
+}
+
+TEST(TimerCancelTest, ReschedulePastClampsToNow) {
+  Simulation sim;
+  sim.ScheduleAt(Seconds(5), []() {});
+  sim.RunUntil(Seconds(4));
+  SimTime fired_at = -1;
+  // Can't happen "yesterday"; fires at the current clock instead.
+  const auto h = sim.ScheduleAt(Seconds(6), [&]() { fired_at = sim.Now(); });
+  EXPECT_TRUE(sim.Reschedule(h, Seconds(1)));
+  sim.RunUntil(Seconds(10));
+  EXPECT_EQ(fired_at, Seconds(4));
+}
+
+TEST(TimerCancelTest, PeriodicCancelStopsFirings) {
+  Simulation sim;
+  int fires = 0;
+  const auto h = sim.SchedulePeriodic(Seconds(1), Seconds(1), [&]() { ++fires; });
+  sim.RunUntil(Seconds(3));
+  EXPECT_EQ(fires, 3);
+  EXPECT_TRUE(sim.Cancel(h));
+  sim.RunUntil(Seconds(10));
+  EXPECT_EQ(fires, 3);
+  EXPECT_EQ(sim.PendingEvents(), 0u);
+}
+
+TEST(TimerCancelTest, PeriodicCanCancelItselfFromItsOwnCallback) {
+  Simulation sim;
+  int fires = 0;
+  Simulation::TimerHandle h;
+  h = sim.SchedulePeriodic(Seconds(1), Seconds(1), [&]() {
+    if (++fires == 3) {
+      EXPECT_TRUE(sim.Cancel(h));
+      EXPECT_FALSE(sim.Cancel(h));  // second cancel inside the callback
+    }
+  });
+  sim.RunUntil(Seconds(10));
+  EXPECT_EQ(fires, 3);
+  EXPECT_EQ(sim.PendingEvents(), 0u);
+  EXPECT_FALSE(sim.Cancel(h));  // handle dead once the slot is freed
+}
+
+TEST(TimerCancelTest, PeriodicRescheduleShiftsNextFiringOnly) {
+  Simulation sim;
+  std::vector<SimTime> fires;
+  const auto h = sim.SchedulePeriodic(Seconds(1), Seconds(1),
+                                      [&]() { fires.push_back(sim.Now()); });
+  // Delay the first firing to t=3; the period then resumes from there.
+  EXPECT_TRUE(sim.Reschedule(h, Seconds(3)));
+  sim.RunUntil(Seconds(5));
+  EXPECT_EQ(fires, (std::vector<SimTime>{Seconds(3), Seconds(4), Seconds(5)}));
+}
+
+TEST(TimerCancelTest, HandleStaysValidAcrossPeriodicRearms) {
+  Simulation sim;
+  int fires = 0;
+  const auto h = sim.SchedulePeriodic(Seconds(1), Seconds(1), [&]() { ++fires; });
+  sim.RunUntil(Seconds(2));
+  EXPECT_TRUE(sim.Cancel(h));  // same handle, two re-arms later
+  sim.RunUntil(Seconds(10));
+  EXPECT_EQ(fires, 2);
+}
+
+// --- Property test: random interleavings vs a reference model ---------------
+
+// The engine's pending set must behave exactly like a std::multimap keyed by
+// (when, insertion order): schedule inserts at the back of its time's tie
+// range, cancel erases, reschedule erases + re-inserts at the back, and
+// RunUntil pops in key order. The 4-ary heap invariant is checked after
+// every mutation.
+TEST(TimerQueueProperty, MatchesMultimapReferenceModel) {
+  Rng rng(0x70F4);
+  Simulation sim;
+  using Key = std::pair<SimTime, std::uint64_t>;
+  std::multimap<Key, int> model;
+  struct Live {
+    Simulation::TimerHandle handle;
+    Key key;
+    int token;
+  };
+  std::vector<Live> live;
+  std::vector<int> fired;
+  std::uint64_t order = 0;  // mirrors the engine's seq allocation order
+  int next_token = 0;
+
+  for (int round = 0; round < 300; ++round) {
+    const int ops = static_cast<int>(rng.UniformInt(1, 8));
+    for (int k = 0; k < ops; ++k) {
+      const double u = rng.NextDouble();
+      if (u < 0.55 || live.empty()) {
+        // Schedule. Small time range on purpose: dense tie collisions.
+        const SimTime when = sim.Now() + rng.UniformInt(0, 200);
+        const int token = next_token++;
+        const auto handle =
+            sim.ScheduleAt(when, [token, &fired]() { fired.push_back(token); });
+        const Key key{when, order++};
+        model.emplace(key, token);
+        live.push_back(Live{handle, key, token});
+      } else if (u < 0.8) {
+        // Cancel a random live event.
+        const auto idx = static_cast<std::size_t>(
+            rng.UniformInt(0, static_cast<std::int64_t>(live.size()) - 1));
+        ASSERT_TRUE(sim.Cancel(live[idx].handle));
+        EXPECT_FALSE(sim.Cancel(live[idx].handle));
+        for (auto it = model.lower_bound(live[idx].key); it != model.end(); ++it) {
+          if (it->second == live[idx].token) {
+            model.erase(it);
+            break;
+          }
+        }
+        live.erase(live.begin() + static_cast<std::ptrdiff_t>(idx));
+      } else {
+        // Reschedule a random live event: same token, fresh tie position.
+        const auto idx = static_cast<std::size_t>(
+            rng.UniformInt(0, static_cast<std::int64_t>(live.size()) - 1));
+        const SimTime when = sim.Now() + rng.UniformInt(0, 200);
+        ASSERT_TRUE(sim.Reschedule(live[idx].handle, when));
+        for (auto it = model.lower_bound(live[idx].key); it != model.end(); ++it) {
+          if (it->second == live[idx].token) {
+            model.erase(it);
+            break;
+          }
+        }
+        live[idx].key = Key{when, order++};
+        model.emplace(live[idx].key, live[idx].token);
+      }
+      ASSERT_TRUE(sim.CheckHeapInvariant());
+    }
+
+    // Advance to a random horizon and compare the fired tokens with the
+    // model's expected pop order.
+    const SimTime horizon = sim.Now() + rng.UniformInt(0, 120);
+    fired.clear();
+    sim.RunUntil(horizon);
+    ASSERT_TRUE(sim.CheckHeapInvariant());
+    std::vector<int> expected;
+    while (!model.empty() && model.begin()->first.first <= horizon) {
+      expected.push_back(model.begin()->second);
+      model.erase(model.begin());
+    }
+    ASSERT_EQ(fired, expected) << "divergence in round " << round;
+    for (const int token : fired) {
+      for (auto it = live.begin(); it != live.end(); ++it) {
+        if (it->token == token) {
+          EXPECT_FALSE(sim.Cancel(it->handle));  // fired handles are stale
+          live.erase(it);
+          break;
+        }
+      }
+    }
+    EXPECT_EQ(sim.PendingEvents(), model.size());
+  }
+
+  // Drain everything left and compare the tail.
+  fired.clear();
+  sim.RunUntil(sim.Now() + Seconds(10));
+  std::vector<int> expected;
+  for (const auto& [key, token] : model) expected.push_back(token);
+  EXPECT_EQ(fired, expected);
+  EXPECT_EQ(sim.PendingEvents(), 0u);
+  ASSERT_TRUE(sim.CheckHeapInvariant());
 }
 
 }  // namespace
