@@ -7,13 +7,16 @@
 // into 57 independent clusters with 1.19 constraints each.
 #include <chrono>
 #include <cstdio>
+#include <string>
+#include <vector>
 
+#include "common/partition.hpp"
 #include "common/table.hpp"
 #include "trace/synthetic_trace.hpp"
 
 using namespace topfull;
 
-int main() {
+int main(int argc, char** argv) {
   PrintBanner("Section 6.4 clustering",
               "Clustering the overloaded microservices of the synthetic "
               "Alibaba trace into independent sub-problems.");
@@ -45,5 +48,44 @@ int main() {
 
   std::printf("\nEach cluster is an independent sub-problem, so TopFull runs "
               "one rate controller per cluster in parallel.\n");
+
+  // The same decomposition drives the sharded DES: pack the independent
+  // clusters onto engine shards (LPT by constraint count) and emit the
+  // cluster -> shard map as JSON for tooling and the sharded-run docs.
+  const int kShards = 8;
+  std::vector<double> cluster_weight(static_cast<std::size_t>(analysis.clusters),
+                                     0.0);
+  for (const int c : analysis.service_cluster) {
+    cluster_weight[static_cast<std::size_t>(c)] += 1.0;
+  }
+  const std::vector<int> cluster_shard = PackBinsLpt(cluster_weight, kShards);
+  const char* out_path =
+      argc > 1 ? argv[1] : "SEC64_cluster_shard_map.json";
+  if (std::FILE* f = std::fopen(out_path, "w")) {
+    std::string json = "{\n";
+    char buf[160];
+    std::snprintf(buf, sizeof buf,
+                  "  \"clusters\": %d, \"shards\": %d,\n  \"services\": [\n",
+                  analysis.clusters, kShards);
+    json += buf;
+    for (std::size_t i = 0; i < analysis.overloaded_ids.size(); ++i) {
+      const int cluster = analysis.service_cluster[i];
+      std::snprintf(buf, sizeof buf,
+                    "    {\"service\": %d, \"cluster\": %d, \"shard\": %d}%s\n",
+                    analysis.overloaded_ids[i], cluster,
+                    cluster_shard[static_cast<std::size_t>(cluster)],
+                    i + 1 == analysis.overloaded_ids.size() ? "" : ",");
+      json += buf;
+    }
+    json += "  ]\n}\n";
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::printf("cluster -> shard map (%d clusters over %d shards) written to "
+                "%s\n",
+                analysis.clusters, kShards, out_path);
+  } else {
+    std::fprintf(stderr, "cannot write %s\n", out_path);
+    return 1;
+  }
   return 0;
 }

@@ -34,8 +34,10 @@
 #include <string>
 #include <vector>
 
+#include "des/sharded_simulation.hpp"
 #include "sim/app.hpp"
 #include "sim/call_graph.hpp"
+#include "sim/sharded_app.hpp"
 #include "workload/generators.hpp"
 
 using namespace topfull;
@@ -120,43 +122,115 @@ Measurement RunOpenLoop() {
   return MeasureApp(*app, 3.0, 15.0);
 }
 
-Measurement RunDeepCallTree() {
+/// `copies` independent deep-tree deployments in one Application. Copy 0 is
+/// the historical deep_call_tree workload byte for byte; further copies are
+/// disjoint replicas, so the shard partitioner sees `copies` clusters.
+std::unique_ptr<sim::Application> MakeDeepTreeApp(int copies) {
   auto app = std::make_unique<sim::Application>("deep-tree", 202);
-  sim::ServiceConfig root;
-  root.name = "root";
-  root.mean_service_ms = 1.0;
-  root.threads = 16;
-  root.initial_pods = 8;
-  app->AddService(root);
-  for (int b = 0; b < 3; ++b) {
-    for (int d = 0; d < 2; ++d) {
-      sim::ServiceConfig config;
-      config.name = "b" + std::to_string(b) + "d" + std::to_string(d);
-      config.mean_service_ms = 2.0;
-      config.threads = 16;
-      config.initial_pods = 4;
-      app->AddService(config);
+  for (int c = 0; c < copies; ++c) {
+    const std::string prefix = c == 0 ? "" : "c" + std::to_string(c) + "-";
+    const auto base = static_cast<sim::ServiceId>(app->NumServices());
+    sim::ServiceConfig root;
+    root.name = prefix + "root";
+    root.mean_service_ms = 1.0;
+    root.threads = 16;
+    root.initial_pods = 8;
+    app->AddService(root);
+    for (int b = 0; b < 3; ++b) {
+      for (int d = 0; d < 2; ++d) {
+        sim::ServiceConfig config;
+        config.name = prefix + "b" + std::to_string(b) + "d" + std::to_string(d);
+        config.mean_service_ms = 2.0;
+        config.threads = 16;
+        config.initial_pods = 4;
+        app->AddService(config);
+      }
     }
+    // root fans out to three 2-deep chains in parallel: 7 hops per request.
+    sim::CallNode tree;
+    tree.service = base;
+    tree.parallel = true;
+    for (int b = 0; b < 3; ++b) {
+      tree.children.push_back(
+          sim::Chain({static_cast<sim::ServiceId>(base + 1 + 2 * b),
+                      static_cast<sim::ServiceId>(base + 2 + 2 * b)}));
+    }
+    sim::ApiSpec api(c == 0 ? "tree" : prefix + "tree", 1);
+    api.AddPath(sim::ExecutionPath{tree, 1.0, {}});
+    app->AddApi(std::move(api));
   }
-  // root fans out to three 2-deep chains in parallel: 7 hops per request.
-  sim::CallNode tree;
-  tree.service = 0;
-  tree.parallel = true;
-  for (int b = 0; b < 3; ++b) {
-    tree.children.push_back(
-        sim::Chain({static_cast<sim::ServiceId>(1 + 2 * b),
-                    static_cast<sim::ServiceId>(2 + 2 * b)}));
-  }
-  sim::ApiSpec api("tree", 1);
-  api.AddPath(sim::ExecutionPath{tree, 1.0, {}});
-  app->AddApi(std::move(api));
   app->Finalize();
+  return app;
+}
+
+Measurement RunDeepCallTree() {
+  auto app = MakeDeepTreeApp(1);
   workload::TrafficDriver traffic(app.get());
   workload::ClosedLoopConfig users;
   users.mix.weights = {1.0};
   users.think = Millis(200);
   traffic.AddClosedLoop(users, workload::Schedule::Constant(3000));
   return MeasureApp(*app, 3.0, 12.0);
+}
+
+/// The sharded engine on a scaled deep-tree workload: 8 disjoint tree
+/// deployments (8 clusters), 16k closed-loop users, one simulation
+/// partitioned across `shards` engine shards with 1 ms lookahead. Measures
+/// aggregate events/sec over all shards plus the barrier-blocked fraction
+/// of shard wall time (near 1 on an oversubscribed machine, small on real
+/// cores).
+struct ShardedMeasurement {
+  Measurement m;
+  double blocked_frac = 0.0;
+  std::uint64_t messages = 0;
+};
+
+ShardedMeasurement RunShardedDeepTree(int shards) {
+  constexpr int kCopies = 8;
+  sim::ShardedApp::Options options;
+  options.shards = shards;
+  options.net_latency = Millis(1);
+  sim::ShardedApp app([] { return MakeDeepTreeApp(kCopies); }, options);
+  std::vector<std::unique_ptr<workload::TrafficDriver>> traffic;
+  for (int i = 0; i < shards; ++i) {
+    auto driver = std::make_unique<workload::TrafficDriver>(&app.app(i));
+    if (shards > 1) {
+      driver->SetShardScope({&app.plan().api_origin, i});
+    }
+    workload::ClosedLoopConfig users;
+    users.mix.weights.assign(kCopies, 1.0);
+    users.think = Millis(200);
+    driver->AddClosedLoop(users, workload::Schedule::Constant(2000.0 * kCopies));
+    traffic.push_back(std::move(driver));
+  }
+  auto engine_events = [&app, shards] {
+    std::uint64_t total = 0;
+    for (int i = 0; i < shards; ++i) total += EngineEvents(app.app(i).sim());
+    return total;
+  };
+  app.RunUntil(Seconds(3));
+  const std::vector<des::ShardedSimulation::ShardStats> stats0 =
+      app.engine().Stats();
+  const std::uint64_t events0 = engine_events();
+  const std::uint64_t allocs0 = g_allocs.load(std::memory_order_relaxed);
+  const auto t0 = std::chrono::steady_clock::now();
+  app.RunUntil(Seconds(9));
+  const auto t1 = std::chrono::steady_clock::now();
+  ShardedMeasurement r;
+  r.m.wall_s = std::chrono::duration<double>(t1 - t0).count();
+  r.m.events = engine_events() - events0;
+  r.m.allocs = g_allocs.load(std::memory_order_relaxed) - allocs0;
+  double busy = 0, blocked = 0;
+  const auto& stats = app.engine().Stats();
+  for (int i = 0; i < shards; ++i) {
+    const auto& s0 = stats0[static_cast<std::size_t>(i)];
+    const auto& s1 = stats[static_cast<std::size_t>(i)];
+    busy += s1.busy_s - s0.busy_s;
+    blocked += s1.blocked_s - s0.blocked_s;
+    r.messages += s1.messages_delivered;
+  }
+  r.blocked_frac = busy + blocked > 0 ? blocked / (busy + blocked) : 0.0;
+  return r;
 }
 
 Measurement RunTimeoutHeavy() {
@@ -275,7 +349,42 @@ int main(int argc, char** argv) {
           static_cast<unsigned long long>(m.arena.attempt_capacity));
     }
     AppendJsonRow(json, c.name, "current", m.events, m.wall_s, eps, ape,
-                  i + 1 == std::size(cases));
+                  /*last=*/false);
+  }
+
+  // Sharded engine: one scaled deep-tree simulation across 1/2/4/8 shards.
+  // Aggregate events/sec; speedup is reported against the 1-shard row of
+  // this same process (hardware-dependent — near-linear on free cores,
+  // flat on an oversubscribed machine where blocked_frac goes to 1).
+  const int shard_counts[] = {1, 2, 4, 8};
+  double sharded_base_eps = 0.0;
+  for (std::size_t i = 0; i < std::size(shard_counts); ++i) {
+    const int shards = shard_counts[i];
+    const ShardedMeasurement r = RunShardedDeepTree(shards);
+    const double eps = static_cast<double>(r.m.events) / r.m.wall_s;
+    const double ape =
+        static_cast<double>(r.m.allocs) / static_cast<double>(r.m.events);
+    if (shards == 1) sharded_base_eps = eps;
+    char name[64];
+    std::snprintf(name, sizeof name, "sharded_deep_tree_s%d", shards);
+    std::printf(
+        "%s: events=%llu wall_s=%.3f events_per_sec=%.0f allocs_per_event=%.4f "
+        "blocked_frac=%.3f msgs=%llu speedup=%.2fx\n",
+        name, static_cast<unsigned long long>(r.m.events), r.m.wall_s, eps, ape,
+        r.blocked_frac, static_cast<unsigned long long>(r.messages),
+        sharded_base_eps > 0 ? eps / sharded_base_eps : 0.0);
+    char extra[512];
+    std::snprintf(extra, sizeof extra,
+                  "  {\"workload\": \"%s\", \"engine\": \"current\", "
+                  "\"events\": %llu, \"wall_s\": %.4f, "
+                  "\"events_per_sec\": %.1f, \"allocs_per_event\": %.4f, "
+                  "\"shards\": %d, \"blocked_frac\": %.4f, "
+                  "\"messages\": %llu}%s\n",
+                  name, static_cast<unsigned long long>(r.m.events), r.m.wall_s,
+                  eps, ape, shards, r.blocked_frac,
+                  static_cast<unsigned long long>(r.messages),
+                  i + 1 == std::size(shard_counts) ? "" : ",");
+    json += extra;
   }
   json += "]\n";
   if (std::FILE* f = std::fopen(out_path, "w")) {

@@ -15,36 +15,36 @@ constexpr int kNumOverloadable = 13;
 // gives the paper's 43 execution paths with branching up to 6.
 constexpr int kBranchCounts[] = {6, 5, 4, 3, 2, 2, 2, 2};
 
-}  // namespace
-
-AlibabaDemo MakeAlibabaDemo(const AlibabaDemoOptions& options) {
-  AlibabaDemo demo;
-  demo.app = std::make_unique<sim::Application>("alibaba-demo", options.seed);
-  sim::Application& app = *demo.app;
-  Rng rng(options.seed ^ 0xA11BABAULL);
-
-  // Overloadable services spread across the id space.
+/// Builds one 127-service copy into `app`. `prefix` is empty for copy 0
+/// (names — and for a single copy the whole app — identical to the
+/// original demo); copies use their own generator stream and an id offset
+/// so they share nothing.
+void BuildCopy(sim::Application& app, AlibabaDemo& demo, Rng& rng,
+               const std::string& prefix, double capacity_scale) {
+  // Overloadable services spread across the id space (copy-local ids).
   std::set<int> overloadable_set;
   while (static_cast<int>(overloadable_set.size()) < kNumOverloadable) {
     overloadable_set.insert(static_cast<int>(rng.UniformInt(1, kNumServices - 1)));
   }
 
+  const int id_offset = app.NumServices();
+  std::vector<sim::ServiceId> copy_overloadable;
   for (int i = 0; i < kNumServices; ++i) {
     sim::ServiceConfig config;
-    config.name = "ms-" + std::to_string(i);
+    config.name = prefix + "ms-" + std::to_string(i);
     const bool hot = overloadable_set.count(i) > 0;
     if (hot) {
       // Designed-overloadable: modest capacity (~150-400 rps).
       config.mean_service_ms = rng.Uniform(18.0, 30.0);
       config.threads = 4;
       config.initial_pods = std::max(
-          1, static_cast<int>(std::lround(rng.UniformInt(1, 2) * options.capacity_scale)));
+          1, static_cast<int>(std::lround(rng.UniformInt(1, 2) * capacity_scale)));
     } else {
       // Plentiful capacity (~2500-8000 rps).
       config.mean_service_ms = rng.Uniform(2.0, 6.0);
       config.threads = 8;
       config.initial_pods = std::max(
-          1, static_cast<int>(std::lround(2 * options.capacity_scale)));
+          1, static_cast<int>(std::lround(2 * capacity_scale)));
     }
     // Bound each pod's queue to ~1.5x the SLO's worth of work: requests
     // queued deeper are doomed to violate the SLO anyway (so uncontrolled
@@ -53,12 +53,17 @@ AlibabaDemo MakeAlibabaDemo(const AlibabaDemoOptions& options) {
     config.max_queue = std::clamp(
         static_cast<int>(config.threads * 1500.0 / config.mean_service_ms), 64, 1024);
     const sim::ServiceId id = app.AddService(config);
-    if (hot) demo.overloadable.push_back(id);
+    if (hot) {
+      demo.overloadable.push_back(id);
+      copy_overloadable.push_back(id);
+    }
   }
 
-  // Helper: a chain call-tree over the given service sequence.
+  // Helper: a chain call-tree over the given copy-local service sequence.
   auto make_path = [&](const std::vector<int>& services, double prob) {
-    std::vector<sim::ServiceId> ids(services.begin(), services.end());
+    std::vector<sim::ServiceId> ids;
+    ids.reserve(services.size());
+    for (const int s : services) ids.push_back(s + id_offset);
     return sim::ExecutionPath{sim::Chain(ids), prob, {}};
   };
 
@@ -100,7 +105,9 @@ AlibabaDemo MakeAlibabaDemo(const AlibabaDemoOptions& options) {
     return services;
   };
 
-  std::vector<int> hot_ids(demo.overloadable.begin(), demo.overloadable.end());
+  std::vector<int> hot_ids;
+  hot_ids.reserve(copy_overloadable.size());
+  for (const sim::ServiceId s : copy_overloadable) hot_ids.push_back(s - id_offset);
   int branching_index = 0;
   for (int a = 0; a < kNumApis; ++a) {
     const bool branching = a < static_cast<int>(std::size(kBranchCounts));
@@ -118,13 +125,29 @@ AlibabaDemo MakeAlibabaDemo(const AlibabaDemoOptions& options) {
       }
     }
 
-    sim::ApiSpec spec("api-" + std::to_string(a), 1);
+    sim::ApiSpec spec(prefix + "api-" + std::to_string(a), 1);
     for (int p = 0; p < num_paths; ++p) {
       spec.AddPath(make_path(build_path_services(assigned), rng.Uniform(0.5, 1.5)));
     }
     app.AddApi(std::move(spec));
   }
+}
 
+}  // namespace
+
+AlibabaDemo MakeAlibabaDemo(const AlibabaDemoOptions& options) {
+  AlibabaDemo demo;
+  demo.app = std::make_unique<sim::Application>("alibaba-demo", options.seed);
+  sim::Application& app = *demo.app;
+  const int replicas = std::max(1, options.replicas);
+  for (int k = 0; k < replicas; ++k) {
+    // Copy 0 consumes exactly the original stream so replicas == 1
+    // reproduces the historical app byte for byte; further copies get
+    // their own deterministic streams.
+    Rng rng((options.seed + static_cast<std::uint64_t>(k)) ^ 0xA11BABAULL);
+    const std::string prefix = k == 0 ? "" : "r" + std::to_string(k) + "-";
+    BuildCopy(app, demo, rng, prefix, options.capacity_scale);
+  }
   app.Finalize();
   return demo;
 }

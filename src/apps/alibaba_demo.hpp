@@ -20,6 +20,14 @@ namespace topfull::apps {
 struct AlibabaDemoOptions {
   std::uint64_t seed = 2021;   ///< topology seed (fixed => same app each run)
   double capacity_scale = 1.0;
+  /// Scaled-up topology: `replicas` independent copies of the 127-service
+  /// deployment (distinct service/API names, per-copy seeds) in one
+  /// Application — 127*K services, 25*K APIs. Copies never share services,
+  /// so the shard partitioner sees >= K clusters and a sharded run
+  /// schedules whole copies onto shards with zero cross-shard edges; this
+  /// is the "scaled-up Alibaba topology" target of the sharded-DES bench.
+  /// replicas == 1 is byte-identical to the original demo.
+  int replicas = 1;
 };
 
 struct AlibabaDemo {

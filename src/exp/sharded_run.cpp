@@ -1,0 +1,116 @@
+#include "exp/sharded_run.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "obs/profile.hpp"
+
+namespace topfull::exp {
+
+fault::FaultSchedule FaultsForShard(const fault::FaultSchedule& all,
+                                    const sim::Application& app,
+                                    const sim::ShardPlan& plan, int shard) {
+  fault::FaultSchedule out;
+  for (const fault::FaultEvent& event : all.events()) {
+    int owner = 0;  // cluster-wide and unknown-service events: shard 0
+    if (event.type != fault::FaultType::kVmOutage) {
+      const sim::ServiceId s = app.FindService(event.service);
+      if (s != sim::kNoService) owner = plan.OwnerOf(s);
+    }
+    if (owner == shard) out.Add(event);
+  }
+  return out;
+}
+
+ShardedRunResult RunShardedSpec(const RunSpec& spec,
+                                const ShardedRunOptions& options) {
+  obs::ScopedTimer run_timer("exp/sharded_run");
+  ShardedRunResult result;
+  result.label = spec.label;
+
+  sim::ShardedApp::Options app_options;
+  app_options.shards = options.shards;
+  app_options.net_latency = options.net_latency;
+  app_options.threaded = options.threaded;
+  result.app = std::make_unique<sim::ShardedApp>(spec.make_app, app_options);
+  sim::ShardedApp& sharded = *result.app;
+  const int n = sharded.num_shards();
+
+  // Same attachment order as RunOne — telemetry, controllers, traffic,
+  // faults — executed per shard. Everything lives until the run finishes.
+  std::vector<Telemetry> telemetry;
+  telemetry.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    telemetry.emplace_back(TelemetryOptions::FromEnv());
+    telemetry.back().Attach(sharded.app(i));
+  }
+
+  std::vector<Controllers> controllers(static_cast<std::size_t>(n));
+  std::vector<std::shared_ptr<void>> custom;
+  for (int i = 0; i < n; ++i) {
+    if (spec.attach) {
+      custom.push_back(spec.attach(sharded.app(i)));
+    } else {
+      controllers[static_cast<std::size_t>(i)].Attach(
+          spec.variant, sharded.app(i), spec.policy, spec.topfull_config);
+    }
+    if (controllers[static_cast<std::size_t>(i)].topfull() != nullptr) {
+      telemetry[static_cast<std::size_t>(i)].Attach(
+          *controllers[static_cast<std::size_t>(i)].topfull());
+    }
+  }
+
+  std::vector<std::unique_ptr<workload::TrafficDriver>> traffic;
+  traffic.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    traffic.push_back(
+        std::make_unique<workload::TrafficDriver>(&sharded.app(i)));
+    if (n > 1) {
+      traffic.back()->SetShardScope(
+          workload::TrafficDriver::ShardScope{&sharded.plan().api_origin, i});
+    }
+    if (spec.traffic) spec.traffic(*traffic.back(), sharded.app(i));
+  }
+
+  std::vector<std::unique_ptr<fault::FaultInjector>> injectors;
+  injectors.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    injectors.push_back(std::make_unique<fault::FaultInjector>(
+        &sharded.app(i),
+        FaultsForShard(spec.faults, sharded.app(i), sharded.plan(), i),
+        spec.fault_seed));
+    if (!injectors.back()->schedule().empty()) injectors.back()->Arm();
+  }
+
+  {
+    obs::ScopedTimer timer("exp/simulate");
+    sharded.RunFor(Seconds(spec.duration_s));
+  }
+
+  // Deterministic merged fault log: shard-major concatenation, then a
+  // stable sort by injection time (ties keep shard order).
+  for (int i = 0; i < n; ++i) {
+    const auto& log = injectors[static_cast<std::size_t>(i)]->Log();
+    result.fault_log.insert(result.fault_log.end(), log.begin(), log.end());
+  }
+  std::stable_sort(
+      result.fault_log.begin(), result.fault_log.end(),
+      [](const fault::FaultRecord& a, const fault::FaultRecord& b) {
+        return a.at < b.at;
+      });
+
+  if (!telemetry.empty() && telemetry[0].enabled()) {
+    obs::ScopedTimer timer("exp/export_telemetry");
+    for (int i = 0; i < n; ++i) {
+      std::string name = SanitizeFileName(spec.label);
+      if (n > 1) name += ".shard" + std::to_string(i);
+      const auto& log = injectors[static_cast<std::size_t>(i)]->Log();
+      telemetry[static_cast<std::size_t>(i)].Export(
+          sharded.app(i), name, controllers[static_cast<std::size_t>(i)].topfull(),
+          log.empty() ? nullptr : &log);
+    }
+  }
+  return result;
+}
+
+}  // namespace topfull::exp

@@ -1,0 +1,118 @@
+#include "sim/sharded_app.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace topfull::sim {
+
+ShardedApp::ShardedApp(const AppFactory& factory, Options options)
+    : options_(options) {
+  const int n = std::max(1, options_.shards);
+  apps_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    apps_.push_back(factory());
+    assert(apps_.back() != nullptr);
+    assert(apps_.back()->NumApis() == apps_[0]->NumApis() &&
+           apps_.back()->NumServices() == apps_[0]->NumServices() &&
+           "app factory must be deterministic across replicas");
+  }
+  ShardPlanOptions plan_options;
+  plan_options.num_shards = n;
+  plan_options.net_latency = options_.net_latency;
+  plan_ = BuildShardPlan(*apps_[0], plan_options);
+
+  std::vector<des::Simulation*> sims;
+  sims.reserve(apps_.size());
+  for (auto& a : apps_) sims.push_back(&a->sim());
+  des::ShardedSimulation::Options engine_options;
+  engine_options.lookahead = options_.net_latency;
+  engine_options.threaded = options_.threaded;
+  engine_ = std::make_unique<des::ShardedSimulation>(std::move(sims),
+                                                     engine_options);
+
+  peers_.reserve(apps_.size());
+  for (auto& a : apps_) peers_.push_back(a.get());
+  if (n > 1) {
+    for (int i = 0; i < n; ++i) {
+      ShardBinding binding;
+      binding.shard = i;
+      binding.num_shards = n;
+      binding.net_latency = options_.net_latency;
+      binding.service_owner = &plan_.service_owner;
+      binding.net = engine_.get();
+      binding.peers = &peers_;
+      apps_[static_cast<std::size_t>(i)]->BindShard(binding);
+    }
+  }
+}
+
+std::vector<Snapshot> ShardedApp::MergedTimeline() const {
+  const auto& base = app(0).metrics().Timeline();
+  std::size_t rows = base.size();
+  for (int i = 1; i < num_shards(); ++i) {
+    rows = std::min(rows, app(i).metrics().Timeline().size());
+  }
+  std::vector<Snapshot> merged;
+  merged.reserve(rows);
+  for (std::size_t row = 0; row < rows; ++row) {
+    Snapshot snap;
+    snap.t_end_s = base[row].t_end_s;
+    snap.apis.reserve(base[row].apis.size());
+    for (std::size_t a = 0; a < base[row].apis.size(); ++a) {
+      const int origin = plan_.OriginOf(static_cast<ApiId>(a));
+      snap.apis.push_back(app(origin).metrics().Timeline()[row].apis[a]);
+    }
+    snap.services.reserve(base[row].services.size());
+    for (std::size_t s = 0; s < base[row].services.size(); ++s) {
+      const int owner = plan_.OwnerOf(static_cast<ServiceId>(s));
+      snap.services.push_back(app(owner).metrics().Timeline()[row].services[s]);
+    }
+    merged.push_back(std::move(snap));
+  }
+  return merged;
+}
+
+std::vector<ApiTotals> ShardedApp::MergedTotals() const {
+  const int num_apis = app(0).NumApis();
+  std::vector<ApiTotals> totals;
+  totals.reserve(static_cast<std::size_t>(num_apis));
+  for (ApiId a = 0; a < num_apis; ++a) {
+    totals.push_back(
+        app(plan_.OriginOf(a)).metrics().Totals()[static_cast<std::size_t>(a)]);
+  }
+  return totals;
+}
+
+double ShardedApp::MergedAvgTotalGoodput(double from_s, double to_s) const {
+  double total = 0.0;
+  for (ApiId a = 0; a < app(0).NumApis(); ++a) {
+    total += app(plan_.OriginOf(a)).metrics().AvgGoodput(a, from_s, to_s);
+  }
+  return total;
+}
+
+std::uint64_t ShardedApp::HopTimeouts() const {
+  std::uint64_t n = 0;
+  for (const auto& a : apps_) n += a->HopTimeouts();
+  return n;
+}
+
+std::uint64_t ShardedApp::Retries() const {
+  std::uint64_t n = 0;
+  for (const auto& a : apps_) n += a->Retries();
+  return n;
+}
+
+std::uint64_t ShardedApp::RemoteCalls() const {
+  std::uint64_t n = 0;
+  for (const auto& a : apps_) n += a->RemoteCallsOut();
+  return n;
+}
+
+int ShardedApp::Inflight() const {
+  int n = 0;
+  for (const auto& a : apps_) n += a->Inflight();
+  return n;
+}
+
+}  // namespace topfull::sim

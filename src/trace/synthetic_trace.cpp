@@ -216,6 +216,18 @@ ClusteringAnalysis AnalyzeClustering(const SyntheticTrace& trace,
   std::map<std::size_t, int> cluster_sizes;
   for (std::size_t i = 0; i < overloaded.size(); ++i) ++cluster_sizes[dsu.Find(i)];
   result.clusters = static_cast<int>(cluster_sizes.size());
+  result.overloaded_ids = overloaded;
+  result.service_cluster.resize(overloaded.size());
+  std::map<std::size_t, int> cluster_id;  // dsu root -> dense id
+  for (std::size_t i = 0; i < overloaded.size(); ++i) {
+    const std::size_t root = dsu.Find(i);
+    auto it = cluster_id.find(root);
+    if (it == cluster_id.end()) {
+      const int next = static_cast<int>(cluster_id.size());
+      it = cluster_id.emplace(root, next).first;
+    }
+    result.service_cluster[i] = it->second;
+  }
   result.avg_constraints_per_cluster =
       static_cast<double>(overloaded.size()) / static_cast<double>(result.clusters);
 

@@ -75,6 +75,11 @@ struct ClusteringAnalysis {
   /// Among the sharing ones, average size of their sharing group
   /// (paper: 2.38).
   double avg_sharing_group = 0.0;
+  /// The overloaded service ids, ascending, and the cluster each belongs
+  /// to (dense ids, numbered by first appearance in `overloaded_ids`
+  /// order). Feeds the cluster -> shard packing of the sharded DES.
+  std::vector<int> overloaded_ids;
+  std::vector<int> service_cluster;
 };
 ClusteringAnalysis AnalyzeClustering(const SyntheticTrace& trace,
                                      double util_threshold);

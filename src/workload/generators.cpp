@@ -104,6 +104,26 @@ void OpenLoopGenerator::ScheduleNext() {
 }
 
 ClosedLoopPool& TrafficDriver::AddClosedLoop(ClosedLoopConfig config, Schedule users) {
+  if (scope_.api_origin != nullptr) {
+    // Apportion: this shard keeps the users proportional to its share of
+    // the mix weight and drops foreign APIs from the mix. When the share
+    // is exactly 1 (identical float sums), nothing is touched.
+    double total = 0.0;
+    double owned = 0.0;
+    for (std::size_t i = 0; i < config.mix.weights.size(); ++i) {
+      total += config.mix.weights[i];
+      if ((*scope_.api_origin)[i] == scope_.shard) owned += config.mix.weights[i];
+    }
+    const double share = total > 0.0 ? owned / total : 0.0;
+    if (share != 1.0) {
+      for (std::size_t i = 0; i < config.mix.weights.size(); ++i) {
+        if ((*scope_.api_origin)[i] != scope_.shard) config.mix.weights[i] = 0.0;
+      }
+      // share == 0 leaves an all-zero mix, but then the scaled schedule
+      // keeps the pool at zero users forever and the mix is never sampled.
+      users = users.Scaled(share);
+    }
+  }
   pools_.push_back(std::make_unique<ClosedLoopPool>(
       app_, std::move(config), std::move(users), app_->rng().Fork("closed-loop")));
   pools_.back()->Start();
@@ -114,7 +134,12 @@ OpenLoopGenerator& TrafficDriver::AddOpenLoop(sim::ApiId api, Schedule rate) {
   open_.push_back(std::make_unique<OpenLoopGenerator>(
       app_, api, std::move(rate),
       app_->rng().Fork(HashLabel("open-loop") ^ static_cast<std::uint64_t>(api))));
-  open_.back()->Start();
+  const bool owned = scope_.api_origin == nullptr ||
+                     (*scope_.api_origin)[static_cast<std::size_t>(api)] ==
+                         scope_.shard;
+  // A foreign API's generator is registered (RNG fork order stays fixed)
+  // but never started, so it schedules nothing — not even idle polls.
+  if (owned) open_.back()->Start();
   return *open_.back();
 }
 

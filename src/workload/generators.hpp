@@ -94,7 +94,21 @@ class OpenLoopGenerator {
 /// Convenience owner for a set of generators driving one Application.
 class TrafficDriver {
  public:
+  /// Restricts the driver to the APIs originating on one shard of a
+  /// sharded run: closed-loop mixes are masked to owned APIs with the user
+  /// schedule scaled by the owned share of the mix weight, and open-loop
+  /// generators for non-owned APIs are registered but never started. A
+  /// scope that owns every requested API is an exact pass-through, which
+  /// is what keeps shards=1 byte-identical to an unscoped run.
+  struct ShardScope {
+    const std::vector<int>* api_origin = nullptr;  ///< ApiId -> shard
+    int shard = 0;
+  };
+
   explicit TrafficDriver(sim::Application* app) : app_(app) {}
+
+  /// Installs the shard scope; affects generators added afterwards.
+  void SetShardScope(ShardScope scope) { scope_ = scope; }
 
   /// Adds and starts a closed-loop pool.
   ClosedLoopPool& AddClosedLoop(ClosedLoopConfig config, Schedule users);
@@ -104,6 +118,7 @@ class TrafficDriver {
 
  private:
   sim::Application* app_;
+  ShardScope scope_{};
   std::vector<std::unique_ptr<ClosedLoopPool>> pools_;
   std::vector<std::unique_ptr<OpenLoopGenerator>> open_;
 };

@@ -43,6 +43,12 @@ Schedule& Schedule::Then(SimTime t, double v) {
   return *this;
 }
 
+Schedule Schedule::Scaled(double factor) const {
+  Schedule s = *this;
+  for (auto& p : s.points_) p.v *= factor;
+  return s;
+}
+
 double Schedule::At(SimTime t) const {
   double value = 0.0;
   for (const auto& p : points_) {

@@ -32,6 +32,10 @@ class Schedule {
   /// Value at time `t` (the most recent breakpoint at or before `t`).
   double At(SimTime t) const;
 
+  /// A copy with every value multiplied by `factor`. Used to apportion a
+  /// global user schedule across shards by their share of the API mix.
+  Schedule Scaled(double factor) const;
+
  private:
   struct Point {
     SimTime t;

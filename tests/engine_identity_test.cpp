@@ -28,7 +28,9 @@
 #include "common/thread_pool.hpp"
 #include "exp/harness.hpp"
 #include "exp/run_executor.hpp"
+#include "exp/sharded_run.hpp"
 #include "sim/app.hpp"
+#include "sim/sharded_app.hpp"
 #include "workload/generators.hpp"
 
 namespace topfull {
@@ -219,6 +221,116 @@ TEST(EngineIdentityTest, Fig18TrainTicketWithFaultsMatchesSeedEngine) {
 
 TEST(EngineIdentityTest, BlockingChainTimeoutsMatchSeedEngine) {
   CheckCase(BlockingSpecs, 0x36cd526757bf7b35ull);
+}
+
+// --- Sharded engine identity -------------------------------------------------
+
+/// Serialization of a sharded run's merged observables, mirroring
+/// Serialize() field-for-field plus the cross-shard call counter.
+std::string SerializeSharded(const sim::ShardedApp& app,
+                             const std::vector<fault::FaultRecord>& log) {
+  std::string out;
+  char buf[512];
+  for (const auto& snap : app.MergedTimeline()) {
+    std::snprintf(buf, sizeof buf, "t=%.17g\n", snap.t_end_s);
+    out += buf;
+    for (const auto& a : snap.apis) {
+      std::snprintf(buf, sizeof buf,
+                    "api o=%llu a=%llu re=%llu rs=%llu c=%llu g=%llu "
+                    "p50=%.17g p95=%.17g p99=%.17g mean=%.17g\n",
+                    static_cast<unsigned long long>(a.offered),
+                    static_cast<unsigned long long>(a.admitted),
+                    static_cast<unsigned long long>(a.rejected_entry),
+                    static_cast<unsigned long long>(a.rejected_service),
+                    static_cast<unsigned long long>(a.completed),
+                    static_cast<unsigned long long>(a.good), a.latency_p50_ms,
+                    a.latency_p95_ms, a.latency_p99_ms, a.latency_mean_ms);
+      out += buf;
+    }
+    for (const auto& s : snap.services) {
+      std::snprintf(buf, sizeof buf,
+                    "svc util=%.17g avgq=%.17g maxq=%.17g pods=%d out=%d\n",
+                    s.cpu_utilization, s.avg_queue_delay_s, s.max_queue_delay_s,
+                    s.running_pods, s.outstanding);
+      out += buf;
+    }
+  }
+  std::snprintf(buf, sizeof buf,
+                "timeouts=%llu retries=%llu inflight=%d remote=%llu\n",
+                static_cast<unsigned long long>(app.HopTimeouts()),
+                static_cast<unsigned long long>(app.Retries()), app.Inflight(),
+                static_cast<unsigned long long>(app.RemoteCalls()));
+  out += buf;
+  for (const auto& r : log) {
+    std::snprintf(buf, sizeof buf, "fault t=%lld %s %s %s sev=%.17g n=%d\n",
+                  static_cast<long long>(r.at), fault::FaultTypeName(r.type),
+                  fault::FaultActionName(r.action), r.service.c_str(),
+                  r.severity, r.count);
+    out += buf;
+  }
+  return out;
+}
+
+/// Digest of `specs` run through the sharded executor. At shards == 1 the
+/// per-run serialization is byte-compatible with SweepDigest's (same
+/// Serialize, same label framing), so digests compare across executors.
+std::uint64_t ShardedSweepDigest(const std::vector<exp::RunSpec>& specs,
+                                 int shards, bool threaded) {
+  std::string all;
+  for (const auto& spec : specs) {
+    exp::ShardedRunOptions options;
+    options.shards = shards;
+    options.threaded = threaded;
+    const exp::ShardedRunResult r = exp::RunShardedSpec(spec, options);
+    all += r.label;
+    all += '\n';
+    if (shards == 1) {
+      all += Serialize(r.app->app(0), &r.fault_log);
+    } else {
+      all += SerializeSharded(*r.app, r.fault_log);
+    }
+  }
+  return Fnv1a(all);
+}
+
+/// shards=1 must be byte-identical to the unsharded engine: same goldens,
+/// and (toolchain-independently) the same digest the direct executor
+/// produces in this very process.
+void CheckShardedOne(std::vector<exp::RunSpec> (*make)(), std::uint64_t golden) {
+  const std::uint64_t sharded = ShardedSweepDigest(make(), /*shards=*/1,
+                                                   /*threaded=*/true);
+  EXPECT_EQ(sharded, SweepDigest(make(), /*pool_size=*/1))
+      << "shards=1 diverged from the unsharded executor";
+  if (StrictGolden()) {
+    EXPECT_EQ(sharded, golden)
+        << "shards=1 diverged from the seed-engine golden digest";
+  }
+}
+
+TEST(EngineIdentityTest, Fig08ShardsOneMatchesSeedEngine) {
+  CheckShardedOne(Fig08Specs, 0xc68e4a7aac39ce8dull);
+}
+
+TEST(EngineIdentityTest, Fig18ShardsOneMatchesSeedEngine) {
+  CheckShardedOne(Fig18Specs, 0x98c210e206ab2bceull);
+}
+
+// Golden captured from this engine at shards=4 on the reference toolchain
+// (fig08 boutique, per-service split, 1 ms cross-shard latency). Pins the
+// sharded protocol end to end: partitioner, window rounds, mailbox drain
+// order, cross-shard RPC and the deterministic merge.
+TEST(EngineIdentityTest, Fig08ShardsFourIsSelfConsistent) {
+  const std::uint64_t threaded1 = ShardedSweepDigest(Fig08Specs(), 4, true);
+  const std::uint64_t threaded2 = ShardedSweepDigest(Fig08Specs(), 4, true);
+  const std::uint64_t sequential = ShardedSweepDigest(Fig08Specs(), 4, false);
+  EXPECT_EQ(threaded1, threaded2) << "sharded digest differs across runs";
+  EXPECT_EQ(threaded1, sequential)
+      << "sharded digest depends on the execution mode";
+  if (StrictGolden()) {
+    EXPECT_EQ(threaded1, 0xf6c48484d7b87df9ull)
+        << "sharded-engine output diverged from the pinned digest "
+        << "(set TOPFULL_STRICT_GOLDEN=0 on a foreign libm)";
+  }
 }
 
 }  // namespace

@@ -37,6 +37,7 @@
 #include "exp/csv.hpp"
 #include "exp/harness.hpp"
 #include "exp/model_cache.hpp"
+#include "exp/sharded_run.hpp"
 #include "fault/profile.hpp"
 #include "obs/json.hpp"
 #include "obs/profile.hpp"
@@ -112,7 +113,12 @@ int Usage() {
       "  --fault-seed S   RNG seed for the fault engine's own stream\n"
       "  --hop-timeout S  per-hop RPC timeout in seconds (default 0 = none)\n"
       "  --retries N      bounded retries per hop (default 0)\n"
-      "  --retry-backoff S delay before each retry (default 0)\n");
+      "  --retry-backoff S delay before each retry (default 0)\n"
+      "  --shards N       run one simulation across N engine shards\n"
+      "                   (conservative-lookahead parallel DES; merged results)\n"
+      "  --net-latency-ms L  one-way cross-shard RPC latency == lookahead (def 1)\n"
+      "  --sequential     run the sharded protocol without worker threads\n"
+      "  --replicas K     alibaba only: K independent 127-service copies\n");
   return 2;
 }
 
@@ -136,6 +142,7 @@ std::unique_ptr<sim::Application> MakeApp(const Args& args) {
   if (app_name == "alibaba") {
     apps::AlibabaDemoOptions options;
     options.seed = seed == 42 ? 2021 : seed;
+    options.replicas = static_cast<int>(args.Num("replicas", 1));
     return apps::MakeAlibabaDemo(options).app;
   }
   return nullptr;
@@ -181,7 +188,144 @@ int CmdInspect(const Args& args) {
   return 0;
 }
 
+/// `run --shards N` (N > 1): the same run sharded across N engine shards
+/// via the conservative-lookahead parallel DES. Supports the core run
+/// options (--controller/--users/--rps/--surge/--duration/--seed/--replicas,
+/// fault profiles, RPC knobs); HPA/CSV are unsharded-only for now.
+int CmdRunSharded(const Args& args) {
+  obs::ScopedTimer run_timer("cli/run-sharded");
+  const int shards = static_cast<int>(args.Num("shards", 1));
+  if (args.Has("hpa") || args.Has("csv")) {
+    std::fprintf(stderr, "--hpa/--csv are not supported with --shards\n");
+    return 2;
+  }
+
+  exp::RunSpec spec;
+  spec.label = args.Get("app", "boutique");
+  spec.duration_s = args.Num("duration", 120);
+  spec.variant = VariantFromName(args.Get("controller", "topfull"));
+  std::shared_ptr<rl::GaussianPolicy> policy;
+  if (spec.variant == exp::Variant::kTopFull) {
+    policy = exp::GetPretrainedPolicy();
+    spec.policy = policy.get();
+  }
+  spec.make_app = [args] {
+    auto app = MakeApp(args);
+    if (args.Has("hop-timeout") || args.Has("retries") ||
+        args.Has("retry-backoff")) {
+      app->ConfigureRpc(Seconds(args.Num("hop-timeout", 0)),
+                        static_cast<int>(args.Num("retries", 0)),
+                        Seconds(args.Num("retry-backoff", 0)));
+    }
+    return app;
+  };
+
+  double surge_t = -1, surge_value = 0;
+  if (args.Has("surge")) {
+    const std::string surge = args.Get("surge");
+    const auto colon = surge.find(':');
+    if (colon == std::string::npos) return Usage();
+    surge_t = std::atof(surge.substr(0, colon).c_str());
+    surge_value = std::atof(surge.substr(colon + 1).c_str());
+  }
+  spec.traffic = [args, surge_t, surge_value](workload::TrafficDriver& traffic,
+                                              sim::Application& app) {
+    if (args.Has("rps")) {
+      const double per_api = args.Num("rps", 1000) / app.NumApis();
+      for (sim::ApiId a = 0; a < app.NumApis(); ++a) {
+        workload::Schedule schedule = workload::Schedule::Constant(per_api);
+        if (surge_t >= 0) {
+          schedule.Then(Seconds(surge_t), surge_value / app.NumApis());
+        }
+        traffic.AddOpenLoop(a, std::move(schedule));
+      }
+    } else {
+      workload::Schedule schedule =
+          workload::Schedule::Constant(args.Num("users", 1000));
+      if (surge_t >= 0) schedule.Then(Seconds(surge_t), surge_value);
+      traffic.AddClosedLoop(exp::UniformUsers(app), std::move(schedule));
+    }
+  };
+
+  if (args.Has("fault-profile")) {
+    const auto probe = MakeApp(args);
+    if (!probe) return Usage();
+    std::string error;
+    const auto parsed =
+        fault::ParseFaultProfile(args.Get("fault-profile"), *probe, &error);
+    if (!parsed) {
+      std::fprintf(stderr, "bad --fault-profile: %s\n", error.c_str());
+      return 2;
+    }
+    spec.faults = *parsed;
+  }
+  if (args.Has("fault-seed")) {
+    spec.fault_seed = static_cast<std::uint64_t>(args.Num("fault-seed", 0));
+  }
+
+  exp::ShardedRunOptions options;
+  options.shards = shards;
+  options.net_latency = Millis(args.Num("net-latency-ms", 1.0));
+  options.threaded = !args.Has("sequential");
+
+  std::printf("running %s with %s for %.0f s across %d shards "
+              "(lookahead %.1f ms, %s)...\n",
+              spec.label.c_str(), exp::VariantName(spec.variant).c_str(),
+              spec.duration_s, shards, ToMillis(options.net_latency),
+              options.threaded ? "threaded" : "sequential");
+  exp::ShardedRunResult result = exp::RunShardedSpec(spec, options);
+  sim::ShardedApp& app = *result.app;
+
+  if (!result.fault_log.empty()) {
+    std::printf("faults: %zu state changes\n", result.fault_log.size());
+    for (const auto& r : result.fault_log) {
+      std::printf("  t=%7.2fs %-20s %-8s %s%s%s severity=%.2f count=%d\n",
+                  ToSeconds(r.at), fault::FaultTypeName(r.type),
+                  fault::FaultActionName(r.action), r.service.empty() ? "" : "svc=",
+                  r.service.c_str(), r.service.empty() ? "(cluster)" : "",
+                  r.severity, r.count);
+    }
+  }
+
+  const auto& plan = app.plan();
+  std::printf("shard plan: %d clusters over %d shards (%s)\n",
+              plan.num_clusters, shards,
+              plan.cluster_aligned ? "cluster-aligned"
+                                   : "split clusters: cross-shard RPC in play");
+
+  Table table("per-API results (whole run, merged across shards)");
+  table.SetHeader({"API", "shard", "avg offered", "avg goodput"});
+  const auto totals = app.MergedTotals();
+  const sim::Application& app0 = app.app(0);
+  for (sim::ApiId a = 0; a < app0.NumApis(); ++a) {
+    table.AddRow({app0.api(a).name(), std::to_string(plan.OriginOf(a)),
+                  Fmt(static_cast<double>(totals[a].offered) / spec.duration_s, 0),
+                  Fmt(static_cast<double>(totals[a].good) / spec.duration_s, 0)});
+  }
+  table.Print();
+  std::printf("total avg goodput: %.0f rps\n", app.MergedAvgTotalGoodput());
+  std::printf("cross-shard RPCs: %llu, sync rounds: %llu\n",
+              static_cast<unsigned long long>(app.RemoteCalls()),
+              static_cast<unsigned long long>(app.engine().Rounds()));
+
+  Table shard_table("per-shard engine stats");
+  shard_table.SetHeader({"shard", "events", "busy (s)", "blocked (s)",
+                         "msgs out", "msgs in"});
+  const auto& stats = app.engine().Stats();
+  for (int i = 0; i < shards; ++i) {
+    const auto& s = stats[static_cast<std::size_t>(i)];
+    shard_table.AddRow({std::to_string(i),
+                        std::to_string(app.app(i).sim().EventsProcessed()),
+                        Fmt(s.busy_s, 2), Fmt(s.blocked_s, 2),
+                        std::to_string(s.messages_sent),
+                        std::to_string(s.messages_delivered)});
+  }
+  shard_table.Print();
+  return 0;
+}
+
 int CmdRun(const Args& args) {
+  if (args.Num("shards", 1) > 1) return CmdRunSharded(args);
   obs::ScopedTimer run_timer("cli/run");
   auto app = MakeApp(args);
   if (!app) return Usage();
