@@ -86,14 +86,16 @@ void ShardedSimulation::DrainInbox(int shard_index) {
   // Fixed order — sender id ascending, FIFO within a mailbox — so the
   // receiving engine assigns tie-break seq numbers deterministically no
   // matter how threads were scheduled while the messages were produced.
+  std::uint64_t drained = 0;
   for (int from = 0; from < num_shards(); ++from) {
     if (from == shard_index) continue;
-    st.messages_delivered +=
-        MailboxFor(from, shard_index).Drain([&sim](Message&& m) {
-          assert(m.when >= sim.Now() && "cross-shard message in the past");
-          sim.ScheduleAt(m.when, std::move(m.fn));
-        });
+    drained += MailboxFor(from, shard_index).Drain([&sim](Message&& m) {
+      assert(m.when >= sim.Now() && "cross-shard message in the past");
+      sim.ScheduleAt(m.when, std::move(m.fn));
+    });
   }
+  st.messages_delivered += drained;
+  st.mailbox_depth_hwm = std::max(st.mailbox_depth_hwm, drained);
 }
 
 void ShardedSimulation::DoPhase(int shard_index, Phase phase, SimTime target) {
@@ -190,10 +192,29 @@ void ShardedSimulation::RunUntil(SimTime end) {
   if (options_.threaded && workers_.empty()) StartWorkers();
   while (horizon_ < end) {
     const SimTime h = std::min(horizon_ + options_.lookahead, end);
-    RunPhase(Phase::kDrain, h);
-    RunPhase(Phase::kExecute, h);
-    horizon_ = h;
-    ++rounds_;
+    if (round_observer_) {
+      // Per-round wall clocks are observer-only: the protocol itself never
+      // needs them and the unobserved hot loop stays clock-free.
+      const auto t0 = std::chrono::steady_clock::now();
+      RunPhase(Phase::kDrain, h);
+      const auto t1 = std::chrono::steady_clock::now();
+      RunPhase(Phase::kExecute, h);
+      const auto t2 = std::chrono::steady_clock::now();
+      horizon_ = h;
+      ++rounds_;
+      RoundInfo info;
+      info.round = rounds_ - 1;
+      info.horizon = horizon_;
+      info.drain_s = std::chrono::duration<double>(t1 - t0).count();
+      info.execute_s = std::chrono::duration<double>(t2 - t1).count();
+      info.wall_s = info.drain_s + info.execute_s;
+      round_observer_(info);
+    } else {
+      RunPhase(Phase::kDrain, h);
+      RunPhase(Phase::kExecute, h);
+      horizon_ = h;
+      ++rounds_;
+    }
   }
 }
 

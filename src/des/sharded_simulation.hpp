@@ -59,13 +59,36 @@ class ShardedSimulation {
     bool threaded = true;
   };
 
-  /// Per-shard accounting for the benchmark tables.
+  /// Per-shard accounting for the benchmark tables and the live plane.
   struct ShardStats {
     double busy_s = 0;      ///< wall time inside drain/execute phases
     double blocked_s = 0;   ///< wall time waiting on the barrier
     std::uint64_t messages_sent = 0;
     std::uint64_t messages_delivered = 0;
+    /// Deepest inbound backlog observed at a drain phase (messages queued
+    /// across all senders since the previous round).
+    std::uint64_t mailbox_depth_hwm = 0;
   };
+
+  /// Wall-clock accounting for one completed synchronization round,
+  /// delivered to the round observer on the RunUntil caller thread.
+  struct RoundInfo {
+    std::uint64_t round = 0;  ///< 0-based index of the round just completed
+    SimTime horizon = 0;      ///< global horizon after the round
+    double wall_s = 0.0;      ///< drain + execute wall time
+    double drain_s = 0.0;
+    double execute_s = 0.0;
+  };
+
+  /// Called after every completed round, on the caller thread, while all
+  /// workers are parked at the barrier — the observer may therefore read
+  /// every shard engine and Stats() without synchronization. It must not
+  /// schedule events or otherwise mutate engine state (determinism). The
+  /// per-round wall clocks are only measured while an observer is set.
+  using RoundObserver = std::function<void(const RoundInfo&)>;
+  void SetRoundObserver(RoundObserver observer) {
+    round_observer_ = std::move(observer);
+  }
 
   /// Non-owning: synchronizes engines owned elsewhere (e.g. by
   /// sim::Application instances). All pointers must outlive this object
@@ -146,6 +169,7 @@ class ShardedSimulation {
   Options options_;
   SimTime horizon_ = 0;
   std::uint64_t rounds_ = 0;
+  RoundObserver round_observer_;
 
   /// Dense from-major mailbox matrix; [from * N + to]. Heap-allocated so
   /// each alignas(64) mailbox sits on its own cache line.

@@ -96,6 +96,12 @@ class Simulation {
   /// Pending event count (for tests).
   std::size_t PendingEvents() const { return heap_.size(); }
 
+  /// Timer slot slab pool occupancy (for the live telemetry plane): total
+  /// slots ever carved from slabs, and how many are currently on the free
+  /// list. In-use slots == SlotCapacity() - SlotsFree().
+  std::size_t SlotCapacity() const { return slabs_.size() * kSlabSize; }
+  std::size_t SlotsFree() const { return free_slots_.size(); }
+
   /// Verifies the 4-ary heap order, the slot back-pointers, and the
   /// free-list accounting. O(n); for tests.
   bool CheckHeapInvariant() const;

@@ -1,7 +1,9 @@
 #include "exp/run_executor.hpp"
 
+#include <algorithm>
 #include <cstdio>
 
+#include "obs/live.hpp"
 #include "obs/profile.hpp"
 
 namespace topfull::exp {
@@ -43,7 +45,26 @@ RunResult RunExecutor::RunOne(const RunSpec& spec,
 
   {
     obs::ScopedTimer timer("exp/simulate");
-    app.RunFor(Seconds(spec.duration_s));
+    if (spec.live == nullptr) {
+      app.RunFor(Seconds(spec.duration_s));
+    } else {
+      // Chunked execution for live publishing. Chunking RunUntil is
+      // bit-identical to one long run (same events, same order); snapshots
+      // are captured only at the chunk edges, where the engine is quiescent.
+      obs::LiveSources sources;
+      sources.shards.push_back({&app, telemetry.tracer(), telemetry.monitor()});
+      sources.label = spec.label;
+      sources.duration_s = spec.duration_s;
+      const SimTime end = app.sim().Now() + Seconds(spec.duration_s);
+      // Publish a start-of-run snapshot so a scrape that races the first
+      // chunk never sees an empty board.
+      spec.live->MaybePublish(sources);
+      while (app.sim().Now() < end) {
+        app.RunUntil(std::min(app.sim().Now() + Millis(100), end));
+        spec.live->MaybePublish(sources);
+      }
+      spec.live->Publish(sources, /*finished=*/true);
+    }
   }
   result.fault_log = injector.Log();
   if (telemetry.enabled()) {

@@ -22,6 +22,10 @@
 #include "sim/app.hpp"
 #include "workload/generators.hpp"
 
+namespace topfull::obs {
+class LivePlane;
+}  // namespace topfull::obs
+
 namespace topfull::exp {
 
 /// One independent simulation run.
@@ -50,6 +54,12 @@ struct RunSpec {
   /// The injector draws only from its own stream seeded by `fault_seed`.
   fault::FaultSchedule faults;
   std::uint64_t fault_seed = fault::FaultInjector::kDefaultSeed;
+
+  /// Live telemetry plane (non-owning; may be null). When set, the run is
+  /// executed in sim-time chunks and a metrics snapshot is published to the
+  /// plane between chunks — a pure observer, so the run stays bit-identical
+  /// to one without it. The final snapshot is published with finished=true.
+  obs::LivePlane* live = nullptr;
 };
 
 /// The finished run: label echoed back plus the application with its full

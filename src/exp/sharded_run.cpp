@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <string>
 
+#include "obs/live.hpp"
 #include "obs/profile.hpp"
 
 namespace topfull::exp {
@@ -84,7 +85,34 @@ ShardedRunResult RunShardedSpec(const RunSpec& spec,
 
   {
     obs::ScopedTimer timer("exp/simulate");
-    sharded.RunFor(Seconds(spec.duration_s));
+    if (spec.live == nullptr) {
+      sharded.RunFor(Seconds(spec.duration_s));
+    } else {
+      obs::LiveSources sources;
+      for (int i = 0; i < n; ++i) {
+        sources.shards.push_back({&sharded.app(i),
+                                  telemetry[static_cast<std::size_t>(i)].tracer(),
+                                  telemetry[static_cast<std::size_t>(i)].monitor()});
+      }
+      sources.label = spec.label;
+      sources.duration_s = spec.duration_s;
+      sources.sharded = &sharded;
+      // Chunks must be whole multiples of the lookahead so the window edges
+      // land exactly where the unchunked run puts them — otherwise a
+      // truncated window could reorder same-timestamp cross-shard delivery.
+      const SimTime lookahead = std::max<SimTime>(options.net_latency, 1);
+      const SimTime chunk =
+          std::max<SimTime>(Millis(100) / lookahead, 1) * lookahead;
+      const SimTime end = sharded.Now() + Seconds(spec.duration_s);
+      // Publish a start-of-run snapshot so a scrape that races the first
+      // window round never sees an empty board.
+      spec.live->MaybePublish(sources);
+      while (sharded.Now() < end) {
+        sharded.RunUntil(std::min(sharded.Now() + chunk, end));
+        spec.live->MaybePublish(sources);
+      }
+      spec.live->Publish(sources, /*finished=*/true);
+    }
   }
 
   // Deterministic merged fault log: shard-major concatenation, then a

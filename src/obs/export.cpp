@@ -32,127 +32,7 @@ const char* OutcomeName(sim::Outcome outcome) {
   return "unknown";
 }
 
-/// Sample-value rendering: Prometheus spells out non-finite values.
-std::string PromNum(double v) {
-  if (std::isnan(v)) return "NaN";
-  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
-  return Num(v);
-}
-
-/// Renders a label set as {k1="v1",k2="v2"}; empty string for no labels.
-/// `extra_key`/`extra_value` append one more pair (the histogram `le`).
-std::string PromLabels(const Labels& labels, const char* extra_key = nullptr,
-                       const std::string& extra_value = {}) {
-  if (labels.empty() && extra_key == nullptr) return "";
-  std::string out = "{";
-  bool first = true;
-  for (const auto& [k, v] : labels) {
-    if (!first) out += ",";
-    first = false;
-    out += k + "=\"" + PromEscapeLabel(v) + "\"";
-  }
-  if (extra_key != nullptr) {
-    if (!first) out += ",";
-    out += std::string(extra_key) + "=\"" + PromEscapeLabel(extra_value) + "\"";
-  }
-  return out + "}";
-}
-
-void RenderHistogramCell(const std::string& name, const MetricsRegistry::Cell& cell,
-                         std::string* out) {
-  const Histogram& h = *cell.histogram;
-  // Cumulative bucket series. Empty buckets are elided (cumulative counts
-  // stay valid under any subset of boundaries); the +Inf bucket is always
-  // present, as the spec requires.
-  std::uint64_t cumulative = 0;
-  for (int b = 0; b < h.NumBuckets() - 1; ++b) {  // last bucket == +Inf
-    const std::uint64_t c = h.BucketCount(b);
-    if (c == 0) continue;
-    cumulative += c;
-    *out += name + "_bucket" + PromLabels(cell.labels, "le", Num(h.UpperBound(b))) +
-            " " + U64(cumulative) + "\n";
-  }
-  *out += name + "_bucket" + PromLabels(cell.labels, "le", "+Inf") + " " +
-          U64(h.count()) + "\n";
-  *out += name + "_sum" + PromLabels(cell.labels) + " " + Num(h.sum()) + "\n";
-  *out += name + "_count" + PromLabels(cell.labels) + " " + U64(h.count()) + "\n";
-}
-
 }  // namespace
-
-std::string PromEscapeLabel(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (const char c : s) {
-    switch (c) {
-      case '\\': out += "\\\\"; break;
-      case '"': out += "\\\""; break;
-      case '\n': out += "\\n"; break;
-      default: out += c;
-    }
-  }
-  return out;
-}
-
-std::string PromEscapeHelp(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (const char c : s) {
-    switch (c) {
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      default: out += c;
-    }
-  }
-  return out;
-}
-
-std::string PromTextFromRegistry(const MetricsRegistry& registry) {
-  std::string out;
-  for (const auto& [name, family] : registry.families()) {
-    out += "# HELP " + name + " " + PromEscapeHelp(family.help) + "\n";
-    out += "# TYPE " + name + " " + MetricTypeName(family.type) + "\n";
-    for (const auto& [key, cell] : family.cells) {
-      switch (family.type) {
-        case MetricType::kCounter:
-          out += name + PromLabels(cell->labels) + " " + U64(cell->counter.value()) +
-                 "\n";
-          break;
-        case MetricType::kGauge:
-          out += name + PromLabels(cell->labels) + " " + PromNum(cell->gauge.value()) +
-                 "\n";
-          break;
-        case MetricType::kHistogram:
-          RenderHistogramCell(name, *cell, &out);
-          break;
-      }
-    }
-  }
-  return out;
-}
-
-std::string JsonEscape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (const char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
 
 bool WritePerfettoTrace(const RequestTracer& tracer, const sim::Application& app,
                         const std::string& path,
@@ -347,30 +227,30 @@ bool WriteDecisionLogJsonl(const DecisionLog& log, const sim::Application& app,
   return static_cast<bool>(out);
 }
 
+void AppendTracerCounters(SnapshotBuilder& builder, const RequestTracer& tracer,
+                          const Labels& extra) {
+  const TracerCounters& c = tracer.counters();
+  builder.AddCounter("topfull_trace_sampled_total", "Request traces recorded.",
+                     extra, c.sampled);
+  builder.AddCounter("topfull_trace_dropped_total",
+                     "Sampled traces discarded by the memory cap.", extra,
+                     c.dropped);
+  std::uint64_t spans = 0;
+  for (const RequestTrace& trace : tracer.finished()) spans += trace.spans.size();
+  builder.AddCounter("topfull_trace_spans_total",
+                     "Service hop spans across finished traces.", extra, spans);
+}
+
 bool WritePrometheusText(const sim::Application& app, const RequestTracer* tracer,
                          const std::string& path) {
   std::ofstream out(path);
   if (!out) return false;
-  out << PromTextFromRegistry(app.metrics_registry());
-
   // The tracer lives outside the application (it is attached per run, the
-  // registry belongs to the app), so its counters are appended here.
-  if (tracer != nullptr) {
-    const TracerCounters& c = tracer->counters();
-    const auto family = [&out](const char* name, const char* help) {
-      out << "# HELP " << name << " " << help << "\n# TYPE " << name
-          << " counter\n";
-    };
-    family("topfull_trace_sampled_total", "Request traces recorded.");
-    out << "topfull_trace_sampled_total " << U64(c.sampled) << "\n";
-    family("topfull_trace_dropped_total",
-           "Sampled traces discarded by the memory cap.");
-    out << "topfull_trace_dropped_total " << U64(c.dropped) << "\n";
-    std::uint64_t spans = 0;
-    for (const RequestTrace& trace : tracer->finished()) spans += trace.spans.size();
-    family("topfull_trace_spans_total", "Service hop spans across finished traces.");
-    out << "topfull_trace_spans_total " << U64(spans) << "\n";
-  }
+  // registry belongs to the app), so its counters join the snapshot here.
+  SnapshotBuilder builder;
+  builder.AddRegistry(app.metrics_registry());
+  if (tracer != nullptr) AppendTracerCounters(builder, *tracer);
+  out << PromTextFromSnapshot(*builder.Finish());
   return static_cast<bool>(out);
 }
 

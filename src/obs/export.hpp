@@ -24,6 +24,7 @@
 #include "obs/decision_log.hpp"
 #include "obs/metrics_registry.hpp"
 #include "obs/slo_monitor.hpp"
+#include "obs/snapshot.hpp"
 #include "obs/trace.hpp"
 #include "sim/app.hpp"
 
@@ -48,23 +49,17 @@ bool WriteDecisionLogJsonl(const DecisionLog& log, const sim::Application& app,
                            const std::vector<SloEvent>* slo_events = nullptr);
 
 /// Writes the application's metrics registry in Prometheus text exposition
-/// format; `tracer` (optional) appends the tracer counter families.
+/// format; `tracer` (optional) appends the tracer counter families. Built
+/// on the same SnapshotBuilder + PromTextFromSnapshot path the live
+/// `/metrics` endpoint uses, so the two renderings are byte-identical.
 /// Returns false on I/O failure.
 bool WritePrometheusText(const sim::Application& app, const RequestTracer* tracer,
                          const std::string& path);
 
-/// Renders a registry in Prometheus text exposition format: families in
-/// name order, a # HELP/# TYPE pair per family, histogram families as
-/// cumulative `_bucket{le=...}` series (empty buckets elided) plus `_sum`
-/// and `_count`. Exposed for tests and the report layer.
-std::string PromTextFromRegistry(const MetricsRegistry& registry);
-
-/// Prometheus label-value escaping (backslash, double-quote, newline).
-std::string PromEscapeLabel(const std::string& s);
-/// Prometheus HELP-text escaping (backslash, newline).
-std::string PromEscapeHelp(const std::string& s);
-
-/// JSON string escaping (exposed for tests).
-std::string JsonEscape(const std::string& s);
+/// Adds the tracer's counter families (sampled/dropped traces, finished
+/// hop spans) to a snapshot under construction; `extra` labels are appended
+/// to each cell (the sharded capture path passes {{"shard", "k"}}).
+void AppendTracerCounters(SnapshotBuilder& builder, const RequestTracer& tracer,
+                          const Labels& extra = {});
 
 }  // namespace topfull::obs

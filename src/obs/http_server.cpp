@@ -1,0 +1,261 @@
+#include "obs/http_server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cerrno>
+#include <cstring>
+
+namespace topfull::obs {
+
+namespace {
+
+constexpr std::size_t kMaxRequestBytes = 16 * 1024;
+
+bool IsTokenChar(char c) {
+  // RFC 7230 tchar, restricted to what methods actually use.
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '-' || c == '_';
+}
+
+/// Splits one header line "Name: value" (value whitespace-trimmed).
+bool ParseHeaderLine(std::string_view line,
+                     std::pair<std::string, std::string>* out) {
+  const std::size_t colon = line.find(':');
+  if (colon == std::string_view::npos || colon == 0) return false;
+  std::string_view name = line.substr(0, colon);
+  for (const char c : name) {
+    if (!IsTokenChar(c)) return false;
+  }
+  std::string_view value = line.substr(colon + 1);
+  while (!value.empty() && (value.front() == ' ' || value.front() == '\t')) {
+    value.remove_prefix(1);
+  }
+  while (!value.empty() && (value.back() == ' ' || value.back() == '\t')) {
+    value.remove_suffix(1);
+  }
+  out->first = std::string(name);
+  out->second = std::string(value);
+  return true;
+}
+
+}  // namespace
+
+HttpParse ParseHttpRequest(std::string_view input, HttpRequest* out,
+                           std::size_t* consumed) {
+  // Find the end of the head: CRLFCRLF (or LFLF from sloppy clients).
+  std::size_t head_end = std::string_view::npos;
+  std::size_t body_start = 0;
+  const std::size_t crlf = input.find("\r\n\r\n");
+  const std::size_t lflf = input.find("\n\n");
+  if (crlf != std::string_view::npos &&
+      (lflf == std::string_view::npos || crlf < lflf)) {
+    head_end = crlf;
+    body_start = crlf + 4;
+  } else if (lflf != std::string_view::npos) {
+    head_end = lflf;
+    body_start = lflf + 2;
+  }
+  if (head_end == std::string_view::npos) {
+    // A head this large with no terminator is not going to get better.
+    return input.size() > kMaxRequestBytes ? HttpParse::kBad
+                                           : HttpParse::kIncomplete;
+  }
+
+  const std::string_view head = input.substr(0, head_end);
+  const std::size_t line_end = head.find('\n');
+  std::string_view request_line =
+      line_end == std::string_view::npos ? head : head.substr(0, line_end);
+  if (!request_line.empty() && request_line.back() == '\r') {
+    request_line.remove_suffix(1);
+  }
+
+  // METHOD SP TARGET SP HTTP/x.y
+  const std::size_t sp1 = request_line.find(' ');
+  const std::size_t sp2 =
+      sp1 == std::string_view::npos ? sp1 : request_line.find(' ', sp1 + 1);
+  if (sp1 == std::string_view::npos || sp2 == std::string_view::npos ||
+      sp1 == 0 || sp2 == sp1 + 1 ||
+      request_line.find(' ', sp2 + 1) != std::string_view::npos) {
+    return HttpParse::kBad;
+  }
+  const std::string_view method = request_line.substr(0, sp1);
+  const std::string_view target = request_line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const std::string_view version = request_line.substr(sp2 + 1);
+  for (const char c : method) {
+    if (!std::isupper(static_cast<unsigned char>(c))) return HttpParse::kBad;
+  }
+  if (target.front() != '/') return HttpParse::kBad;
+  if (version.rfind("HTTP/", 0) != 0) return HttpParse::kBad;
+
+  HttpRequest request;
+  request.method = std::string(method);
+  request.target = std::string(target);
+  request.version = std::string(version);
+
+  // Header lines, if any.
+  std::size_t pos = line_end == std::string_view::npos ? head.size() : line_end + 1;
+  while (pos < head.size()) {
+    std::size_t next = head.find('\n', pos);
+    if (next == std::string_view::npos) next = head.size();
+    std::string_view line = head.substr(pos, next - pos);
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    pos = next + 1;
+    if (line.empty()) continue;
+    std::pair<std::string, std::string> header;
+    if (!ParseHeaderLine(line, &header)) return HttpParse::kBad;
+    request.headers.push_back(std::move(header));
+  }
+
+  if (out != nullptr) *out = std::move(request);
+  if (consumed != nullptr) *consumed = body_start;
+  return HttpParse::kOk;
+}
+
+const char* HttpStatusText(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 503: return "Service Unavailable";
+  }
+  return "Unknown";
+}
+
+std::string SerializeHttpResponse(const HttpResponse& response) {
+  char status_line[64];
+  std::snprintf(status_line, sizeof(status_line), "HTTP/1.1 %d %s\r\n",
+                response.status, HttpStatusText(response.status));
+  std::string out = status_line;
+  out += "Content-Type: " + response.content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  for (const auto& [name, value] : response.headers) {
+    out += name + ": " + value + "\r\n";
+  }
+  out += "Connection: close\r\n\r\n";
+  out += response.body;
+  return out;
+}
+
+HttpServer::HttpServer(Handler handler) : handler_(std::move(handler)) {}
+
+HttpServer::~HttpServer() { Stop(); }
+
+bool HttpServer::Start(int port, std::string* error) {
+  const auto fail = [this, error](const char* what) {
+    if (error != nullptr) {
+      *error = std::string(what) + ": " + std::strerror(errno);
+    }
+    if (listen_fd_ >= 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+    return false;
+  };
+
+  if (running()) {
+    if (error != nullptr) *error = "server already running";
+    return false;
+  }
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return fail("socket");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    return fail("bind");
+  }
+  if (::listen(listen_fd_, 16) < 0) return fail("listen");
+
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    return fail("getsockname");
+  }
+  port_ = ntohs(addr.sin_port);
+
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this]() { AcceptLoop(); });
+  return true;
+}
+
+void HttpServer::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) {
+    if (thread_.joinable()) thread_.join();
+    return;
+  }
+  // Unblock accept(): shutdown makes the blocked call return on Linux.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  if (thread_.joinable()) thread_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+}
+
+void HttpServer::AcceptLoop() {
+  while (running()) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listen socket shut down (Stop) or unrecoverable
+    }
+    ServeConnection(fd);
+    ::close(fd);
+  }
+}
+
+void HttpServer::ServeConnection(int fd) {
+  // Scrape clients are local and short-lived; a receive timeout keeps a
+  // stalled client from wedging the single-threaded accept loop.
+  timeval timeout{};
+  timeout.tv_sec = 5;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+
+  std::string buffer;
+  HttpRequest request;
+  HttpParse state = HttpParse::kIncomplete;
+  char chunk[4096];
+  while (state == HttpParse::kIncomplete && buffer.size() <= kMaxRequestBytes) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return;  // client went away (or timed out) mid-request
+    }
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    state = ParseHttpRequest(buffer, &request);
+  }
+
+  HttpResponse response;
+  if (state != HttpParse::kOk) {
+    response.status = 400;
+    response.body = "bad request\n";
+  } else if (request.method != "GET") {
+    response.status = 405;
+    response.body = "method not allowed\n";
+    response.headers.emplace_back("Allow", "GET");
+  } else {
+    response = handler_(request);
+  }
+
+  const std::string wire = SerializeHttpResponse(response);
+  std::size_t sent = 0;
+  while (sent < wire.size()) {
+    const ssize_t n = ::send(fd, wire.data() + sent, wire.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  served_.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace topfull::obs

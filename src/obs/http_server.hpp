@@ -1,0 +1,97 @@
+// Dependency-free embedded HTTP/1.1 server for the observability plane.
+//
+// One blocking accept loop on its own thread, one connection served at a
+// time, `Connection: close` on every response — deliberately minimal: the
+// only clients are scrape loops (curl, Prometheus) hitting read-only
+// endpoints a few times per second. The handler runs on the server thread
+// and must therefore only touch thread-safe state (in practice: a
+// SnapshotBoard read). Binds 127.0.0.1 only; port 0 requests an ephemeral
+// port (the bound port is readable via port(), used by tests).
+//
+// The request parser is exposed separately (ParseHttpRequest) so partial
+// reads and malformed inputs are unit-testable without sockets.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace topfull::obs {
+
+struct HttpRequest {
+  std::string method;   // e.g. "GET"
+  std::string target;   // e.g. "/metrics" (query string retained verbatim)
+  std::string version;  // e.g. "HTTP/1.1"
+  std::vector<std::pair<std::string, std::string>> headers;
+};
+
+enum class HttpParse {
+  kOk,          // a complete request head was parsed
+  kIncomplete,  // need more bytes (no terminating blank line yet)
+  kBad,         // malformed; respond 400 and close
+};
+
+/// Parses an HTTP/1.x request head (request line + headers, terminated by
+/// CRLFCRLF; bare LF line endings are tolerated). On kOk fills `out` and,
+/// when non-null, `consumed` with the head's byte length. Request bodies
+/// are not supported (every endpoint is a GET).
+HttpParse ParseHttpRequest(std::string_view input, HttpRequest* out,
+                           std::size_t* consumed = nullptr);
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+  /// Extra headers rendered verbatim (e.g. {"Allow", "GET"}).
+  std::vector<std::pair<std::string, std::string>> headers;
+};
+
+/// Standard reason phrase for the handful of statuses the plane uses.
+const char* HttpStatusText(int status);
+
+/// Serializes status line + headers + body with Content-Length and
+/// Connection: close.
+std::string SerializeHttpResponse(const HttpResponse& response);
+
+class HttpServer {
+ public:
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  explicit HttpServer(Handler handler);
+  ~HttpServer();
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Binds 127.0.0.1:`port` (0 = ephemeral) and starts the accept thread.
+  /// Returns false (with `error` describing errno) on failure.
+  bool Start(int port, std::string* error = nullptr);
+
+  /// Stops the accept loop and joins the thread. Idempotent; also called
+  /// by the destructor.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  /// The bound port (valid after a successful Start).
+  int port() const { return port_; }
+  std::uint64_t requests_served() const {
+    return served_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int fd);
+
+  Handler handler_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint64_t> served_{0};
+  std::thread thread_;
+};
+
+}  // namespace topfull::obs

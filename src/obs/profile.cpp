@@ -20,17 +20,24 @@ Profiler& Profiler::Global() {
 
 void Profiler::Record(const char* phase, double seconds) {
   std::lock_guard<std::mutex> lock(mu_);
-  PhaseStats& stats = phases_[phase];
-  ++stats.count;
-  stats.total_s += seconds;
-  stats.max_s = std::max(stats.max_s, seconds);
+  PhaseEntry& entry = phases_[phase];
+  ++entry.stats.count;
+  entry.stats.total_s += seconds;
+  entry.stats.max_s = std::max(entry.stats.max_s, seconds);
+  entry.durations.Record(seconds);
 }
 
 std::vector<std::pair<std::string, PhaseStats>> Profiler::Snapshot() const {
   std::vector<std::pair<std::string, PhaseStats>> phases;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    phases.assign(phases_.begin(), phases_.end());
+    phases.reserve(phases_.size());
+    for (const auto& [name, entry] : phases_) {
+      PhaseStats stats = entry.stats;
+      stats.p50_s = entry.durations.Percentile(50);
+      stats.p99_s = entry.durations.Percentile(99);
+      phases.emplace_back(name, stats);
+    }
   }
   std::sort(phases.begin(), phases.end(),
             [](const auto& a, const auto& b) { return a.first < b.first; });
@@ -40,15 +47,16 @@ std::vector<std::pair<std::string, PhaseStats>> Profiler::Snapshot() const {
 void Profiler::Report(std::FILE* out) const {
   const auto phases = Snapshot();
   if (phases.empty()) return;
-  std::fprintf(out, "[profile] %-28s %10s %12s %12s %12s\n", "phase", "count",
-               "total (s)", "avg (ms)", "max (ms)");
+  std::fprintf(out, "[profile] %-28s %10s %12s %12s %12s %12s %12s\n", "phase",
+               "count", "total (s)", "avg (ms)", "p50 (ms)", "p99 (ms)",
+               "max (ms)");
   for (const auto& [name, stats] : phases) {
-    std::fprintf(out, "[profile] %-28s %10llu %12.3f %12.3f %12.3f\n",
+    std::fprintf(out, "[profile] %-28s %10llu %12.3f %12.3f %12.3f %12.3f %12.3f\n",
                  name.c_str(), static_cast<unsigned long long>(stats.count),
                  stats.total_s,
                  stats.count > 0 ? 1e3 * stats.total_s / static_cast<double>(stats.count)
                                  : 0.0,
-                 1e3 * stats.max_s);
+                 1e3 * stats.p50_s, 1e3 * stats.p99_s, 1e3 * stats.max_s);
   }
 }
 

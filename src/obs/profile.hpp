@@ -18,12 +18,18 @@
 #include <utility>
 #include <vector>
 
+#include "obs/histogram.hpp"
+
 namespace topfull::obs {
 
 struct PhaseStats {
   std::uint64_t count = 0;
   double total_s = 0.0;
   double max_s = 0.0;
+  /// Streamed percentiles over per-call durations (log-bucketed histogram,
+  /// relative error <= 1/16); 0 when the phase never fired.
+  double p50_s = 0.0;
+  double p99_s = 0.0;
 };
 
 class Profiler {
@@ -48,8 +54,15 @@ class Profiler {
  private:
   Profiler() = default;
 
+  /// Per-phase aggregate + duration histogram (seconds; 10 ns .. 1000 s
+  /// bucketed range covers a clock read through an hour-long sweep).
+  struct PhaseEntry {
+    PhaseStats stats;
+    Histogram durations{HistogramConfig{1e-8, 1e3, 16}};
+  };
+
   mutable std::mutex mu_;
-  std::unordered_map<std::string, PhaseStats> phases_;
+  std::unordered_map<std::string, PhaseEntry> phases_;
   std::atomic<bool> enabled_{false};
 };
 

@@ -148,6 +148,30 @@ void Application::Finalize() {
       ->Set(ToSeconds(config_.slo));
   sim_end_gauge_ = registry_.GetGauge(
       "topfull_sim_end_seconds", "Simulation time at the last closed metrics window.");
+  engine_handles_.pending_events = registry_.GetGauge(
+      "topfull_engine_pending_events",
+      "Timer-heap size (scheduled events not yet fired) at the window close.");
+  engine_handles_.events_cancelled = registry_.GetGauge(
+      "topfull_engine_events_cancelled",
+      "Events cancelled before firing, cumulative.");
+  engine_handles_.timer_slots = registry_.GetGauge(
+      "topfull_engine_timer_slots",
+      "Timer slots carved from the slab pool (capacity high-water).");
+  engine_handles_.timer_slots_free = registry_.GetGauge(
+      "topfull_engine_timer_slots_free",
+      "Timer slots currently on the free list.");
+  engine_handles_.arena_requests_live = registry_.GetGauge(
+      "topfull_engine_arena_requests_live",
+      "Live pooled request records at the window close.");
+  engine_handles_.arena_requests_capacity = registry_.GetGauge(
+      "topfull_engine_arena_requests_capacity",
+      "Request-record arena capacity high-water.");
+  engine_handles_.arena_attempts_live = registry_.GetGauge(
+      "topfull_engine_arena_attempts_live",
+      "Live pooled attempt records at the window close.");
+  engine_handles_.arena_attempts_capacity = registry_.GetGauge(
+      "topfull_engine_arena_attempts_capacity",
+      "Attempt-record arena capacity high-water.");
 
   // Metric collection loop. Registered before any controller loop so that
   // within every tick, controllers observe the freshly closed window.
@@ -167,6 +191,20 @@ void Application::Finalize() {
       h.queue_delay_ms->Record(1e3 * w.avg_queue_delay_s);
     }
     sim_end_gauge_->Set(ToSeconds(sim_.Now()));
+    engine_handles_.pending_events->Set(static_cast<double>(sim_.PendingEvents()));
+    engine_handles_.events_cancelled->Set(
+        static_cast<double>(sim_.EventsCancelled()));
+    engine_handles_.timer_slots->Set(static_cast<double>(sim_.SlotCapacity()));
+    engine_handles_.timer_slots_free->Set(static_cast<double>(sim_.SlotsFree()));
+    const ArenaStats arena = Arena();
+    engine_handles_.arena_requests_live->Set(
+        static_cast<double>(arena.live_requests));
+    engine_handles_.arena_requests_capacity->Set(
+        static_cast<double>(arena.request_capacity));
+    engine_handles_.arena_attempts_live->Set(
+        static_cast<double>(arena.live_attempts));
+    engine_handles_.arena_attempts_capacity->Set(
+        static_cast<double>(arena.attempt_capacity));
     metrics_->Collect(sim_.Now(), window_scratch_);
   });
 }

@@ -118,6 +118,7 @@ class Application {
   // --- Access ---------------------------------------------------------------
 
   des::Simulation& sim() { return sim_; }
+  const des::Simulation& sim() const { return sim_; }
   MetricsCollector& metrics() { return *metrics_; }
   const MetricsCollector& metrics() const { return *metrics_; }
 
@@ -257,6 +258,21 @@ class Application {
   };
   std::vector<ServiceMetricHandles> service_handles_;
   obs::Gauge* sim_end_gauge_ = nullptr;
+  /// Engine-state gauges (timer heap, cancellations, slab/arena occupancy)
+  /// refreshed at every window close. All values are pure functions of
+  /// simulation state, so they are deterministic and safe to include in
+  /// the offline Prometheus dump.
+  struct EngineMetricHandles {
+    obs::Gauge* pending_events = nullptr;
+    obs::Gauge* events_cancelled = nullptr;
+    obs::Gauge* timer_slots = nullptr;
+    obs::Gauge* timer_slots_free = nullptr;
+    obs::Gauge* arena_requests_live = nullptr;
+    obs::Gauge* arena_requests_capacity = nullptr;
+    obs::Gauge* arena_attempts_live = nullptr;
+    obs::Gauge* arena_attempts_capacity = nullptr;
+  };
+  EngineMetricHandles engine_handles_;
   EntryAdmission* entry_ = nullptr;
   RequestObserver* observer_ = nullptr;
   RequestId next_request_id_ = 1;

@@ -23,6 +23,7 @@
 
 #include "common/sim_time.hpp"
 #include "des/sharded_simulation.hpp"
+#include "obs/metrics_registry.hpp"
 #include "sim/app.hpp"
 #include "sim/metrics.hpp"
 #include "sim/shard_plan.hpp"
@@ -73,12 +74,50 @@ class ShardedApp {
   std::uint64_t RemoteCalls() const;
   int Inflight() const;
 
+  /// Scheduler instrumentation registry (shards > 1): per-shard
+  /// `topfull_shard_*` gauges/histograms/counters fed by the engine's round
+  /// observer — round wall time, barrier waits, mailbox depth high-water,
+  /// events and cross-shard messages per round. Values derive from wall
+  /// clocks, so this registry is published only through the live plane and
+  /// never merged into the deterministic offline exports. Written on the
+  /// RunUntil caller thread between rounds; read it only at quiescent
+  /// points (the same contract as the per-shard app registries).
+  const obs::MetricsRegistry& scheduler_registry() const {
+    return sched_registry_;
+  }
+
  private:
+  /// Per-shard scheduler metric handles + previous cumulative engine
+  /// counters (the observer records per-round deltas).
+  struct ShardSched {
+    obs::Histogram* barrier_wait_ms = nullptr;
+    obs::Histogram* events_per_round = nullptr;
+    obs::Histogram* messages_per_round = nullptr;
+    obs::Gauge* mailbox_hwm = nullptr;
+    obs::Gauge* busy_seconds = nullptr;
+    obs::Gauge* blocked_seconds = nullptr;
+    obs::Counter* messages_sent = nullptr;
+    obs::Counter* messages_delivered = nullptr;
+    std::uint64_t prev_events = 0;
+    std::uint64_t prev_sent = 0;
+    std::uint64_t prev_delivered = 0;
+    double prev_blocked_s = 0.0;
+  };
+
+  void InstallSchedulerInstrumentation();
+  void OnRound(const des::ShardedSimulation::RoundInfo& info);
+
   Options options_;
   std::vector<std::unique_ptr<Application>> apps_;
   std::vector<Application*> peers_;
   ShardPlan plan_;
   std::unique_ptr<des::ShardedSimulation> engine_;
+
+  obs::MetricsRegistry sched_registry_;
+  obs::Histogram* round_wall_ms_ = nullptr;
+  obs::Histogram* round_drain_ms_ = nullptr;
+  obs::Counter* rounds_total_ = nullptr;
+  std::vector<ShardSched> sched_;
 };
 
 }  // namespace topfull::sim

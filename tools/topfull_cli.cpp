@@ -12,20 +12,28 @@
 //   topfull train   [--episodes N] [--out FILE] [--threads N]   # pre-train
 //   topfull report  [run options] [--out DIR]   # run + HTML report + summary
 //   topfull compare BASELINE.json CANDIDATE.json [--rel-tol R] [--abs-tol A]
+//   topfull serve   --dir DIR [--name NAME] [--port N] [--linger S]
 //
 // Examples:
 //   topfull run --app boutique --controller topfull --users 2600 --duration 120
 //   topfull run --app trainticket --controller dagor --users 800 --surge 40:3500
+//   topfull run --app boutique --users 2600 --duration 60 --serve-port 9090
 //   topfull inspect --app alibaba
 //   topfull report --app boutique --users 2600 --surge 30:5200 --duration 90
 //   topfull compare baseline.summary.json candidate.summary.json
+//   topfull serve --dir topfull-report --port 9090
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <map>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "apps/alibaba_demo.hpp"
@@ -40,6 +48,7 @@
 #include "exp/sharded_run.hpp"
 #include "fault/profile.hpp"
 #include "obs/json.hpp"
+#include "obs/live.hpp"
 #include "obs/profile.hpp"
 #include "obs/report.hpp"
 
@@ -98,7 +107,16 @@ int Usage() {
       "  topfull compare BASELINE.json CANDIDATE.json [--rel-tol R] [--abs-tol A]\n"
       "                   per-metric regression diff of two run summaries;\n"
       "                   exit 0 = no regression, 1 = regression, 2 = bad input\n"
+      "  topfull serve --dir DIR [--name NAME] [--port N] [--linger S]\n"
+      "                   serve a finished run's exported artifacts (the\n"
+      "                   .metrics.prom / .summary.json written by report or\n"
+      "                   --trace-dir) over HTTP; --linger S exits after S s\n"
       "\n"
+      "  --serve-port N   (run) embedded observability server on 127.0.0.1:N\n"
+      "                   while the run executes: /metrics /healthz /runs\n"
+      "                   /snapshot.json (N = 0 picks an ephemeral port)\n"
+      "  --publish-ms M   (run) min wall-clock ms between live snapshots\n"
+      "                   (default 10)\n"
       "  --threads N      worker-pool size for parallel rollouts/sweeps\n"
       "                   (overrides TOPFULL_THREADS; default: all cores)\n"
       "  --trace-dir DIR  export request spans (Perfetto JSON), the controller\n"
@@ -146,6 +164,28 @@ std::unique_ptr<sim::Application> MakeApp(const Args& args) {
     return apps::MakeAlibabaDemo(options).app;
   }
   return nullptr;
+}
+
+/// Builds and starts the live observability plane when --serve-port was
+/// given; returns null (and *rc untouched) when the flag is absent, or null
+/// with *rc = 1 when the server failed to bind.
+std::unique_ptr<obs::LivePlane> MakeLivePlane(const Args& args, int* rc) {
+  if (!args.Has("serve-port")) return nullptr;
+  obs::LiveOptions options;
+  options.port = static_cast<int>(args.Num("serve-port", 0));
+  options.publish_interval_s = args.Num("publish-ms", 10.0) / 1e3;
+  auto live = std::make_unique<obs::LivePlane>(options);
+  std::string error;
+  if (!live->StartServer(&error)) {
+    std::fprintf(stderr, "cannot start observability server: %s\n", error.c_str());
+    *rc = 1;
+    return nullptr;
+  }
+  std::printf("observability server on http://127.0.0.1:%d/ "
+              "(/metrics /healthz /runs /snapshot.json)\n",
+              live->port());
+  std::fflush(stdout);
+  return live;
 }
 
 exp::Variant VariantFromName(const std::string& name) {
@@ -267,6 +307,11 @@ int CmdRunSharded(const Args& args) {
   options.shards = shards;
   options.net_latency = Millis(args.Num("net-latency-ms", 1.0));
   options.threaded = !args.Has("sequential");
+
+  int live_rc = 0;
+  std::unique_ptr<obs::LivePlane> live = MakeLivePlane(args, &live_rc);
+  if (live_rc != 0) return live_rc;
+  spec.live = live.get();
 
   std::printf("running %s with %s for %.0f s across %d shards "
               "(lookahead %.1f ms, %s)...\n",
@@ -405,11 +450,30 @@ int CmdRun(const Args& args) {
   if (cluster != nullptr) injector.AttachCluster(cluster.get());
   if (!faults.empty()) injector.Arm();
 
+  int live_rc = 0;
+  std::unique_ptr<obs::LivePlane> live = MakeLivePlane(args, &live_rc);
+  if (live_rc != 0) return live_rc;
+
   std::printf("running %s with %s for %.0f s...\n", app->name().c_str(),
               exp::VariantName(variant).c_str(), duration);
   {
     obs::ScopedTimer timer("cli/simulate");
-    app->RunFor(Seconds(duration));
+    if (live == nullptr) {
+      app->RunFor(Seconds(duration));
+    } else {
+      obs::LiveSources sources;
+      sources.shards.push_back(
+          {app.get(), telemetry.tracer(), telemetry.monitor()});
+      sources.label = app->name();
+      sources.duration_s = duration;
+      const SimTime end = app->sim().Now() + Seconds(duration);
+      live->MaybePublish(sources);
+      while (app->sim().Now() < end) {
+        app->RunUntil(std::min(app->sim().Now() + Millis(100), end));
+        live->MaybePublish(sources);
+      }
+      live->Publish(sources, /*finished=*/true);
+    }
   }
 
   if (!injector.Log().empty()) {
@@ -503,6 +567,91 @@ int CmdReport(const Args& args) {
   return rc;
 }
 
+// `serve` replays a finished run's exported artifacts over HTTP so the same
+// scrape targets work after the simulation has exited. `--name` picks a run
+// inside the directory (default: lexicographically first *.metrics.prom).
+int CmdServe(const Args& args) {
+  const std::string dir =
+      args.Get("dir", args.positional.empty() ? "topfull-report"
+                                              : args.positional[0]);
+  std::string name = args.Get("name");
+  if (name.empty()) {
+    const std::string suffix = ".metrics.prom";
+    std::vector<std::string> found;
+    std::error_code ec;
+    for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+      const std::string file = entry.path().filename().string();
+      if (file.size() > suffix.size() &&
+          file.compare(file.size() - suffix.size(), suffix.size(), suffix) == 0) {
+        found.push_back(file.substr(0, file.size() - suffix.size()));
+      }
+    }
+    if (found.empty()) {
+      std::fprintf(stderr, "no *.metrics.prom under %s\n", dir.c_str());
+      return 2;
+    }
+    std::sort(found.begin(), found.end());
+    name = found.front();
+  }
+  const auto slurp = [](const std::string& path, std::string* out) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return false;
+    std::ostringstream text;
+    text << in.rdbuf();
+    *out = text.str();
+    return true;
+  };
+  std::string metrics, summary;
+  if (!slurp(dir + "/" + name + ".metrics.prom", &metrics)) {
+    std::fprintf(stderr, "cannot read %s/%s.metrics.prom\n", dir.c_str(),
+                 name.c_str());
+    return 2;
+  }
+  const bool have_summary = slurp(dir + "/" + name + ".summary.json", &summary);
+
+  obs::HttpServer server([&](const obs::HttpRequest& request) {
+    const std::string path = request.target.substr(0, request.target.find('?'));
+    obs::HttpResponse response;
+    if (path == "/healthz") {
+      response.body = "ok\n";
+    } else if (path == "/metrics") {
+      response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+      response.body = metrics;
+    } else if (path == "/summary.json" && have_summary) {
+      response.content_type = "application/json";
+      response.body = summary;
+    } else if (path == "/") {
+      response.body = "topfull serve — finished run \"" + name +
+                      "\"\n"
+                      "  /metrics       Prometheus dump\n"
+                      "  /healthz       liveness probe\n"
+                      "  /summary.json  run summary JSON\n";
+    } else {
+      response.status = 404;
+      response.body = "not found\n";
+    }
+    return response;
+  });
+  std::string error;
+  if (!server.Start(static_cast<int>(args.Num("port", 0)), &error)) {
+    std::fprintf(stderr, "cannot start server: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("serving %s/%s.* on http://127.0.0.1:%d/\n", dir.c_str(),
+              name.c_str(), server.port());
+  std::fflush(stdout);
+  const double linger = args.Num("linger", -1.0);
+  if (linger >= 0) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(linger));
+  } else {
+    while (true) {
+      std::this_thread::sleep_for(std::chrono::seconds(3600));
+    }
+  }
+  server.Stop();
+  return 0;
+}
+
 int CmdCompare(const Args& args) {
   if (args.positional.size() != 2) {
     std::fprintf(stderr, "compare needs exactly two summary files\n");
@@ -551,5 +700,6 @@ int main(int argc, char** argv) {
   if (args.command == "train") return CmdTrain(args);
   if (args.command == "report") return CmdReport(args);
   if (args.command == "compare") return CmdCompare(args);
+  if (args.command == "serve") return CmdServe(args);
   return Usage();
 }
