@@ -1,0 +1,150 @@
+// Scenario conformance matrix: every workload-pathology scenario under
+// every controller, with per-cell invariant verdicts.
+//
+// The CI gate for controller behaviour: a cell fails when an invariant
+// breaks unexpectedly OR when a controller that is supposed to trip a
+// pathology (e.g. the static limit staying trapped in the metastable
+// scenario) fails to trip it — the suite guards the demonstrations as
+// much as the fixes.
+//
+// Usage:
+//   scenario_matrix [--smoke] [--json FILE] [--controllers a,b,c]
+//                   [--scenario NAME] [--profile FILE] [--list]
+//
+//   --smoke        time-scale every scenario to 25 % for a quick validity
+//                  check; conformance is reported but not enforced (the
+//                  thresholds are calibrated for full length)
+//   --json FILE    also write the machine-readable matrix report
+//   --controllers  comma-separated controller list
+//                  (default topfull,dagor,breakwater,static)
+//   --scenario     run a single built-in scenario
+//   --profile      load scenarios from a text profile instead of builtins
+//   --list         print the scenario library and exit
+//
+// Exit code: 0 when every cell conforms (always 0 under --smoke unless a
+// cell errors), 1 otherwise.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "scenario/library.hpp"
+#include "scenario/profile.hpp"
+#include "scenario/runner.hpp"
+
+using namespace topfull;
+
+namespace {
+
+std::vector<std::string> SplitCsv(const std::string& s) {
+  std::vector<std::string> out;
+  std::stringstream stream(s);
+  std::string item;
+  while (std::getline(stream, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+void PrintLibrary(const std::vector<scenario::ScenarioSpec>& specs) {
+  Table table("Scenario library");
+  table.SetHeader({"name", "app", "duration", "invariants", "description"});
+  for (const scenario::ScenarioSpec& spec : specs) {
+    std::string kinds;
+    for (const scenario::Invariant& inv : spec.invariants) {
+      if (!kinds.empty()) kinds += "+";
+      kinds += scenario::InvariantKindName(inv.kind);
+    }
+    table.AddRow({spec.name, spec.app, Fmt(spec.duration_s, 0) + " s", kinds,
+                  spec.description});
+  }
+  table.Print();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  bool list = false;
+  std::string json_path;
+  std::string only_scenario;
+  std::string profile_path;
+  scenario::MatrixOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg == "--list") {
+      list = true;
+    } else if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (arg == "--controllers" && i + 1 < argc) {
+      options.controllers = SplitCsv(argv[++i]);
+    } else if (arg == "--scenario" && i + 1 < argc) {
+      only_scenario = argv[++i];
+    } else if (arg == "--profile" && i + 1 < argc) {
+      profile_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "unknown argument '%s'\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  std::vector<scenario::ScenarioSpec> specs;
+  if (!profile_path.empty()) {
+    std::string error;
+    const auto parsed = scenario::LoadScenarioProfile(profile_path, &error);
+    if (!parsed.has_value()) {
+      std::fprintf(stderr, "%s\n", error.c_str());
+      return 2;
+    }
+    specs = *parsed;
+  } else {
+    specs = scenario::BuiltinScenarios();
+  }
+  if (!only_scenario.empty()) {
+    std::vector<scenario::ScenarioSpec> filtered;
+    for (scenario::ScenarioSpec& spec : specs) {
+      if (spec.name == only_scenario) filtered.push_back(std::move(spec));
+    }
+    if (filtered.empty()) {
+      std::fprintf(stderr, "unknown scenario '%s'\n", only_scenario.c_str());
+      return 2;
+    }
+    specs = std::move(filtered);
+  }
+  if (list) {
+    PrintLibrary(specs);
+    return 0;
+  }
+  if (smoke) {
+    for (scenario::ScenarioSpec& spec : specs) spec = spec.TimeScaled(0.25);
+  }
+
+  PrintBanner("scenario_matrix",
+              "workload-pathology scenarios x controllers, invariant verdicts");
+  const std::vector<scenario::CellVerdict> verdicts =
+      scenario::RunScenarioMatrix(specs, options);
+  scenario::PrintMatrixReport(verdicts);
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    out << scenario::MatrixReportJson(verdicts);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 2;
+    }
+    std::fprintf(stderr, "wrote %s\n", json_path.c_str());
+  }
+
+  bool errored = false;
+  for (const scenario::CellVerdict& cell : verdicts) {
+    if (!cell.error.empty()) errored = true;
+  }
+  if (errored) return 2;
+  if (smoke) return 0;  // validity run; thresholds need full duration
+  return scenario::AllConform(verdicts) ? 0 : 1;
+}

@@ -21,14 +21,32 @@ std::string VariantName(Variant variant) {
     case Variant::kDagor: return "DAGOR";
     case Variant::kBreakwater: return "Breakwater";
     case Variant::kWisp: return "WISP";
+    case Variant::kStaticLimit: return "static";
   }
   return "unknown";
+}
+
+std::optional<Variant> VariantFromName(const std::string& name) {
+  if (name == "topfull" || name == "TopFull") return Variant::kTopFull;
+  if (name == "mimd" || name == "topfull-mimd" || name == "TopFull(MIMD)") {
+    return Variant::kTopFullMimd;
+  }
+  if (name == "topfull-nocluster" || name == "TopFull(w/o cluster)") {
+    return Variant::kTopFullNoCluster;
+  }
+  if (name == "topfull-bw" || name == "TopFull(BW)") return Variant::kTopFullBw;
+  if (name == "dagor" || name == "DAGOR") return Variant::kDagor;
+  if (name == "breakwater" || name == "Breakwater") return Variant::kBreakwater;
+  if (name == "wisp" || name == "WISP") return Variant::kWisp;
+  if (name == "static") return Variant::kStaticLimit;
+  if (name == "none" || name == "no-control") return Variant::kNoControl;
+  return std::nullopt;
 }
 
 void Controllers::Attach(Variant variant, sim::Application& app,
                          const rl::GaussianPolicy* policy,
                          core::TopFullConfig config, double mimd_decrease,
-                         double mimd_increase) {
+                         double mimd_increase, double static_rate) {
   switch (variant) {
     case Variant::kNoControl:
       break;
@@ -73,6 +91,12 @@ void Controllers::Attach(Variant variant, sim::Application& app,
     case Variant::kWisp: {
       wisp_ = std::make_unique<baselines::WispAdmission>(&app);
       wisp_->Install();
+      break;
+    }
+    case Variant::kStaticLimit: {
+      static_ = std::make_unique<baselines::StaticLimitAdmission>(
+          &app, static_rate, config.burst_fraction, config.min_burst);
+      static_->Install();
       break;
     }
   }

@@ -3,10 +3,12 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "baselines/breakwater.hpp"
 #include "baselines/dagor.hpp"
+#include "baselines/static_limit.hpp"
 #include "baselines/wisp.hpp"
 #include "core/controller.hpp"
 #include "fault/fault.hpp"
@@ -29,9 +31,15 @@ enum class Variant {
   kDagor,             ///< DAGOR baseline (per-pod priority admission)
   kBreakwater,        ///< Breakwater baseline (per-pod credits + AQM)
   kWisp,              ///< WISP baseline (per-pod limits, upstream shedding)
+  kStaticLimit,       ///< fixed per-API entry token bucket (non-adaptive)
 };
 
 std::string VariantName(Variant variant);
+
+/// Inverse of VariantName plus the CLI short names ("topfull", "mimd",
+/// "dagor", "breakwater", "wisp", "static", "none", ...). Returns nullopt
+/// for unknown names.
+std::optional<Variant> VariantFromName(const std::string& name);
 
 /// Attaches a variant's controller(s) to an application and keeps them
 /// alive. `policy` must outlive this object for the RL variants.
@@ -44,18 +52,21 @@ class Controllers {
   void Attach(Variant variant, sim::Application& app,
               const rl::GaussianPolicy* policy,
               core::TopFullConfig config = {},
-              double mimd_decrease = 0.05, double mimd_increase = 0.01);
+              double mimd_decrease = 0.05, double mimd_increase = 0.01,
+              double static_rate = 0.0);
 
   core::TopFullController* topfull() { return topfull_.get(); }
   baselines::DagorAdmission* dagor() { return dagor_.get(); }
   baselines::BreakwaterAdmission* breakwater() { return breakwater_.get(); }
   baselines::WispAdmission* wisp() { return wisp_.get(); }
+  baselines::StaticLimitAdmission* static_limit() { return static_.get(); }
 
  private:
   std::unique_ptr<core::TopFullController> topfull_;
   std::unique_ptr<baselines::DagorAdmission> dagor_;
   std::unique_ptr<baselines::BreakwaterAdmission> breakwater_;
   std::unique_ptr<baselines::WispAdmission> wisp_;
+  std::unique_ptr<baselines::StaticLimitAdmission> static_;
 };
 
 /// Closed-loop user config with a uniform mix over all APIs of `app`

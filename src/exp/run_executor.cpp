@@ -33,7 +33,9 @@ RunResult RunExecutor::RunOne(const RunSpec& spec,
   if (spec.attach) {
     custom = spec.attach(app);
   } else {
-    controllers.Attach(spec.variant, app, spec.policy, spec.topfull_config);
+    controllers.Attach(spec.variant, app, spec.policy, spec.topfull_config,
+                       /*mimd_decrease=*/0.05, /*mimd_increase=*/0.01,
+                       spec.static_rate);
   }
   if (controllers.topfull() != nullptr) telemetry.Attach(*controllers.topfull());
 

@@ -45,6 +45,8 @@ struct RunSpec {
   const rl::GaussianPolicy* policy = nullptr;  ///< shared read-only
   /// Config for the TopFull variants (ignored by the baselines).
   core::TopFullConfig topfull_config;
+  /// Per-API entry rate for Variant::kStaticLimit (<= 0 = uncapped).
+  double static_rate = 0.0;
 
   /// Custom controller attachment (e.g. a DAGOR with a swept config). The
   /// returned object is kept alive until the run completes.

@@ -1,0 +1,62 @@
+#include "obs/fairness.hpp"
+
+#include <algorithm>
+
+namespace topfull::obs {
+
+double JainIndex(const std::vector<double>& values) {
+  if (values.size() <= 1) return 1.0;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (const double v : values) {
+    sum += v;
+    sum_sq += v * v;
+  }
+  if (sum_sq <= 0.0) return 1.0;  // all-zero: equally unserved is fair
+  return (sum * sum) / (static_cast<double>(values.size()) * sum_sq);
+}
+
+FairnessStats SuccessRateFairness(const std::vector<double>& rates) {
+  FairnessStats stats;
+  stats.users = static_cast<int>(rates.size());
+  if (rates.empty()) return stats;
+  stats.jain = JainIndex(rates);
+  stats.min = rates.front();
+  stats.max = rates.front();
+  double sum = 0.0;
+  for (const double r : rates) {
+    sum += r;
+    stats.min = std::min(stats.min, r);
+    stats.max = std::max(stats.max, r);
+  }
+  stats.mean = sum / static_cast<double>(rates.size());
+  double m2 = 0.0;
+  for (const double r : rates) m2 += (r - stats.mean) * (r - stats.mean);
+  stats.variance = m2 / static_cast<double>(rates.size());
+  return stats;
+}
+
+AmplificationStats ComputeAmplification(std::uint64_t hop_attempts,
+                                        std::uint64_t server_retries,
+                                        std::uint64_t client_attempts,
+                                        std::uint64_t client_intents) {
+  AmplificationStats amp;
+  amp.hop_attempts = hop_attempts;
+  amp.server_retries = server_retries;
+  amp.client_attempts = client_attempts;
+  amp.client_intents = client_intents;
+  const std::uint64_t first_hops =
+      hop_attempts >= server_retries ? hop_attempts - server_retries : 0;
+  if (first_hops > 0) {
+    amp.hop_amplification =
+        static_cast<double>(hop_attempts) / static_cast<double>(first_hops);
+  }
+  if (client_intents > 0) {
+    amp.client_amplification = static_cast<double>(client_attempts) /
+                               static_cast<double>(client_intents);
+  }
+  amp.total = amp.hop_amplification * amp.client_amplification;
+  return amp;
+}
+
+}  // namespace topfull::obs

@@ -1,0 +1,60 @@
+// Multi-tenant fairness and retry-amplification statistics.
+//
+// WeChat's DAGOR experience says the production metric is per-user success
+// under business x user priorities, not aggregate per-API goodput: a
+// controller can post excellent goodput while starving a stable subset of
+// users. These helpers turn per-user outcome counters into the two numbers
+// the scenario invariants check — Jain's fairness index over per-user
+// success rates, and the compound client x per-hop retry amplification
+// factor. Everything is a pure function of the inputs (no registry, no
+// simulation access), so the scenario engine can evaluate them identically
+// on any thread.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace topfull::obs {
+
+/// Jain's fairness index (sum x)^2 / (n * sum x^2) of non-negative
+/// allocations; 1.0 = perfectly fair, 1/n = one user gets everything.
+/// Degenerate inputs — empty, single element, or all-zero (everyone
+/// equally unserved) — are defined as 1.0.
+double JainIndex(const std::vector<double>& values);
+
+/// Summary of a per-user success-rate distribution.
+struct FairnessStats {
+  int users = 0;           ///< users contributing a rate
+  double jain = 1.0;       ///< Jain's index of the rates
+  double mean = 0.0;
+  double variance = 0.0;   ///< population variance
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// Stats over per-user success rates (each in [0, 1]). Users with no
+/// settled transactions must be excluded by the caller — a user who never
+/// issued a request carries no fairness signal.
+FairnessStats SuccessRateFairness(const std::vector<double>& rates);
+
+/// Compound retry amplification: how many RPCs one intended unit of work
+/// fans out into once client-level and per-hop retries stack.
+struct AmplificationStats {
+  std::uint64_t hop_attempts = 0;     ///< server-side hop dispatches (incl. retries)
+  std::uint64_t server_retries = 0;   ///< per-hop retry dispatches
+  std::uint64_t client_attempts = 0;  ///< client submissions (incl. client retries)
+  std::uint64_t client_intents = 0;   ///< client transactions started
+  double hop_amplification = 1.0;     ///< hop_attempts / first-attempt hops
+  double client_amplification = 1.0;  ///< client_attempts / client_intents
+  double total = 1.0;                 ///< product of the two factors
+};
+
+/// Builds the stats from raw counters (sim::Application::HopAttempts() /
+/// Retries() and the closed-loop pools' outcome totals). Zero denominators
+/// yield factor 1.0.
+AmplificationStats ComputeAmplification(std::uint64_t hop_attempts,
+                                        std::uint64_t server_retries,
+                                        std::uint64_t client_attempts,
+                                        std::uint64_t client_intents);
+
+}  // namespace topfull::obs

@@ -1,0 +1,174 @@
+#include "scenario/invariant.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace topfull::scenario {
+namespace {
+
+std::string Format(const char* fmt, double a, double b) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), fmt, a, b);
+  return buf;
+}
+
+std::string Format1(const char* fmt, double a) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), fmt, a);
+  return buf;
+}
+
+InvariantResult CheckGoodputFloor(const Invariant& inv,
+                                  const RunArtifacts& art) {
+  InvariantResult result{inv};
+  result.measured =
+      art.metrics != nullptr ? art.metrics->AvgTotalGoodput(inv.from_s) : 0.0;
+  result.ok = result.measured >= inv.value;
+  result.detail = Format("avg goodput %.1f rps vs floor %.1f", result.measured,
+                         inv.value);
+  return result;
+}
+
+// Escapes overload: every overload onset observed at or after `from_s`
+// (and any episode already open at `from_s`) must clear within `value`
+// seconds of the deadline start. The deadline is from_s + value; an onset
+// whose clear never arrives, arrives late, or an onset occurring after
+// the deadline each violate. `measured` reports the latest time the
+// system was overloaded (or the deadline itself when it never recovered).
+InvariantResult CheckEscapesOverload(const Invariant& inv,
+                                     const RunArtifacts& art) {
+  InvariantResult result{inv};
+  const double deadline = inv.from_s + inv.value;
+  result.measured = 0.0;
+  result.detail =
+      Format("all overload cleared before %.1f s (budget %.1f s)", deadline,
+             inv.value);
+  if (art.slo_events == nullptr) return result;
+
+  // Track open overload episodes per subject; events are time-ordered.
+  std::vector<std::pair<std::string, obs::SloEvent>> open;
+  for (const obs::SloEvent& ev : *art.slo_events) {
+    if (ev.type == obs::SloEventType::kOverloadOnset) {
+      if (ev.t_s >= deadline) {
+        result.ok = false;
+        result.measured = ev.t_s;
+        result.witness = ev;
+        result.detail = Format(
+            "overload onset at %.1f s, past the %.1f s escape deadline",
+            ev.t_s, deadline);
+        return result;
+      }
+      open.emplace_back(ev.subject, ev);
+    } else if (ev.type == obs::SloEventType::kOverloadClear) {
+      for (auto it = open.begin(); it != open.end(); ++it) {
+        if (it->first == ev.subject) {
+          if (ev.t_s > deadline) {
+            result.ok = false;
+            result.measured = ev.t_s;
+            result.witness = it->second;
+            result.detail = Format(
+                "overload cleared only at %.1f s, after the %.1f s deadline",
+                ev.t_s, deadline);
+            return result;
+          }
+          result.measured = std::max(result.measured, ev.t_s);
+          open.erase(it);
+          break;
+        }
+      }
+    }
+  }
+  if (!open.empty()) {
+    result.ok = false;
+    result.measured = deadline;
+    result.witness = open.front().second;
+    result.detail = Format(
+        "overload from %.1f s never cleared (deadline %.1f s)",
+        open.front().second.t_s, deadline);
+  }
+  return result;
+}
+
+InvariantResult CheckAmplification(const Invariant& inv,
+                                   const RunArtifacts& art) {
+  InvariantResult result{inv};
+  result.measured = art.amplification.total;
+  result.ok = result.measured <= inv.value;
+  result.detail = Format("retry amplification %.3f vs cap %.3f",
+                         result.measured, inv.value);
+  return result;
+}
+
+InvariantResult CheckFairness(const Invariant& inv, const RunArtifacts& art) {
+  InvariantResult result{inv};
+  result.measured = MinTenantFairness(art.tenant_outcomes);
+  result.ok = result.measured >= inv.value;
+  result.detail = Format("min tenant Jain index %.4f vs floor %.4f",
+                         result.measured, inv.value);
+  return result;
+}
+
+InvariantResult CheckNoOscillation(const Invariant& inv,
+                                   const RunArtifacts& art) {
+  InvariantResult result{inv};
+  result.detail = Format1("no controller oscillation at/after %.1f s",
+                          inv.from_s);
+  if (art.slo_events == nullptr) return result;
+  for (const obs::SloEvent& ev : *art.slo_events) {
+    if (ev.type == obs::SloEventType::kOscillation && ev.t_s >= inv.from_s) {
+      result.ok = false;
+      result.measured = ev.t_s;
+      result.witness = ev;
+      result.detail =
+          Format("oscillation at %.1f s (quiet required after %.1f s)",
+                 ev.t_s, inv.from_s);
+      return result;
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+double MinTenantFairness(
+    const std::vector<std::vector<workload::UserOutcomes>>& tenant_outcomes) {
+  double min_jain = 1.0;
+  for (const auto& users : tenant_outcomes) {
+    std::vector<double> rates;
+    rates.reserve(users.size());
+    for (const workload::UserOutcomes& u : users) {
+      if (u.ok + u.failed > 0) rates.push_back(u.SuccessRate());
+    }
+    if (rates.empty()) continue;  // tenant never settled a request
+    min_jain = std::min(min_jain, obs::JainIndex(rates));
+  }
+  return min_jain;
+}
+
+std::vector<InvariantResult> CheckInvariants(const ScenarioSpec& spec,
+                                             const RunArtifacts& artifacts) {
+  std::vector<InvariantResult> results;
+  results.reserve(spec.invariants.size());
+  for (const Invariant& inv : spec.invariants) {
+    switch (inv.kind) {
+      case InvariantKind::kGoodputFloor:
+        results.push_back(CheckGoodputFloor(inv, artifacts));
+        break;
+      case InvariantKind::kEscapesOverloadBy:
+        results.push_back(CheckEscapesOverload(inv, artifacts));
+        break;
+      case InvariantKind::kMaxRetryAmplification:
+        results.push_back(CheckAmplification(inv, artifacts));
+        break;
+      case InvariantKind::kFairnessIndexMin:
+        results.push_back(CheckFairness(inv, artifacts));
+        break;
+      case InvariantKind::kNoOscillationAfter:
+        results.push_back(CheckNoOscillation(inv, artifacts));
+        break;
+    }
+  }
+  return results;
+}
+
+}  // namespace topfull::scenario

@@ -1,0 +1,60 @@
+// Invariant evaluation over a finished scenario run.
+//
+// Each invariant is a pure predicate over the run's artefacts — the
+// metrics timeline, the SLO-monitor event stream, the per-user outcome
+// counters and the retry counters — so checking is deterministic and
+// independent of thread count. A failed check carries the measured value
+// and, where one exists, the SLO event that witnesses the violation
+// (e.g. the overload onset that never cleared), so a CI failure names the
+// exact moment the scenario went wrong.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/fairness.hpp"
+#include "obs/slo_monitor.hpp"
+#include "scenario/scenario.hpp"
+#include "sim/metrics.hpp"
+#include "workload/generators.hpp"
+
+namespace topfull::scenario {
+
+/// Outcome of one invariant check.
+struct InvariantResult {
+  Invariant invariant;
+  bool ok = true;
+  /// The measured quantity the threshold was compared against.
+  double measured = 0.0;
+  /// Human-readable account of the check.
+  std::string detail;
+  /// The SLO event witnessing the violation, when one exists.
+  std::optional<obs::SloEvent> witness;
+  /// Whether the scenario declares this controller is *supposed* to
+  /// violate this invariant (filled by the matrix runner, not the check).
+  bool expected_violation = false;
+};
+
+/// Everything the checks need from a finished run. All pointers are
+/// borrowed and must outlive the call.
+struct RunArtifacts {
+  const sim::MetricsCollector* metrics = nullptr;
+  const std::vector<obs::SloEvent>* slo_events = nullptr;
+  /// Per-tenant, per-user outcome counters (one inner vector per pool).
+  std::vector<std::vector<workload::UserOutcomes>> tenant_outcomes;
+  obs::AmplificationStats amplification;
+};
+
+/// Evaluates every invariant of `spec` against the artefacts, in spec
+/// order.
+std::vector<InvariantResult> CheckInvariants(const ScenarioSpec& spec,
+                                             const RunArtifacts& artifacts);
+
+/// Minimum Jain index across tenants, over per-user success rates of users
+/// with at least one settled transaction. Tenants with no such user (and a
+/// run with no tenants at all) contribute 1.0.
+double MinTenantFairness(
+    const std::vector<std::vector<workload::UserOutcomes>>& tenant_outcomes);
+
+}  // namespace topfull::scenario

@@ -1,0 +1,133 @@
+#include "scenario/library.hpp"
+
+namespace topfull::scenario {
+namespace {
+
+// Retry storm: a 2x surge with aggressive retries at both layers. Each
+// client transaction may be submitted up to 3 times and every hop may be
+// dispatched up to 2 times, so unchecked timeouts can inflate one intent
+// into ~6x the RPC work. Adaptive admission keeps latency below the
+// timeout lines and the compound amplification small; a mis-tuned static
+// limit rejects so much that client-level retries alone blow the cap.
+ScenarioSpec RetryStorm() {
+  return ScenarioSpec::Make("retry_storm", "boutique")
+      .Describe("client x per-hop retry amplification under a 2x surge")
+      .Seed(11)
+      .Duration(150.0)
+      .Phase(0.0, 500.0)
+      .Phase(30.0, 3200.0)
+      .Phase(100.0, 500.0)
+      .Client(/*timeout_s=*/2.0, /*retries=*/3, /*backoff_s=*/0.2)
+      .Rpc(/*timeout_s=*/0.5, /*retries=*/1, /*backoff_s=*/0.05)
+      .StaticRate(1000.0)
+      .Require(InvariantKind::kMaxRetryAmplification, 3.35)
+      .Require(InvariantKind::kGoodputFloor, 400.0, 30.0)
+      .ExpectViolation("static", InvariantKind::kMaxRetryAmplification)
+      .ExpectViolation("static", InvariantKind::kGoodputFloor);
+}
+
+// Metastable trap: the spike is over at t=70 s, yet pending queues plus
+// client retry loops keep offered load above capacity — the system has
+// entered the metastable failure state of Bronson et al. The invariant
+// asks whether admission control breaks the feedback loop within 40 s of
+// the trigger ending. A static limit provisioned for the steady state
+// admits the whole retry backlog and never recovers.
+ScenarioSpec MetastableTrap() {
+  return ScenarioSpec::Make("metastable_trap", "boutique")
+      .Describe("retry feedback sustains overload after the spike ends")
+      .Seed(23)
+      .Duration(180.0)
+      .Phase(0.0, 400.0)
+      .Phase(40.0, 3000.0)
+      .Phase(70.0, 700.0)
+      .Client(/*timeout_s=*/3.0, /*retries=*/3, /*backoff_s=*/0.25)
+      .Rpc(/*timeout_s=*/0.8, /*retries=*/1, /*backoff_s=*/0.05)
+      .StaticRate(1200.0)
+      .Require(InvariantKind::kEscapesOverloadBy, 40.0, 70.0)
+      .Require(InvariantKind::kGoodputFloor, 300.0, 120.0)
+      .ExpectViolation("static", InvariantKind::kEscapesOverloadBy)
+      .ExpectViolation("static", InvariantKind::kGoodputFloor);
+}
+
+// Flash crowd: a steep 15 s climb to a sustained peak, then a slow decay
+// (the breaking-news shape). Controllers must track the ramp both ways
+// without rate-limit oscillation once the crowd is gone.
+ScenarioSpec FlashCrowd() {
+  return ScenarioSpec::Make("flash_crowd", "boutique")
+      .Describe("steep ramp to sustained peak, slow decay")
+      .Seed(31)
+      .Duration(200.0)
+      .Phase(0.0, 500.0)
+      .Phase(40.0, 3000.0, /*ramp_s=*/15.0)
+      .Phase(90.0, 500.0, /*ramp_s=*/60.0)
+      .Client(/*timeout_s=*/4.0, /*retries=*/1, /*backoff_s=*/0.2)
+      .StaticRate(400.0)
+      .Require(InvariantKind::kGoodputFloor, 500.0, 40.0)
+      .Require(InvariantKind::kEscapesOverloadBy, 30.0, 150.0);
+}
+
+// Diurnal replay: two day/night cycles with capacity crossed only near the
+// peaks. The controller has to ride the curve — goodput must track demand
+// through both troughs and peaks.
+ScenarioSpec Diurnal() {
+  return ScenarioSpec::Make("diurnal", "boutique")
+      .Describe("raised-cosine day/night replay, two cycles")
+      .Seed(47)
+      .Duration(240.0)
+      .Diurnal(/*low=*/400.0, /*high=*/2800.0, /*period_s=*/120.0)
+      .Client(/*timeout_s=*/4.0, /*retries=*/1, /*backoff_s=*/0.2)
+      .StaticRate(400.0)
+      .Require(InvariantKind::kGoodputFloor, 500.0, 0.0);
+}
+
+// Multi-tenant fairness: premium and free tenants share a saturated
+// system. DAGOR's user-priority cutoff is deliberately coarse — inside one
+// tenant it admits users below the threshold and starves the rest, so its
+// per-user Jain index collapses while per-API controllers (which are blind
+// to user identity) reject uniformly and stay fair.
+ScenarioSpec FairnessTiers() {
+  TenantSpec premium;
+  premium.name = "premium";
+  premium.weight = 0.3;
+  premium.priority_lo = 0;
+  premium.priority_hi = 15;
+  TenantSpec free_tier;
+  free_tier.name = "free";
+  free_tier.weight = 0.7;
+  free_tier.priority_lo = 100;
+  free_tier.priority_hi = 127;
+  return ScenarioSpec::Make("fairness_tiers", "boutique")
+      .Describe("premium/free user mix judged on per-user fairness")
+      .Seed(53)
+      .Duration(120.0)
+      .Phase(0.0, 600.0)
+      .Phase(20.0, 4500.0)
+      .Tenant(premium)
+      .Tenant(free_tier)
+      .Client(/*timeout_s=*/3.0, /*retries=*/0, /*backoff_s=*/0.2)
+      .StaticRate(150.0)
+      .Require(InvariantKind::kFairnessIndexMin, 0.8, 20.0)
+      .Require(InvariantKind::kGoodputFloor, 300.0, 20.0)
+      .ExpectViolation("dagor", InvariantKind::kFairnessIndexMin);
+}
+
+}  // namespace
+
+std::vector<ScenarioSpec> BuiltinScenarios() {
+  std::vector<ScenarioSpec> all;
+  all.push_back(RetryStorm());
+  all.push_back(MetastableTrap());
+  all.push_back(FlashCrowd());
+  all.push_back(Diurnal());
+  all.push_back(FairnessTiers());
+  return all;
+}
+
+std::optional<ScenarioSpec> FindBuiltinScenario(const std::string& name) {
+  for (ScenarioSpec& spec : BuiltinScenarios()) {
+    if (spec.name == name) return std::move(spec);
+  }
+  return std::nullopt;
+}
+
+}  // namespace topfull::scenario

@@ -1,0 +1,36 @@
+// The built-in workload-pathology families.
+//
+// Five named scenarios, each reproducing one production failure mode from
+// the overload-control literature:
+//
+//  - retry_storm       compounding client x per-hop retries under a surge
+//                      (the amplification pathology; Google SRE ch. 22)
+//  - metastable_trap   a spike ends but retry work keeps the system pinned
+//                      above capacity (Bronson et al., HotOS '21); the
+//                      invariant asks whether the controller escapes
+//  - flash_crowd       steep ramp to a sustained peak, then slow decay
+//  - diurnal           raised-cosine day/night replay, capacity crossed
+//                      only near the peaks
+//  - fairness_tiers    premium/free tenant mix under sustained overload,
+//                      judged on per-user fairness, not aggregate goodput
+//
+// Thresholds are calibrated against the committed simulator capacities, so
+// the matrix is a regression suite: a controller change that breaks an
+// invariant fails CI with the violating SLO event attached.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "scenario/scenario.hpp"
+
+namespace topfull::scenario {
+
+/// All built-in scenarios, in stable (report) order.
+std::vector<ScenarioSpec> BuiltinScenarios();
+
+/// Looks up one built-in scenario by name.
+std::optional<ScenarioSpec> FindBuiltinScenario(const std::string& name);
+
+}  // namespace topfull::scenario

@@ -1,0 +1,330 @@
+#include "scenario/profile.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+namespace topfull::scenario {
+namespace {
+
+using KeyValues = std::map<std::string, std::string>;
+
+std::string Trim(const std::string& s) {
+  const auto first = s.find_first_not_of(" \t\r");
+  if (first == std::string::npos) return "";
+  const auto last = s.find_last_not_of(" \t\r");
+  return s.substr(first, last - first + 1);
+}
+
+bool Fail(std::string* error, int line, const std::string& reason) {
+  if (error != nullptr) {
+    *error = "line " + std::to_string(line) + ": " + reason;
+  }
+  return false;
+}
+
+/// Parses `key=value, key=value`; rejects malformed pairs.
+bool ParseKeyValues(const std::string& body, int line, KeyValues* out,
+                    std::string* error) {
+  std::stringstream stream(body);
+  std::string pair;
+  while (std::getline(stream, pair, ',')) {
+    pair = Trim(pair);
+    if (pair.empty()) continue;
+    const auto eq = pair.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 >= pair.size()) {
+      return Fail(error, line, "malformed key=value pair '" + pair + "'");
+    }
+    (*out)[Trim(pair.substr(0, eq))] = Trim(pair.substr(eq + 1));
+  }
+  return true;
+}
+
+/// Rejects any key outside `allowed`; the parser never guesses at typos.
+bool CheckAllowedKeys(const KeyValues& kv,
+                      std::initializer_list<const char*> allowed,
+                      const std::string& directive, int line,
+                      std::string* error) {
+  for (const auto& [key, value] : kv) {
+    bool ok = false;
+    for (const char* a : allowed) {
+      if (key == a) {
+        ok = true;
+        break;
+      }
+    }
+    if (!ok) {
+      return Fail(error, line,
+                  "unknown key '" + key + "' in '" + directive + "' directive");
+    }
+  }
+  return true;
+}
+
+bool RequireKeys(const KeyValues& kv, std::initializer_list<const char*> keys,
+                 const std::string& directive, int line, std::string* error) {
+  for (const char* key : keys) {
+    if (kv.find(key) == kv.end()) {
+      return Fail(error, line,
+                  "'" + directive + "' directive missing required key '" +
+                      std::string(key) + "'");
+    }
+  }
+  return true;
+}
+
+/// Every key except the listed text-valued ones must parse fully as a
+/// number; junk like `users=many` is rejected rather than read as 0.
+bool CheckNumericValues(const KeyValues& kv,
+                        std::initializer_list<const char*> text_keys, int line,
+                        std::string* error) {
+  for (const auto& [key, value] : kv) {
+    bool text = false;
+    for (const char* t : text_keys) {
+      if (key == t) {
+        text = true;
+        break;
+      }
+    }
+    if (text) continue;
+    char* end = nullptr;
+    std::strtod(value.c_str(), &end);
+    if (end == value.c_str() || *end != '\0') {
+      return Fail(error, line,
+                  "non-numeric value '" + value + "' for key '" + key + "'");
+    }
+  }
+  return true;
+}
+
+double GetNum(const KeyValues& kv, const std::string& key, double fallback) {
+  const auto it = kv.find(key);
+  return it == kv.end() ? fallback : std::atof(it->second.c_str());
+}
+
+std::string GetStr(const KeyValues& kv, const std::string& key,
+                   const std::string& fallback = "") {
+  const auto it = kv.find(key);
+  return it == kv.end() ? fallback : it->second;
+}
+
+/// Parses a `prio=LO-HI` band (or a single `prio=P`).
+bool ParsePriorityBand(const std::string& value, int line, int* lo, int* hi,
+                       std::string* error) {
+  const auto dash = value.find('-');
+  char* end = nullptr;
+  if (dash == std::string::npos) {
+    *lo = *hi = static_cast<int>(std::strtol(value.c_str(), &end, 10));
+    if (end == value.c_str() || *end != '\0') {
+      return Fail(error, line, "malformed priority '" + value + "'");
+    }
+    return true;
+  }
+  const std::string lo_s = value.substr(0, dash);
+  const std::string hi_s = value.substr(dash + 1);
+  *lo = static_cast<int>(std::strtol(lo_s.c_str(), &end, 10));
+  if (end == lo_s.c_str() || *end != '\0') {
+    return Fail(error, line, "malformed priority band '" + value + "'");
+  }
+  *hi = static_cast<int>(std::strtol(hi_s.c_str(), &end, 10));
+  if (end == hi_s.c_str() || *end != '\0') {
+    return Fail(error, line, "malformed priority band '" + value + "'");
+  }
+  if (*lo < 0 || *hi < *lo) {
+    return Fail(error, line, "empty priority band '" + value + "'");
+  }
+  return true;
+}
+
+}  // namespace
+
+std::optional<std::vector<ScenarioSpec>> ParseScenarioProfile(
+    const std::string& text, std::string* error) {
+  std::vector<ScenarioSpec> specs;
+  ScenarioSpec* current = nullptr;
+
+  std::stringstream stream(text);
+  std::string raw;
+  int line = 0;
+  while (std::getline(stream, raw)) {
+    ++line;
+    const auto hash = raw.find('#');
+    if (hash != std::string::npos) raw = raw.substr(0, hash);
+    raw = Trim(raw);
+    if (raw.empty()) continue;
+
+    const auto colon = raw.find(':');
+    if (colon == std::string::npos) {
+      Fail(error, line, "directive '" + raw + "' has no ':'");
+      return std::nullopt;
+    }
+    const std::string directive = Trim(raw.substr(0, colon));
+    const std::string body = Trim(raw.substr(colon + 1));
+
+    if (directive == "scenario") {
+      KeyValues kv;
+      if (!ParseKeyValues(body, line, &kv, error)) return std::nullopt;
+      if (!CheckAllowedKeys(kv,
+                            {"name", "app", "duration", "seed", "static",
+                             "distinct_prio"},
+                            directive, line, error)) {
+        return std::nullopt;
+      }
+      if (!RequireKeys(kv, {"name"}, directive, line, error)) return std::nullopt;
+      if (!CheckNumericValues(kv, {"name", "app"}, line, error)) {
+        return std::nullopt;
+      }
+      const std::string name = GetStr(kv, "name");
+      for (const ScenarioSpec& s : specs) {
+        if (s.name == name) {
+          Fail(error, line, "duplicate scenario name '" + name + "'");
+          return std::nullopt;
+        }
+      }
+      ScenarioSpec spec = ScenarioSpec::Make(name, GetStr(kv, "app", "boutique"));
+      spec.duration_s = GetNum(kv, "duration", spec.duration_s);
+      spec.seed = static_cast<std::uint64_t>(GetNum(kv, "seed", 42.0));
+      spec.static_rate = GetNum(kv, "static", 0.0);
+      spec.distinct_priorities = GetNum(kv, "distinct_prio", 0.0) != 0.0;
+      specs.push_back(std::move(spec));
+      current = &specs.back();
+      continue;
+    }
+
+    if (current == nullptr) {
+      Fail(error, line,
+           "'" + directive + "' directive before the first 'scenario:'");
+      return std::nullopt;
+    }
+
+    if (directive == "fault") {
+      // Opaque fault-profile string, validated against the app at run time
+      // (the services it names do not exist yet at parse time).
+      if (body.empty()) {
+        Fail(error, line, "'fault' directive with empty profile");
+        return std::nullopt;
+      }
+      if (!current->fault_profile.empty()) current->fault_profile += ";";
+      current->fault_profile += body;
+      continue;
+    }
+
+    KeyValues kv;
+    if (!ParseKeyValues(body, line, &kv, error)) return std::nullopt;
+
+    if (directive == "phase") {
+      if (!CheckAllowedKeys(kv, {"at", "users", "ramp"}, directive, line,
+                            error) ||
+          !RequireKeys(kv, {"at", "users"}, directive, line, error) ||
+          !CheckNumericValues(kv, {}, line, error)) {
+        return std::nullopt;
+      }
+      WorkloadPhase phase{GetNum(kv, "at", 0.0), GetNum(kv, "users", 0.0),
+                          GetNum(kv, "ramp", 0.0)};
+      if (!current->phases.empty() && phase.at_s < current->phases.back().at_s) {
+        Fail(error, line, "phase times must be nondecreasing");
+        return std::nullopt;
+      }
+      current->phases.push_back(phase);
+    } else if (directive == "tenant") {
+      if (!CheckAllowedKeys(kv, {"name", "weight", "prio"}, directive, line,
+                            error) ||
+          !RequireKeys(kv, {"name", "weight"}, directive, line, error) ||
+          !CheckNumericValues(kv, {"name", "prio"}, line, error)) {
+        return std::nullopt;
+      }
+      TenantSpec tenant;
+      tenant.name = GetStr(kv, "name");
+      tenant.weight = GetNum(kv, "weight", 1.0);
+      if (kv.count("prio") != 0 &&
+          !ParsePriorityBand(kv.at("prio"), line, &tenant.priority_lo,
+                             &tenant.priority_hi, error)) {
+        return std::nullopt;
+      }
+      current->tenants.push_back(std::move(tenant));
+    } else if (directive == "client") {
+      if (!CheckAllowedKeys(kv, {"timeout", "retries", "backoff", "think"},
+                            directive, line, error) ||
+          !CheckNumericValues(kv, {}, line, error)) {
+        return std::nullopt;
+      }
+      current->client_timeout_s = GetNum(kv, "timeout", current->client_timeout_s);
+      current->client_retries =
+          static_cast<int>(GetNum(kv, "retries", current->client_retries));
+      current->client_retry_backoff_s =
+          GetNum(kv, "backoff", current->client_retry_backoff_s);
+      current->think_s = GetNum(kv, "think", current->think_s);
+    } else if (directive == "rpc") {
+      if (!CheckAllowedKeys(kv, {"timeout", "retries", "backoff"}, directive,
+                            line, error) ||
+          !CheckNumericValues(kv, {}, line, error)) {
+        return std::nullopt;
+      }
+      current->hop_timeout_s = GetNum(kv, "timeout", current->hop_timeout_s);
+      current->hop_retries =
+          static_cast<int>(GetNum(kv, "retries", current->hop_retries));
+      current->hop_retry_backoff_s =
+          GetNum(kv, "backoff", current->hop_retry_backoff_s);
+    } else if (directive == "diurnal") {
+      if (!CheckAllowedKeys(kv, {"low", "high", "period"}, directive, line,
+                            error) ||
+          !RequireKeys(kv, {"low", "high", "period"}, directive, line, error) ||
+          !CheckNumericValues(kv, {}, line, error)) {
+        return std::nullopt;
+      }
+      current->diurnal_low = GetNum(kv, "low", 0.0);
+      current->diurnal_high = GetNum(kv, "high", 0.0);
+      current->diurnal_period_s = GetNum(kv, "period", 0.0);
+    } else if (directive == "invariant") {
+      if (!CheckAllowedKeys(kv, {"kind", "value", "from"}, directive, line,
+                            error) ||
+          !RequireKeys(kv, {"kind"}, directive, line, error) ||
+          !CheckNumericValues(kv, {"kind"}, line, error)) {
+        return std::nullopt;
+      }
+      const auto kind = InvariantKindFromName(GetStr(kv, "kind"));
+      if (!kind.has_value()) {
+        Fail(error, line, "unknown invariant kind '" + GetStr(kv, "kind") + "'");
+        return std::nullopt;
+      }
+      current->Require(*kind, GetNum(kv, "value", 0.0), GetNum(kv, "from", 0.0));
+    } else if (directive == "expect_violation") {
+      if (!CheckAllowedKeys(kv, {"controller", "invariant"}, directive, line,
+                            error) ||
+          !RequireKeys(kv, {"controller", "invariant"}, directive, line,
+                       error)) {
+        return std::nullopt;
+      }
+      const auto kind = InvariantKindFromName(GetStr(kv, "invariant"));
+      if (!kind.has_value()) {
+        Fail(error, line,
+             "unknown invariant kind '" + GetStr(kv, "invariant") + "'");
+        return std::nullopt;
+      }
+      current->ExpectViolation(GetStr(kv, "controller"), *kind);
+    } else {
+      Fail(error, line, "unknown directive '" + directive + "'");
+      return std::nullopt;
+    }
+  }
+  if (specs.empty()) {
+    Fail(error, line, "profile declares no scenarios");
+    return std::nullopt;
+  }
+  return specs;
+}
+
+std::optional<std::vector<ScenarioSpec>> LoadScenarioProfile(
+    const std::string& path, std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    if (error != nullptr) *error = "cannot open profile '" + path + "'";
+    return std::nullopt;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return ParseScenarioProfile(buffer.str(), error);
+}
+
+}  // namespace topfull::scenario

@@ -1,0 +1,44 @@
+// Text profiles for scenario specs.
+//
+// A profile is a newline-separated list of directives, each
+// `directive: key=value, key=value, ...`, with `#` starting a comment.
+// One file may declare several scenarios; every directive after a
+// `scenario:` line configures that scenario until the next one.
+//
+//   # metastable trap, shrunk
+//   scenario: name=meta_smoke, app=boutique, duration=120, seed=7
+//   phase: at=0, users=300
+//   phase: at=40, users=2200
+//   phase: at=70, users=300
+//   client: timeout=4, retries=3, backoff=0.25
+//   rpc: timeout=0.5, retries=1, backoff=0.05
+//   invariant: kind=escapes_overload_by, value=40, from=70
+//   expect_violation: controller=static, invariant=escapes_overload_by
+//
+// Directives: scenario, phase, tenant, client, rpc, fault, diurnal,
+// invariant, expect_violation. The parser is strict — unknown directives
+// or keys, non-numeric values, duplicate scenario names, out-of-order
+// phases, and directives before the first `scenario:` are all rejected
+// with a line-numbered message, never a crash; malformed input is a
+// first-class test fixture (tests/data/scenarios/).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "scenario/scenario.hpp"
+
+namespace topfull::scenario {
+
+/// Parses a profile into scenario specs. Returns nullopt and sets *error
+/// (if non-null) on any malformed input.
+std::optional<std::vector<ScenarioSpec>> ParseScenarioProfile(
+    const std::string& text, std::string* error = nullptr);
+
+/// Reads and parses a profile file; distinguishes unreadable files from
+/// parse failures in *error.
+std::optional<std::vector<ScenarioSpec>> LoadScenarioProfile(
+    const std::string& path, std::string* error = nullptr);
+
+}  // namespace topfull::scenario

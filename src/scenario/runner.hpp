@@ -1,0 +1,71 @@
+// The scenario x controller conformance matrix.
+//
+// Runs every scenario under every requested controller, evaluates the
+// scenario's invariants against the finished run, and folds in the
+// expected-violation declarations: a cell *conforms* when each invariant's
+// outcome matches the expectation (holds when it should hold, breaks when
+// the scenario says this controller must break it). Cells execute on the
+// shared worker pool, one Simulation per cell, results in matrix order —
+// the JSON report is byte-identical for any TOPFULL_THREADS value and
+// with tracing on or off.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "obs/fairness.hpp"
+#include "scenario/invariant.hpp"
+#include "scenario/scenario.hpp"
+
+namespace topfull::scenario {
+
+/// One scenario x controller cell of the matrix.
+struct CellVerdict {
+  std::string scenario;
+  std::string controller;
+
+  std::vector<InvariantResult> invariants;
+  /// Every invariant held.
+  bool pass = false;
+  /// Each invariant matched its expectation (two-sided).
+  bool conforms = false;
+
+  double goodput_rps = 0.0;  ///< whole-run average total goodput
+  obs::FairnessStats fairness;
+  obs::AmplificationStats amplification;
+  std::size_t slo_events = 0;
+
+  /// Non-empty when the cell could not run (bad app name, bad fault
+  /// profile); a cell with an error never conforms.
+  std::string error;
+};
+
+struct MatrixOptions {
+  /// Controller names (exp::VariantFromName vocabulary), matrix order.
+  std::vector<std::string> controllers = {"topfull", "dagor", "breakwater",
+                                          "static"};
+  /// Worker pool (nullptr = ThreadPool::Global()).
+  ThreadPool* pool = nullptr;
+};
+
+/// Runs one cell on the calling thread.
+CellVerdict RunScenarioCell(const ScenarioSpec& spec,
+                            const std::string& controller);
+
+/// Runs the full matrix (scenarios x options.controllers, scenario-major
+/// order) on the worker pool.
+std::vector<CellVerdict> RunScenarioMatrix(
+    const std::vector<ScenarioSpec>& scenarios,
+    const MatrixOptions& options = {});
+
+/// Serialises verdicts as the "topfull.scenario_matrix.v1" JSON document.
+std::string MatrixReportJson(const std::vector<CellVerdict>& verdicts);
+
+/// Renders the per-cell verdict table to stdout.
+void PrintMatrixReport(const std::vector<CellVerdict>& verdicts);
+
+/// True when every cell conforms (the CI gate).
+bool AllConform(const std::vector<CellVerdict>& verdicts);
+
+}  // namespace topfull::scenario

@@ -1,0 +1,167 @@
+#include "scenario/scenario.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace topfull::scenario {
+
+const char* InvariantKindName(InvariantKind kind) {
+  switch (kind) {
+    case InvariantKind::kGoodputFloor: return "goodput_floor";
+    case InvariantKind::kEscapesOverloadBy: return "escapes_overload_by";
+    case InvariantKind::kMaxRetryAmplification: return "max_retry_amplification";
+    case InvariantKind::kFairnessIndexMin: return "fairness_index_min";
+    case InvariantKind::kNoOscillationAfter: return "no_oscillation_after";
+  }
+  return "unknown";
+}
+
+std::optional<InvariantKind> InvariantKindFromName(const std::string& name) {
+  if (name == "goodput_floor") return InvariantKind::kGoodputFloor;
+  if (name == "escapes_overload_by") return InvariantKind::kEscapesOverloadBy;
+  if (name == "max_retry_amplification") {
+    return InvariantKind::kMaxRetryAmplification;
+  }
+  if (name == "fairness_index_min") return InvariantKind::kFairnessIndexMin;
+  if (name == "no_oscillation_after") return InvariantKind::kNoOscillationAfter;
+  return std::nullopt;
+}
+
+ScenarioSpec ScenarioSpec::Make(std::string name, std::string app) {
+  ScenarioSpec spec;
+  spec.name = std::move(name);
+  spec.app = std::move(app);
+  return spec;
+}
+
+ScenarioSpec& ScenarioSpec::Describe(std::string text) {
+  description = std::move(text);
+  return *this;
+}
+
+ScenarioSpec& ScenarioSpec::Seed(std::uint64_t s) {
+  seed = s;
+  return *this;
+}
+
+ScenarioSpec& ScenarioSpec::Duration(double seconds) {
+  duration_s = seconds;
+  return *this;
+}
+
+ScenarioSpec& ScenarioSpec::Phase(double at_s, double users, double ramp_s) {
+  phases.push_back({at_s, users, ramp_s});
+  return *this;
+}
+
+ScenarioSpec& ScenarioSpec::Diurnal(double low, double high, double period_s) {
+  diurnal_low = low;
+  diurnal_high = high;
+  diurnal_period_s = period_s;
+  return *this;
+}
+
+ScenarioSpec& ScenarioSpec::Tenant(TenantSpec tenant) {
+  tenants.push_back(std::move(tenant));
+  return *this;
+}
+
+ScenarioSpec& ScenarioSpec::Client(double timeout_s, int retries,
+                                   double backoff_s, double think) {
+  client_timeout_s = timeout_s;
+  client_retries = retries;
+  client_retry_backoff_s = backoff_s;
+  think_s = think;
+  return *this;
+}
+
+ScenarioSpec& ScenarioSpec::Rpc(double timeout_s, int retries,
+                                double backoff_s) {
+  hop_timeout_s = timeout_s;
+  hop_retries = retries;
+  hop_retry_backoff_s = backoff_s;
+  return *this;
+}
+
+ScenarioSpec& ScenarioSpec::Faults(std::string profile) {
+  fault_profile = std::move(profile);
+  return *this;
+}
+
+ScenarioSpec& ScenarioSpec::StaticRate(double rate) {
+  static_rate = rate;
+  return *this;
+}
+
+ScenarioSpec& ScenarioSpec::DistinctPriorities(bool on) {
+  distinct_priorities = on;
+  return *this;
+}
+
+ScenarioSpec& ScenarioSpec::Require(InvariantKind kind, double value,
+                                    double from_s) {
+  invariants.push_back({kind, value, from_s});
+  return *this;
+}
+
+ScenarioSpec& ScenarioSpec::ExpectViolation(std::string controller,
+                                            InvariantKind kind) {
+  expected_violations.push_back({std::move(controller), kind});
+  return *this;
+}
+
+workload::Schedule ScenarioSpec::BuildUserSchedule() const {
+  if (diurnal_period_s > 0.0) {
+    return workload::Schedule::Diurnal(diurnal_low, diurnal_high,
+                                       Seconds(diurnal_period_s),
+                                       Seconds(duration_s));
+  }
+  workload::Schedule schedule = workload::Schedule::Constant(0.0);
+  double prev_users = 0.0;
+  for (const WorkloadPhase& phase : phases) {
+    const SimTime at = Seconds(phase.at_s);
+    if (phase.ramp_s > 0.0) {
+      // Stepped linear climb from the previous level, 1 s granularity
+      // (matching Schedule::Ramp), landing exactly on `users`.
+      const SimTime step = Seconds(1);
+      const auto steps =
+          std::max<int>(1, static_cast<int>(Seconds(phase.ramp_s) / step));
+      for (int i = 1; i <= steps; ++i) {
+        const double frac = static_cast<double>(i) / static_cast<double>(steps);
+        schedule.Then(at + i * step,
+                      prev_users + (phase.users - prev_users) * frac);
+      }
+    } else {
+      schedule.Then(at, phase.users);
+    }
+    prev_users = phase.users;
+  }
+  return schedule;
+}
+
+bool ScenarioSpec::ExpectsViolation(const std::string& controller,
+                                    InvariantKind kind) const {
+  for (const Expectation& e : expected_violations) {
+    if (e.controller == controller && e.invariant == kind) return true;
+  }
+  return false;
+}
+
+ScenarioSpec ScenarioSpec::TimeScaled(double factor) const {
+  ScenarioSpec scaled = *this;
+  scaled.duration_s *= factor;
+  for (WorkloadPhase& phase : scaled.phases) {
+    phase.at_s *= factor;
+    phase.ramp_s *= factor;
+  }
+  scaled.diurnal_period_s *= factor;
+  for (Invariant& inv : scaled.invariants) {
+    inv.from_s *= factor;
+    // The escape budget is itself a time; every other value is a
+    // rate/ratio threshold and survives the shrink untouched.
+    if (inv.kind == InvariantKind::kEscapesOverloadBy) inv.value *= factor;
+  }
+  return scaled;
+}
+
+}  // namespace topfull::scenario

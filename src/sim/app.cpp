@@ -237,6 +237,10 @@ Application::ArenaStats Application::Arena() const {
 }
 
 void Application::Submit(ApiId api, DoneFn on_done) {
+  Submit(api, SubmitOptions{}, std::move(on_done));
+}
+
+void Application::Submit(ApiId api, const SubmitOptions& options, DoneFn on_done) {
   assert(finalized_ && "Finalize() before submitting traffic");
   metrics_->OnOffered(api);
   if (observer_ != nullptr) observer_->OnOffered(api, sim_.Now());
@@ -252,7 +256,11 @@ void Application::Submit(ApiId api, DoneFn on_done) {
   req->info.id = next_request_id_++;
   req->info.api = api;
   req->info.business_priority = apis_[api].business_priority();
-  req->info.user_priority = static_cast<int>(rng_.UniformInt(0, 127));
+  // A pinned user priority consumes no randomness, so pools that pin it
+  // draw exactly the same gateway stream as before for unpinned traffic.
+  req->info.user_priority = options.user_priority >= 0
+                                ? options.user_priority
+                                : static_cast<int>(rng_.UniformInt(0, 127));
   req->start = sim_.Now();
   const auto& spec = apis_[api];
   const std::size_t path_index = spec.SamplePath(rng_.NextDouble());
@@ -281,6 +289,7 @@ void Application::StartAttempt(RequestRec* req, const CallNode* node, int attemp
     return;
   }
   Service& svc = *services_[node->service];
+  ++hop_attempts_;
   AttemptRec* a = attempt_pool_.Alloc();
   a->req = req;
   a->node = node;

@@ -78,6 +78,16 @@ struct AppConfig {
   SimTime retry_backoff = 0;
 };
 
+/// Optional per-request attribution supplied by the traffic source.
+struct SubmitOptions {
+  /// DAGOR-style user priority in [0, 127]. Negative keeps the legacy
+  /// behaviour of sampling a fresh priority per request at the gateway; a
+  /// non-negative value pins it, which is what gives a closed-loop *user*
+  /// a stable identity across all of their requests (multi-tenant
+  /// fairness scenarios depend on this).
+  int user_priority = -1;
+};
+
 class Application {
  public:
   /// Completion callback: outcome and end-to-end latency (0 on rejection).
@@ -114,6 +124,8 @@ class Application {
 
   /// Submits one client request for `api` at the current sim time.
   void Submit(ApiId api, DoneFn on_done = {});
+  /// Submit with explicit attribution (stable user priority, ...).
+  void Submit(ApiId api, const SubmitOptions& options, DoneFn on_done = {});
 
   // --- Access ---------------------------------------------------------------
 
@@ -167,6 +179,13 @@ class Application {
   /// Cumulative hop timeouts fired / retry attempts dispatched.
   std::uint64_t HopTimeouts() const { return hop_timeouts_; }
   std::uint64_t Retries() const { return retries_; }
+
+  /// Cumulative local hop attempts dispatched (first attempts + retries,
+  /// including attempts shed at dispatch). HopAttempts() - Retries() is the
+  /// number of first attempts, so the per-hop retry amplification factor is
+  /// HopAttempts() / (HopAttempts() - Retries()). Cross-shard proxy hops
+  /// count on the owning shard only (where the real dispatch happens).
+  std::uint64_t HopAttempts() const { return hop_attempts_; }
 
   // --- Sharding -------------------------------------------------------------
 
@@ -280,6 +299,7 @@ class Application {
   bool finalized_ = false;
   std::uint64_t hop_timeouts_ = 0;
   std::uint64_t retries_ = 0;
+  std::uint64_t hop_attempts_ = 0;
   ShardBinding shard_{};
   std::uint64_t remote_calls_out_ = 0;
   std::uint64_t remote_calls_in_ = 0;

@@ -41,6 +41,13 @@ void ClosedLoopPool::Reconcile() {
   }
 }
 
+int ClosedLoopPool::UserPriority(int user_index) const {
+  if (config_.user_priority_lo < 0) return -1;
+  const int lo = config_.user_priority_lo;
+  const int hi = std::max(config_.user_priority_hi, lo);
+  return lo + user_index % (hi - lo + 1);
+}
+
 void ClosedLoopPool::UserLoop(int user_index) {
   if (user_index >= target_users_) {
     --live_users_;
@@ -48,22 +55,35 @@ void ClosedLoopPool::UserLoop(int user_index) {
   }
   const sim::ApiId api = config_.mix.Sample(rng_.NextDouble());
   UserState& st = states_[static_cast<std::size_t>(user_index)];
+  st.api = api;
+  st.retries_left = config_.max_client_retries;
+  if (outcomes_.size() < states_.size()) outcomes_.resize(states_.size());
+  ++outcomes_[static_cast<std::size_t>(user_index)].intents;
+  IssueAttempt(user_index);
+}
+
+void ClosedLoopPool::IssueAttempt(int user_index) {
+  UserState& st = states_[static_cast<std::size_t>(user_index)];
   const std::uint32_t epoch = ++st.epoch;
   st.waiting = true;
   st.timeout = des::Simulation::TimerHandle{};
+  ++outcomes_[static_cast<std::size_t>(user_index)].attempts;
+  sim::SubmitOptions options;
+  options.user_priority = UserPriority(user_index);
   // The capture {pool, index, epoch} fits std::function's small buffer, so
   // submitting costs no allocation; the epoch check drops late responses
   // (the user already gave up — the server work was wasted).
-  app_->Submit(api, [this, user_index, epoch](sim::Outcome, SimTime) {
-    UserState& s = states_[static_cast<std::size_t>(user_index)];
-    if (s.epoch != epoch || !s.waiting) return;
-    s.waiting = false;
-    if (s.timeout.valid()) {
-      app_->sim().Cancel(s.timeout);
-      s.timeout = des::Simulation::TimerHandle{};
-    }
-    UserThink(user_index);
-  });
+  app_->Submit(st.api, options,
+               [this, user_index, epoch](sim::Outcome outcome, SimTime) {
+                 UserState& s = states_[static_cast<std::size_t>(user_index)];
+                 if (s.epoch != epoch || !s.waiting) return;
+                 s.waiting = false;
+                 if (s.timeout.valid()) {
+                   app_->sim().Cancel(s.timeout);
+                   s.timeout = des::Simulation::TimerHandle{};
+                 }
+                 OnAttemptDone(user_index, outcome == sim::Outcome::kCompleted);
+               });
   UserState& after = states_[static_cast<std::size_t>(user_index)];
   if (after.epoch != epoch || !after.waiting) return;  // resolved synchronously
   after.timeout = app_->sim().ScheduleAfter(
@@ -72,8 +92,32 @@ void ClosedLoopPool::UserLoop(int user_index) {
         if (s.epoch != epoch || !s.waiting) return;
         s.waiting = false;  // client gives up; a late response is ignored
         s.timeout = des::Simulation::TimerHandle{};
-        UserThink(user_index);
+        OnAttemptDone(user_index, false);
       });
+}
+
+void ClosedLoopPool::OnAttemptDone(int user_index, bool ok) {
+  UserState& st = states_[static_cast<std::size_t>(user_index)];
+  UserOutcomes& outcome = outcomes_[static_cast<std::size_t>(user_index)];
+  if (ok) {
+    ++outcome.ok;
+    UserThink(user_index);
+    return;
+  }
+  if (st.retries_left > 0) {
+    --st.retries_left;
+    const std::uint32_t epoch = st.epoch;
+    app_->sim().ScheduleAfter(config_.client_retry_backoff,
+                              [this, user_index, epoch]() {
+                                UserState& s =
+                                    states_[static_cast<std::size_t>(user_index)];
+                                if (s.epoch != epoch) return;  // superseded
+                                IssueAttempt(user_index);
+                              });
+    return;
+  }
+  ++outcome.failed;
+  UserThink(user_index);
 }
 
 void ClosedLoopPool::UserThink(int user_index) {
@@ -124,8 +168,12 @@ ClosedLoopPool& TrafficDriver::AddClosedLoop(ClosedLoopConfig config, Schedule u
       users = users.Scaled(share);
     }
   }
+  // Pool 0 keeps the historical fork label (byte-identical single-pool
+  // runs); additional pools get decorrelated streams.
+  const std::uint64_t salt =
+      HashLabel("closed-loop") ^ static_cast<std::uint64_t>(pools_.size());
   pools_.push_back(std::make_unique<ClosedLoopPool>(
-      app_, std::move(config), std::move(users), app_->rng().Fork("closed-loop")));
+      app_, std::move(config), std::move(users), app_->rng().Fork(salt)));
   pools_.back()->Start();
   return *pools_.back();
 }

@@ -37,6 +37,37 @@ struct ClosedLoopConfig {
   SimTime client_timeout = Seconds(5);
   /// How often the pool reconciles the live user count to the schedule.
   SimTime reconcile_period = Seconds(1);
+
+  /// Client-side retries: a user whose transaction fails (entry rejection,
+  /// service shed, or client timeout) re-issues the same API call up to
+  /// this many times after `client_retry_backoff`, before giving up and
+  /// thinking. Combined with per-hop server retries this is the compound
+  /// retry-storm amplifier; 0 keeps the legacy fire-and-move-on user.
+  int max_client_retries = 0;
+  SimTime client_retry_backoff = Millis(100);
+
+  /// Stable per-user DAGOR priority band: user i gets priority
+  /// lo + i % (hi - lo + 1). Negative `user_priority_lo` keeps the legacy
+  /// behaviour (a fresh random priority per request at the gateway).
+  int user_priority_lo = -1;
+  int user_priority_hi = -1;
+
+  /// Tenant-class label for fairness reporting ("" = unnamed).
+  std::string tenant;
+};
+
+/// Whole-lifetime outcome counters of one closed-loop user.
+struct UserOutcomes {
+  std::uint64_t intents = 0;   ///< transactions started
+  std::uint64_t attempts = 0;  ///< submissions, including client retries
+  std::uint64_t ok = 0;        ///< transactions answered successfully in time
+  std::uint64_t failed = 0;    ///< transactions abandoned after all retries
+
+  /// Success fraction of this user's finished transactions.
+  double SuccessRate() const {
+    const std::uint64_t settled = ok + failed;
+    return settled == 0 ? 0.0 : static_cast<double>(ok) / static_cast<double>(settled);
+  }
 };
 
 /// A pool of closed-loop users whose size follows a Schedule.
@@ -50,6 +81,17 @@ class ClosedLoopPool {
 
   int LiveUsers() const { return live_users_; }
 
+  /// Per-user outcome counters, indexed by user slot (slot i is the same
+  /// "person" across ramp-downs and re-spawns). Pure bookkeeping: tracking
+  /// them perturbs neither the event sequence nor any RNG stream.
+  const std::vector<UserOutcomes>& Outcomes() const { return outcomes_; }
+
+  /// The stable priority of user `i` under the configured band, or -1 when
+  /// the pool uses legacy per-request sampling.
+  int UserPriority(int user_index) const;
+
+  const ClosedLoopConfig& config() const { return config_; }
+
  private:
   /// Per-user request state, reused across the user's whole lifetime (no
   /// per-request allocation). `epoch` stamps each issued request so a late
@@ -58,11 +100,15 @@ class ClosedLoopPool {
   struct UserState {
     std::uint32_t epoch = 0;
     bool waiting = false;
+    sim::ApiId api = sim::kNoApi;
+    int retries_left = 0;
     des::Simulation::TimerHandle timeout{};
   };
 
   void Reconcile();
   void UserLoop(int user_index);
+  void IssueAttempt(int user_index);
+  void OnAttemptDone(int user_index, bool ok);
   void UserThink(int user_index);
 
   sim::Application* app_;
@@ -70,6 +116,7 @@ class ClosedLoopPool {
   Schedule users_;
   Rng rng_;
   std::vector<UserState> states_;
+  std::vector<UserOutcomes> outcomes_;
   int live_users_ = 0;
   int target_users_ = 0;
   bool started_ = false;
@@ -115,6 +162,12 @@ class TrafficDriver {
 
   /// Adds and starts an open-loop generator for `api`.
   OpenLoopGenerator& AddOpenLoop(sim::ApiId api, Schedule rate);
+
+  /// All closed-loop pools added so far (fairness scenarios read each
+  /// pool's per-user outcome counters after the run).
+  const std::vector<std::unique_ptr<ClosedLoopPool>>& pools() const {
+    return pools_;
+  }
 
  private:
   sim::Application* app_;

@@ -1,6 +1,7 @@
 #include "workload/schedule.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 namespace topfull::workload {
 
@@ -27,6 +28,35 @@ Schedule Schedule::Ramp(double from, double to, SimTime start, SimTime duration,
   for (int i = 1; i <= steps; ++i) {
     const double frac = static_cast<double>(i) / static_cast<double>(steps);
     s.Then(start + i * step, from + (to - from) * frac);
+  }
+  return s;
+}
+
+Schedule Schedule::Diurnal(double low, double high, SimTime period,
+                           SimTime horizon, SimTime step) {
+  Schedule s = Constant(low);
+  if (period <= 0 || step <= 0) return s;
+  constexpr double kTau = 6.283185307179586476925286766559;
+  for (SimTime t = step; t < horizon; t += step) {
+    const double phase = kTau * static_cast<double>(t) / static_cast<double>(period);
+    s.Then(t, low + (high - low) * 0.5 * (1.0 - std::cos(phase)));
+  }
+  return s;
+}
+
+Schedule Schedule::FlashCrowd(double base, SimTime at, double peak,
+                              SimTime ramp_up, SimTime hold, SimTime decay,
+                              SimTime step) {
+  Schedule s = Ramp(base, peak, at, ramp_up, step);
+  const SimTime down = at + ramp_up + hold;
+  if (decay <= 0 || step <= 0) {
+    s.Then(down, base);
+    return s;
+  }
+  const auto steps = static_cast<int>(decay / step);
+  for (int i = 1; i <= steps; ++i) {
+    const double frac = static_cast<double>(i) / static_cast<double>(steps);
+    s.Then(down + i * step, peak + (base - peak) * frac);
   }
   return s;
 }

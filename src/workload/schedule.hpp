@@ -25,6 +25,20 @@ class Schedule {
   static Schedule Ramp(double from, double to, SimTime start, SimTime duration,
                        SimTime step = Seconds(1));
 
+  /// Diurnal load curve: a raised-cosine oscillation between `low` and
+  /// `high` with the given period, starting at the trough, sampled every
+  /// `step` over [0, horizon) and holding the last sample afterwards. This
+  /// is the piecewise replay used for hours-long day/night scenarios.
+  static Schedule Diurnal(double low, double high, SimTime period,
+                          SimTime horizon, SimTime step = Seconds(10));
+
+  /// Flash crowd: `base` until `at`, a linear climb to `peak` over
+  /// `ramp_up`, a plateau of `hold`, then a linear decay back to `base`
+  /// over `decay`.
+  static Schedule FlashCrowd(double base, SimTime at, double peak,
+                             SimTime ramp_up, SimTime hold, SimTime decay,
+                             SimTime step = Seconds(1));
+
   /// Adds a breakpoint: value becomes `v` from time `t` onward. Breakpoints
   /// may be added in any order.
   Schedule& Then(SimTime t, double v);

@@ -1,0 +1,2 @@
+scenario: name=x
+diurnal: low=100, high=900

@@ -1,0 +1,2 @@
+scenario: name=x
+scenario: name=x

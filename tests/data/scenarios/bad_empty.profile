@@ -1,0 +1,3 @@
+# nothing but comments
+
+# still nothing

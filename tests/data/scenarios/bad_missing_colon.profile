@@ -1,0 +1,1 @@
+scenario name=x duration=60

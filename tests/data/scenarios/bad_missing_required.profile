@@ -1,0 +1,2 @@
+scenario: name=x
+tenant: weight=0.5

@@ -1,0 +1,2 @@
+# phase before any scenario directive
+phase: at=0, users=100

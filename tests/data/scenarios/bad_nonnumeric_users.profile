@@ -1,0 +1,2 @@
+scenario: name=x
+phase: at=0, users=many

@@ -1,0 +1,3 @@
+scenario: name=x
+phase: at=30, users=100
+phase: at=10, users=200

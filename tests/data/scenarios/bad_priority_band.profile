@@ -1,0 +1,2 @@
+scenario: name=x
+tenant: name=t, weight=1, prio=20-5

@@ -1,0 +1,1 @@
+scenario: app=boutique, duration=60

@@ -1,0 +1,2 @@
+scenario: name=x
+workload: users=100

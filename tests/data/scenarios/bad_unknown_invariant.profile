@@ -1,0 +1,2 @@
+scenario: name=x
+invariant: kind=latency_ceiling, value=1

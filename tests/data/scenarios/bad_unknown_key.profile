@@ -1,0 +1,2 @@
+scenario: name=x
+client: timeout=2, retires=3

@@ -1,0 +1,18 @@
+# A valid two-scenario profile exercising every directive.
+scenario: name=storm, app=boutique, duration=90, seed=7, static=800
+phase: at=0, users=300
+phase: at=20, users=2000, ramp=5
+phase: at=60, users=300
+tenant: name=premium, weight=0.4, prio=0-15
+tenant: name=free, weight=0.6, prio=100-127
+client: timeout=2, retries=2, backoff=0.2, think=1
+rpc: timeout=0.5, retries=1, backoff=0.05
+invariant: kind=max_retry_amplification, value=4
+invariant: kind=goodput_floor, value=200, from=20
+expect_violation: controller=static, invariant=goodput_floor
+
+scenario: name=daynight, duration=120, distinct_prio=1
+diurnal: low=200, high=1500, period=60
+fault: crash ProductCatalog at=30 for=10
+fault: slow Checkout at=50 for=20 factor=3
+invariant: kind=goodput_floor, value=100

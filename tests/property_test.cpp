@@ -17,10 +17,13 @@
 #include "core/clustering.hpp"
 #include "des/sharded_simulation.hpp"
 #include "des/simulation.hpp"
+#include "obs/fairness.hpp"
 #include "rl/graph_sim_env.hpp"
 #include "rl/observation.hpp"
 #include "rl/nn.hpp"
 #include "sim/app.hpp"
+#include "sim/request_observer.hpp"
+#include "workload/generators.hpp"
 #include "workload/schedule.hpp"
 
 namespace topfull {
@@ -589,6 +592,126 @@ TEST_P(ClusterTrackerSweep, HistoryCountsAndPartitionLabelsConsistent) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ClusterTrackerSweep,
                          ::testing::Range<std::uint64_t>(1, 9));
+
+// --- Retry amplification: span stream equals counters, bounded by policy -----
+//
+// Random retry/timeout configs on a small overloaded topology. Every
+// dispatched hop attempt settles as exactly one span event (done or shed),
+// so the span-stream attempt count must equal the engine's HopAttempts()
+// counter, and the compound amplification factor computed from the raw
+// counters must respect the closed-form policy bound
+// (hop_retries + 1) * (client_retries + 1).
+
+class AttemptCountingObserver : public sim::RequestObserver {
+ public:
+  void OnOffered(sim::ApiId, SimTime) override {}
+  void OnEntryRejected(sim::ApiId, SimTime) override {}
+  void OnAdmitted(sim::RequestId, sim::ApiId, SimTime) override {}
+  bool Tracing(sim::RequestId) const override { return true; }
+  void OnHopShed(sim::RequestId, sim::ServiceId, SimTime) override {
+    ++shed_;
+  }
+  void OnHopDone(sim::RequestId, sim::ServiceId, SimTime, SimTime, SimTime,
+                 bool) override {
+    ++done_;
+  }
+  void OnRequestDone(sim::RequestId, sim::ApiId, SimTime, SimTime,
+                     sim::Outcome, bool) override {}
+
+  std::uint64_t attempts() const { return done_ + shed_; }
+
+ private:
+  std::uint64_t done_ = 0;
+  std::uint64_t shed_ = 0;
+};
+
+class RetryAmplificationSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RetryAmplificationSweep, SpanStreamMatchesCountersWithinPolicyBound) {
+  Rng rng(GetParam() * 2657);
+  const int hop_retries = static_cast<int>(rng.UniformInt(0, 2));
+  const int client_retries = static_cast<int>(rng.UniformInt(0, 3));
+  const SimTime hop_timeout =
+      Millis(static_cast<std::int64_t>(rng.UniformInt(60, 400)));
+  const SimTime client_timeout =
+      Millis(static_cast<std::int64_t>(rng.UniformInt(500, 2000)));
+
+  // A 3-service chain with tight queues: overload produces timeouts and
+  // sheds at both layers, exercising both retry amplifiers.
+  auto app = std::make_unique<sim::Application>("amp", GetParam());
+  for (int s = 0; s < 3; ++s) {
+    sim::ServiceConfig config;
+    config.name = "s" + std::to_string(s);
+    config.mean_service_ms = rng.Uniform(5.0, 25.0);
+    config.threads = 2;
+    config.max_queue = static_cast<int>(rng.UniformInt(8, 48));
+    app->AddService(config);
+  }
+  sim::ApiSpec spec("api0", 1);
+  spec.AddPath(sim::ExecutionPath{sim::Chain({0, 1, 2}), 1.0, {}});
+  app->AddApi(std::move(spec));
+  app->Finalize();
+  app->ConfigureRpc(hop_timeout, hop_retries, Millis(20));
+
+  AttemptCountingObserver observer;
+  app->SetObserver(&observer);
+
+  // Overload for 8 s, then drain: users drop to zero and the run continues
+  // until every in-flight attempt has settled.
+  workload::ClosedLoopConfig config;
+  config.mix.weights = {1.0};
+  config.think = Millis(200);
+  config.client_timeout = client_timeout;
+  config.max_client_retries = client_retries;
+  config.client_retry_backoff = Millis(50);
+  workload::Schedule users = workload::Schedule::Constant(0.0);
+  users.Then(0, rng.Uniform(40.0, 120.0));
+  users.Then(Seconds(8), 0.0);
+  workload::TrafficDriver driver(app.get());
+  driver.AddClosedLoop(config, users);
+  app->RunFor(Seconds(40));
+  ASSERT_EQ(app->Inflight(), 0);
+
+  // Span stream == engine counter: every dispatched attempt settled as
+  // exactly one OnHopDone or OnHopShed.
+  EXPECT_EQ(observer.attempts(), app->HopAttempts());
+
+  std::uint64_t client_attempts = 0;
+  std::uint64_t client_intents = 0;
+  for (const workload::UserOutcomes& user : driver.pools()[0]->Outcomes()) {
+    client_attempts += user.attempts;
+    client_intents += user.intents;
+    EXPECT_LE(user.ok + user.failed, user.intents);
+    EXPECT_LE(user.intents, user.attempts);
+    // Per-user closed form: at most 1 + retries submissions per intent.
+    EXPECT_LE(user.attempts,
+              user.intents * static_cast<std::uint64_t>(client_retries + 1));
+  }
+  ASSERT_GT(client_intents, 0u);
+
+  const obs::AmplificationStats amp = obs::ComputeAmplification(
+      app->HopAttempts(), app->Retries(), client_attempts, client_intents);
+  EXPECT_DOUBLE_EQ(amp.total,
+                   amp.hop_amplification * amp.client_amplification);
+  // Closed-form policy bounds on each factor and the compound.
+  EXPECT_GE(amp.hop_amplification, 1.0);
+  EXPECT_LE(amp.hop_amplification, static_cast<double>(hop_retries + 1) + 1e-9);
+  EXPECT_GE(amp.client_amplification, 1.0);
+  EXPECT_LE(amp.client_amplification,
+            static_cast<double>(client_retries + 1) + 1e-9);
+  EXPECT_LE(amp.total, static_cast<double>((hop_retries + 1) *
+                                           (client_retries + 1)) +
+                           1e-9);
+  // The counters the factors derive from reconcile exactly.
+  EXPECT_EQ(amp.hop_attempts - amp.server_retries,
+            app->HopAttempts() - app->Retries());
+  // A zero-retry policy admits no amplification at all.
+  if (hop_retries == 0) EXPECT_DOUBLE_EQ(amp.hop_amplification, 1.0);
+  if (client_retries == 0) EXPECT_DOUBLE_EQ(amp.client_amplification, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RetryAmplificationSweep,
+                         ::testing::Range<std::uint64_t>(1, 13));
 
 // --- Sharded DES: conservative lookahead never violates causality ------------
 //

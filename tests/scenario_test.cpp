@@ -1,0 +1,727 @@
+// Scenario engine tests: spec builder and schedules, the invariant
+// checker over synthetic SLO-event streams, fairness/amplification
+// statistics, the text-profile parser (good path, inline malformed
+// inputs, the on-disk corpus, and a seeded fuzz sweep), the built-in
+// library's internal consistency, and the conformance matrix itself —
+// byte-identical JSON across pool sizes and tracing modes, the
+// metastable trap/escape demonstration, and sharded self-consistency.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "apps/online_boutique.hpp"
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "exp/harness.hpp"
+#include "exp/run_executor.hpp"
+#include "exp/sharded_run.hpp"
+#include "obs/fairness.hpp"
+#include "obs/slo_monitor.hpp"
+#include "scenario/invariant.hpp"
+#include "scenario/library.hpp"
+#include "scenario/profile.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/scenario.hpp"
+#include "workload/generators.hpp"
+
+namespace topfull::scenario {
+namespace {
+
+// --- Spec builder -------------------------------------------------------------
+
+TEST(ScenarioSpecTest, BuilderPopulatesEveryField) {
+  TenantSpec premium;
+  premium.name = "premium";
+  premium.weight = 0.25;
+  premium.priority_lo = 0;
+  premium.priority_hi = 7;
+  const ScenarioSpec spec =
+      ScenarioSpec::Make("storm", "trainticket")
+          .Describe("demo")
+          .Seed(99)
+          .Duration(75.0)
+          .Phase(0.0, 100.0)
+          .Phase(10.0, 900.0, /*ramp_s=*/4.0)
+          .Tenant(premium)
+          .Client(/*timeout_s=*/2.5, /*retries=*/3, /*backoff_s=*/0.3,
+                  /*think_s=*/0.5)
+          .Rpc(/*timeout_s=*/0.7, /*retries=*/2, /*backoff_s=*/0.1)
+          .Faults("crash s0 at=10 for=5")
+          .StaticRate(450.0)
+          .DistinctPriorities()
+          .Require(InvariantKind::kGoodputFloor, 200.0, 10.0)
+          .ExpectViolation("static", InvariantKind::kGoodputFloor);
+  EXPECT_EQ(spec.name, "storm");
+  EXPECT_EQ(spec.app, "trainticket");
+  EXPECT_EQ(spec.description, "demo");
+  EXPECT_EQ(spec.seed, 99u);
+  EXPECT_DOUBLE_EQ(spec.duration_s, 75.0);
+  ASSERT_EQ(spec.phases.size(), 2u);
+  EXPECT_DOUBLE_EQ(spec.phases[1].users, 900.0);
+  EXPECT_DOUBLE_EQ(spec.phases[1].ramp_s, 4.0);
+  ASSERT_EQ(spec.tenants.size(), 1u);
+  EXPECT_EQ(spec.tenants[0].priority_hi, 7);
+  EXPECT_DOUBLE_EQ(spec.client_timeout_s, 2.5);
+  EXPECT_EQ(spec.client_retries, 3);
+  EXPECT_DOUBLE_EQ(spec.client_retry_backoff_s, 0.3);
+  EXPECT_DOUBLE_EQ(spec.think_s, 0.5);
+  EXPECT_DOUBLE_EQ(spec.hop_timeout_s, 0.7);
+  EXPECT_EQ(spec.hop_retries, 2);
+  EXPECT_EQ(spec.fault_profile, "crash s0 at=10 for=5");
+  EXPECT_DOUBLE_EQ(spec.static_rate, 450.0);
+  EXPECT_TRUE(spec.distinct_priorities);
+  ASSERT_EQ(spec.invariants.size(), 1u);
+  EXPECT_DOUBLE_EQ(spec.invariants[0].from_s, 10.0);
+  EXPECT_TRUE(
+      spec.ExpectsViolation("static", InvariantKind::kGoodputFloor));
+  EXPECT_FALSE(
+      spec.ExpectsViolation("topfull", InvariantKind::kGoodputFloor));
+  EXPECT_FALSE(
+      spec.ExpectsViolation("static", InvariantKind::kFairnessIndexMin));
+}
+
+TEST(ScenarioSpecTest, KindNamesRoundTrip) {
+  for (const InvariantKind kind :
+       {InvariantKind::kGoodputFloor, InvariantKind::kEscapesOverloadBy,
+        InvariantKind::kMaxRetryAmplification,
+        InvariantKind::kFairnessIndexMin,
+        InvariantKind::kNoOscillationAfter}) {
+    const auto parsed = InvariantKindFromName(InvariantKindName(kind));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, kind);
+  }
+  EXPECT_FALSE(InvariantKindFromName("latency_ceiling").has_value());
+}
+
+TEST(ScenarioSpecTest, UserScheduleStepsBetweenPhases) {
+  const ScenarioSpec spec = ScenarioSpec::Make("steps")
+                                .Phase(0.0, 100.0)
+                                .Phase(30.0, 500.0)
+                                .Phase(60.0, 200.0);
+  const workload::Schedule users = spec.BuildUserSchedule();
+  EXPECT_DOUBLE_EQ(users.At(0), 100.0);
+  EXPECT_DOUBLE_EQ(users.At(Seconds(29)), 100.0);
+  EXPECT_DOUBLE_EQ(users.At(Seconds(30)), 500.0);
+  EXPECT_DOUBLE_EQ(users.At(Seconds(59)), 500.0);
+  EXPECT_DOUBLE_EQ(users.At(Seconds(90)), 200.0);
+}
+
+TEST(ScenarioSpecTest, UserScheduleRampClimbsAndLandsExactly) {
+  const ScenarioSpec spec = ScenarioSpec::Make("ramp")
+                                .Phase(0.0, 100.0)
+                                .Phase(30.0, 400.0, /*ramp_s=*/10.0);
+  const workload::Schedule users = spec.BuildUserSchedule();
+  // 1 s steps from the previous level: still 100 at the phase start, then
+  // +30 per second, landing exactly on 400 at 40 s.
+  EXPECT_DOUBLE_EQ(users.At(Seconds(30)), 100.0);
+  EXPECT_DOUBLE_EQ(users.At(Seconds(31)), 130.0);
+  EXPECT_DOUBLE_EQ(users.At(Seconds(35)), 250.0);
+  EXPECT_DOUBLE_EQ(users.At(Seconds(40)), 400.0);
+  EXPECT_DOUBLE_EQ(users.At(Seconds(90)), 400.0);
+  // Monotone along the whole climb.
+  for (int s = 30; s < 40; ++s) {
+    EXPECT_LE(users.At(Seconds(s)), users.At(Seconds(s + 1)));
+  }
+}
+
+TEST(ScenarioSpecTest, UserScheduleDiurnalRidesTheCosine) {
+  const ScenarioSpec spec =
+      ScenarioSpec::Make("diurnal").Duration(240.0).Diurnal(400.0, 2800.0,
+                                                            120.0);
+  const workload::Schedule users = spec.BuildUserSchedule();
+  // Raised cosine from the trough: low at t=0 and t=period, high at mid.
+  EXPECT_NEAR(users.At(0), 400.0, 1e-9);
+  EXPECT_NEAR(users.At(Seconds(60)), 2800.0, 1e-9);
+  EXPECT_NEAR(users.At(Seconds(120)), 400.0, 1e-9);
+  EXPECT_GT(users.At(Seconds(30)), 400.0);
+  EXPECT_LT(users.At(Seconds(30)), 2800.0);
+}
+
+TEST(ScenarioSpecTest, TimeScaledShrinksTimesButNotThresholds) {
+  const ScenarioSpec spec =
+      ScenarioSpec::Make("scale")
+          .Duration(100.0)
+          .Phase(0.0, 100.0)
+          .Phase(40.0, 800.0, /*ramp_s=*/8.0)
+          .Diurnal(100.0, 900.0, 60.0)
+          .Require(InvariantKind::kGoodputFloor, 300.0, 40.0)
+          .Require(InvariantKind::kEscapesOverloadBy, 20.0, 50.0);
+  const ScenarioSpec half = spec.TimeScaled(0.5);
+  EXPECT_DOUBLE_EQ(half.duration_s, 50.0);
+  EXPECT_DOUBLE_EQ(half.phases[1].at_s, 20.0);
+  EXPECT_DOUBLE_EQ(half.phases[1].ramp_s, 4.0);
+  EXPECT_DOUBLE_EQ(half.phases[1].users, 800.0);  // population untouched
+  EXPECT_DOUBLE_EQ(half.diurnal_period_s, 30.0);
+  EXPECT_DOUBLE_EQ(half.diurnal_high, 900.0);
+  // goodput floor: threshold is a rate, only from_s scales.
+  EXPECT_DOUBLE_EQ(half.invariants[0].value, 300.0);
+  EXPECT_DOUBLE_EQ(half.invariants[0].from_s, 20.0);
+  // escape budget: the value itself is a time, both scale.
+  EXPECT_DOUBLE_EQ(half.invariants[1].value, 10.0);
+  EXPECT_DOUBLE_EQ(half.invariants[1].from_s, 25.0);
+}
+
+// --- Invariant checker over synthetic event streams ---------------------------
+
+obs::SloEvent Event(double t_s, obs::SloEventType type,
+                    const std::string& subject) {
+  obs::SloEvent ev;
+  ev.t_s = t_s;
+  ev.type = type;
+  ev.subject = subject;
+  return ev;
+}
+
+ScenarioSpec EscapeSpec(double budget, double from) {
+  return ScenarioSpec::Make("x").Require(InvariantKind::kEscapesOverloadBy,
+                                         budget, from);
+}
+
+TEST(InvariantCheckerTest, EscapeHoldsWhenOverloadClearsInTime) {
+  const std::vector<obs::SloEvent> events = {
+      Event(50.0, obs::SloEventType::kOverloadOnset, "s1"),
+      Event(80.0, obs::SloEventType::kOverloadClear, "s1"),
+  };
+  RunArtifacts art;
+  art.slo_events = &events;
+  const auto results = CheckInvariants(EscapeSpec(40.0, 70.0), art);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_TRUE(results[0].ok);
+  EXPECT_DOUBLE_EQ(results[0].measured, 80.0);
+  EXPECT_FALSE(results[0].witness.has_value());
+  EXPECT_FALSE(results[0].expected_violation);  // checker never sets this
+}
+
+TEST(InvariantCheckerTest, EscapeFailsOnLateClearWithOnsetWitness) {
+  const std::vector<obs::SloEvent> events = {
+      Event(50.0, obs::SloEventType::kOverloadOnset, "s1"),
+      Event(120.0, obs::SloEventType::kOverloadClear, "s1"),
+  };
+  RunArtifacts art;
+  art.slo_events = &events;
+  const auto results = CheckInvariants(EscapeSpec(40.0, 70.0), art);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_FALSE(results[0].ok);
+  EXPECT_DOUBLE_EQ(results[0].measured, 120.0);
+  ASSERT_TRUE(results[0].witness.has_value());
+  EXPECT_EQ(results[0].witness->type, obs::SloEventType::kOverloadOnset);
+  EXPECT_DOUBLE_EQ(results[0].witness->t_s, 50.0);
+}
+
+TEST(InvariantCheckerTest, EscapeFailsWhenOverloadNeverClears) {
+  const std::vector<obs::SloEvent> events = {
+      Event(55.0, obs::SloEventType::kOverloadOnset, "s1"),
+  };
+  RunArtifacts art;
+  art.slo_events = &events;
+  const auto results = CheckInvariants(EscapeSpec(40.0, 70.0), art);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_FALSE(results[0].ok);
+  ASSERT_TRUE(results[0].witness.has_value());
+  EXPECT_EQ(results[0].witness->subject, "s1");
+  EXPECT_NE(results[0].detail.find("never cleared"), std::string::npos);
+}
+
+TEST(InvariantCheckerTest, EscapeFailsOnOnsetPastDeadline) {
+  const std::vector<obs::SloEvent> events = {
+      Event(115.0, obs::SloEventType::kOverloadOnset, "s2"),
+      Event(116.0, obs::SloEventType::kOverloadClear, "s2"),
+  };
+  RunArtifacts art;
+  art.slo_events = &events;
+  const auto results = CheckInvariants(EscapeSpec(40.0, 70.0), art);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_FALSE(results[0].ok);
+  EXPECT_DOUBLE_EQ(results[0].measured, 115.0);
+}
+
+TEST(InvariantCheckerTest, EscapeTracksEpisodesPerSubject) {
+  // s1's episode clears in time; s2's does not — s2 must be the witness.
+  const std::vector<obs::SloEvent> events = {
+      Event(10.0, obs::SloEventType::kOverloadOnset, "s1"),
+      Event(12.0, obs::SloEventType::kOverloadOnset, "s2"),
+      Event(20.0, obs::SloEventType::kOverloadClear, "s1"),
+      Event(200.0, obs::SloEventType::kOverloadClear, "s2"),
+  };
+  RunArtifacts art;
+  art.slo_events = &events;
+  const auto results = CheckInvariants(EscapeSpec(40.0, 70.0), art);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_FALSE(results[0].ok);
+  ASSERT_TRUE(results[0].witness.has_value());
+  EXPECT_EQ(results[0].witness->subject, "s2");
+}
+
+TEST(InvariantCheckerTest, NoOscillationHonoursTheQuietTime) {
+  const std::vector<obs::SloEvent> events = {
+      Event(90.0, obs::SloEventType::kOscillation, "api0"),
+  };
+  RunArtifacts art;
+  art.slo_events = &events;
+  const ScenarioSpec ok_spec = ScenarioSpec::Make("x").Require(
+      InvariantKind::kNoOscillationAfter, 0.0, 100.0);
+  EXPECT_TRUE(CheckInvariants(ok_spec, art)[0].ok);
+
+  const ScenarioSpec bad_spec = ScenarioSpec::Make("x").Require(
+      InvariantKind::kNoOscillationAfter, 0.0, 80.0);
+  const auto results = CheckInvariants(bad_spec, art);
+  EXPECT_FALSE(results[0].ok);
+  ASSERT_TRUE(results[0].witness.has_value());
+  EXPECT_EQ(results[0].witness->type, obs::SloEventType::kOscillation);
+}
+
+TEST(InvariantCheckerTest, AmplificationComparedAgainstCap) {
+  RunArtifacts art;
+  // 200 hop dispatches of which 50 retries -> hop factor 4/3; 300 client
+  // attempts over 100 intents -> client factor 3; total 4.
+  art.amplification = obs::ComputeAmplification(200, 50, 300, 100);
+  const ScenarioSpec tight = ScenarioSpec::Make("x").Require(
+      InvariantKind::kMaxRetryAmplification, 3.5);
+  const auto bad = CheckInvariants(tight, art);
+  EXPECT_FALSE(bad[0].ok);
+  EXPECT_DOUBLE_EQ(bad[0].measured, 4.0);
+  const ScenarioSpec loose = ScenarioSpec::Make("x").Require(
+      InvariantKind::kMaxRetryAmplification, 4.0);
+  EXPECT_TRUE(CheckInvariants(loose, art)[0].ok);
+}
+
+TEST(InvariantCheckerTest, GoodputFloorWithoutMetricsMeasuresZero) {
+  RunArtifacts art;  // metrics == nullptr
+  const ScenarioSpec spec =
+      ScenarioSpec::Make("x").Require(InvariantKind::kGoodputFloor, 100.0);
+  const auto results = CheckInvariants(spec, art);
+  EXPECT_FALSE(results[0].ok);
+  EXPECT_DOUBLE_EQ(results[0].measured, 0.0);
+}
+
+// --- Fairness / amplification statistics --------------------------------------
+
+TEST(FairnessStatsTest, JainIndexDegenerateCasesAreFair) {
+  EXPECT_DOUBLE_EQ(obs::JainIndex({}), 1.0);
+  EXPECT_DOUBLE_EQ(obs::JainIndex({0.7}), 1.0);
+  EXPECT_DOUBLE_EQ(obs::JainIndex({0.0, 0.0, 0.0}), 1.0);
+}
+
+TEST(FairnessStatsTest, JainIndexRanksSkewBelowEquality) {
+  EXPECT_DOUBLE_EQ(obs::JainIndex({0.5, 0.5, 0.5, 0.5}), 1.0);
+  EXPECT_DOUBLE_EQ(obs::JainIndex({1.0, 0.0}), 0.5);  // one user starved
+  // n users, one gets everything -> 1/n.
+  EXPECT_NEAR(obs::JainIndex({1.0, 0.0, 0.0, 0.0}), 0.25, 1e-12);
+  // Scale invariance.
+  EXPECT_NEAR(obs::JainIndex({0.2, 0.6, 0.9}),
+              obs::JainIndex({2.0, 6.0, 9.0}), 1e-12);
+}
+
+TEST(FairnessStatsTest, SuccessRateFairnessSummaryIsExact) {
+  const obs::FairnessStats stats = obs::SuccessRateFairness({1.0, 0.5});
+  EXPECT_EQ(stats.users, 2);
+  EXPECT_DOUBLE_EQ(stats.mean, 0.75);
+  EXPECT_DOUBLE_EQ(stats.variance, 0.0625);
+  EXPECT_DOUBLE_EQ(stats.min, 0.5);
+  EXPECT_DOUBLE_EQ(stats.max, 1.0);
+  EXPECT_NEAR(stats.jain, 0.9, 1e-12);
+
+  const obs::FairnessStats empty = obs::SuccessRateFairness({});
+  EXPECT_EQ(empty.users, 0);
+  EXPECT_DOUBLE_EQ(empty.jain, 1.0);
+  EXPECT_DOUBLE_EQ(empty.variance, 0.0);
+}
+
+TEST(FairnessStatsTest, ComputeAmplificationHandlesZeroDenominators) {
+  const obs::AmplificationStats none = obs::ComputeAmplification(0, 0, 0, 0);
+  EXPECT_DOUBLE_EQ(none.hop_amplification, 1.0);
+  EXPECT_DOUBLE_EQ(none.client_amplification, 1.0);
+  EXPECT_DOUBLE_EQ(none.total, 1.0);
+
+  const obs::AmplificationStats stats =
+      obs::ComputeAmplification(150, 50, 200, 100);
+  EXPECT_DOUBLE_EQ(stats.hop_amplification, 1.5);
+  EXPECT_DOUBLE_EQ(stats.client_amplification, 2.0);
+  EXPECT_DOUBLE_EQ(stats.total, 3.0);
+}
+
+TEST(FairnessStatsTest, MinTenantFairnessSkipsUnsettledTenants) {
+  EXPECT_DOUBLE_EQ(MinTenantFairness({}), 1.0);
+
+  workload::UserOutcomes lucky;
+  lucky.intents = lucky.attempts = lucky.ok = 10;
+  workload::UserOutcomes starved;
+  starved.intents = starved.attempts = starved.failed = 10;
+  workload::UserOutcomes idle;  // never settled: carries no signal
+
+  // Tenant 0 is perfectly fair, tenant 1 starves one of two users.
+  const std::vector<std::vector<workload::UserOutcomes>> outcomes = {
+      {lucky, lucky, idle},
+      {lucky, starved},
+  };
+  EXPECT_DOUBLE_EQ(MinTenantFairness(outcomes), 0.5);
+
+  // A tenant with only idle users contributes nothing (not a zero).
+  const std::vector<std::vector<workload::UserOutcomes>> idle_only = {
+      {idle, idle},
+  };
+  EXPECT_DOUBLE_EQ(MinTenantFairness(idle_only), 1.0);
+}
+
+// --- Profile parser -----------------------------------------------------------
+
+TEST(ScenarioProfileTest, ParsesEveryDirective) {
+  const std::string text = R"(# demo profile
+scenario: name=storm, app=trainticket, duration=90, seed=7, static=800, distinct_prio=1
+phase: at=0, users=300
+phase: at=20, users=2000, ramp=5
+tenant: name=premium, weight=0.4, prio=0-15
+tenant: name=free, weight=0.6, prio=50
+client: timeout=2, retries=2, backoff=0.2, think=0.5
+rpc: timeout=0.5, retries=1, backoff=0.05
+fault: crash s0 at=30 for=10
+fault: slow s1 at=50 for=20
+invariant: kind=max_retry_amplification, value=4
+invariant: kind=goodput_floor, value=200, from=20
+expect_violation: controller=static, invariant=goodput_floor
+
+scenario: name=daynight
+diurnal: low=200, high=1500, period=60
+invariant: kind=goodput_floor, value=100
+)";
+  std::string error;
+  const auto specs = ParseScenarioProfile(text, &error);
+  ASSERT_TRUE(specs.has_value()) << error;
+  ASSERT_EQ(specs->size(), 2u);
+
+  const ScenarioSpec& storm = (*specs)[0];
+  EXPECT_EQ(storm.name, "storm");
+  EXPECT_EQ(storm.app, "trainticket");
+  EXPECT_DOUBLE_EQ(storm.duration_s, 90.0);
+  EXPECT_EQ(storm.seed, 7u);
+  EXPECT_DOUBLE_EQ(storm.static_rate, 800.0);
+  EXPECT_TRUE(storm.distinct_priorities);
+  ASSERT_EQ(storm.phases.size(), 2u);
+  EXPECT_DOUBLE_EQ(storm.phases[1].ramp_s, 5.0);
+  ASSERT_EQ(storm.tenants.size(), 2u);
+  EXPECT_EQ(storm.tenants[0].priority_lo, 0);
+  EXPECT_EQ(storm.tenants[0].priority_hi, 15);
+  EXPECT_EQ(storm.tenants[1].priority_lo, 50);  // single-value band
+  EXPECT_EQ(storm.tenants[1].priority_hi, 50);
+  EXPECT_EQ(storm.client_retries, 2);
+  EXPECT_DOUBLE_EQ(storm.think_s, 0.5);
+  EXPECT_DOUBLE_EQ(storm.hop_timeout_s, 0.5);
+  // Multiple fault lines join with ';' (the fault-profile separator).
+  EXPECT_EQ(storm.fault_profile, "crash s0 at=30 for=10;slow s1 at=50 for=20");
+  ASSERT_EQ(storm.invariants.size(), 2u);
+  EXPECT_EQ(storm.invariants[0].kind, InvariantKind::kMaxRetryAmplification);
+  EXPECT_TRUE(storm.ExpectsViolation("static", InvariantKind::kGoodputFloor));
+
+  const ScenarioSpec& daynight = (*specs)[1];
+  EXPECT_EQ(daynight.app, "boutique");  // default
+  EXPECT_DOUBLE_EQ(daynight.diurnal_period_s, 60.0);
+}
+
+struct MalformedCase {
+  const char* text;
+  const char* expect;  // substring of the error message
+};
+
+TEST(ScenarioProfileTest, RejectsMalformedInputWithLineNumbers) {
+  const std::vector<MalformedCase> cases = {
+      {"phase: at=0, users=100\n", "before the first 'scenario:'"},
+      {"scenario: name=x\nworkload: users=9\n", "unknown directive"},
+      {"scenario name=x\n", "has no ':'"},
+      {"scenario: name=x\nphase: at=0, users=many\n", "non-numeric"},
+      {"scenario: name=x\nscenario: name=x\n", "duplicate scenario name"},
+      {"scenario: name=x\nphase: at=30, users=1\nphase: at=10, users=2\n",
+       "nondecreasing"},
+      {"scenario: name=x\ninvariant: kind=nope, value=1\n",
+       "unknown invariant kind"},
+      {"scenario: name=x\nclient: retires=3\n", "unknown key"},
+      {"scenario: name=x\ntenant: weight=1\n", "missing required key"},
+      {"scenario: name=x\nfault:\n", "empty profile"},
+      {"scenario: name=x\ntenant: name=t, weight=1, prio=20-5\n",
+       "priority band"},
+      {"scenario: name=x\ndiurnal: low=1, high=2\n", "missing required key"},
+      {"scenario: app=boutique\n", "missing required key 'name'"},
+      {"scenario: name=x\nexpect_violation: controller=static\n",
+       "missing required key"},
+      {"# only comments\n", "declares no scenarios"},
+      {"", "declares no scenarios"},
+  };
+  for (const MalformedCase& c : cases) {
+    std::string error;
+    const auto specs = ParseScenarioProfile(c.text, &error);
+    EXPECT_FALSE(specs.has_value()) << c.text;
+    EXPECT_NE(error.find(c.expect), std::string::npos)
+        << "input: " << c.text << "\nerror: " << error;
+    EXPECT_NE(error.find("line "), std::string::npos) << error;
+  }
+}
+
+TEST(ScenarioProfileTest, CorpusFilesParseAsLabelled) {
+  const std::filesystem::path dir = TOPFULL_SCENARIO_DATA_DIR;
+  ASSERT_TRUE(std::filesystem::is_directory(dir)) << dir;
+  int bad = 0, good = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    const std::string stem = entry.path().filename().string();
+    std::string error;
+    const auto specs = LoadScenarioProfile(entry.path().string(), &error);
+    if (stem.rfind("bad_", 0) == 0) {
+      ++bad;
+      EXPECT_FALSE(specs.has_value()) << stem;
+      EXPECT_NE(error.find("line "), std::string::npos)
+          << stem << ": " << error;
+    } else if (stem.rfind("good_", 0) == 0) {
+      ++good;
+      EXPECT_TRUE(specs.has_value()) << stem << ": " << error;
+      if (specs.has_value()) {
+        EXPECT_FALSE(specs->empty()) << stem;
+      }
+    } else {
+      ADD_FAILURE() << "corpus file without bad_/good_ prefix: " << stem;
+    }
+  }
+  EXPECT_GE(bad, 10) << "malformed corpus shrank";
+  EXPECT_GE(good, 1);
+}
+
+TEST(ScenarioProfileTest, FuzzNeverCrashesAndAlwaysExplains) {
+  // Seeded structural fuzz: random lines assembled from grammar fragments
+  // and junk. The parser must never crash and every rejection must carry a
+  // line-numbered message.
+  const std::vector<std::string> fragments = {
+      "scenario", "phase", "tenant", "client", "rpc", "fault", "diurnal",
+      "invariant", "expect_violation", "bogus", ":", "=", ",", "name", "x",
+      "at", "users", "kind", "goodput_floor", "1e9", "-3", "0.5", "NaN",
+      "many", "#", "prio", "0-15", "15-0", "\t", "scenario: name=ok",
+  };
+  Rng rng(20240808);
+  int parsed_ok = 0;
+  for (int iter = 0; iter < 300; ++iter) {
+    std::string text;
+    const int lines = static_cast<int>(rng.UniformInt(1, 12));
+    for (int l = 0; l < lines; ++l) {
+      const int tokens = static_cast<int>(rng.UniformInt(1, 8));
+      for (int t = 0; t < tokens; ++t) {
+        const auto pick = static_cast<std::size_t>(rng.UniformInt(
+            0, static_cast<std::int64_t>(fragments.size()) - 1));
+        text += fragments[pick];
+        if (rng.Bernoulli(0.5)) text += " ";
+      }
+      text += "\n";
+    }
+    std::string error;
+    const auto specs = ParseScenarioProfile(text, &error);
+    if (specs.has_value()) {
+      ++parsed_ok;
+      EXPECT_FALSE(specs->empty());
+    } else {
+      EXPECT_FALSE(error.empty()) << text;
+      EXPECT_NE(error.find("line "), std::string::npos) << error;
+    }
+  }
+  // The grammar fragments make some inputs valid; most must be rejected.
+  EXPECT_LT(parsed_ok, 300);
+}
+
+TEST(ScenarioProfileTest, LoadReportsUnreadableFiles) {
+  std::string error;
+  const auto specs =
+      LoadScenarioProfile("/nonexistent/scenarios.profile", &error);
+  EXPECT_FALSE(specs.has_value());
+  EXPECT_NE(error.find("cannot open"), std::string::npos);
+}
+
+// --- Built-in library ---------------------------------------------------------
+
+TEST(ScenarioLibraryTest, BuiltinsAreInternallyConsistent) {
+  const std::vector<ScenarioSpec> specs = BuiltinScenarios();
+  ASSERT_GE(specs.size(), 4u) << "the matrix needs >= 4 scenario families";
+  const MatrixOptions defaults;
+  std::vector<std::string> names;
+  for (const ScenarioSpec& spec : specs) {
+    names.push_back(spec.name);
+    EXPECT_FALSE(spec.description.empty()) << spec.name;
+    EXPECT_GT(spec.duration_s, 0.0) << spec.name;
+    EXPECT_FALSE(spec.invariants.empty()) << spec.name;
+    EXPECT_TRUE(!spec.phases.empty() || spec.diurnal_period_s > 0.0)
+        << spec.name << " drives no workload";
+    // Every expected violation must reference a declared invariant kind
+    // and a controller that is actually in the default matrix.
+    for (const Expectation& e : spec.expected_violations) {
+      bool declared = false;
+      for (const Invariant& inv : spec.invariants) {
+        declared = declared || inv.kind == e.invariant;
+      }
+      EXPECT_TRUE(declared) << spec.name << " expects a violation of an "
+                            << "invariant it never requires";
+      bool known = false;
+      for (const std::string& c : defaults.controllers) {
+        known = known || c == e.controller;
+      }
+      EXPECT_TRUE(known) << spec.name << " expects a violation from '"
+                         << e.controller << "', not a default controller";
+    }
+  }
+  std::sort(names.begin(), names.end());
+  EXPECT_EQ(std::unique(names.begin(), names.end()), names.end())
+      << "duplicate scenario names";
+
+  EXPECT_TRUE(FindBuiltinScenario("metastable_trap").has_value());
+  EXPECT_FALSE(FindBuiltinScenario("no_such_scenario").has_value());
+}
+
+// --- Matrix runner ------------------------------------------------------------
+
+// A deliberately small scenario so the determinism matrix stays cheap.
+ScenarioSpec MiniStorm() {
+  return ScenarioSpec::Make("mini_storm", "boutique")
+      .Seed(5)
+      .Duration(20.0)
+      .Phase(0.0, 200.0)
+      .Phase(5.0, 1200.0)
+      .Phase(15.0, 200.0)
+      .Client(/*timeout_s=*/2.0, /*retries=*/1, /*backoff_s=*/0.2)
+      .Rpc(/*timeout_s=*/0.5, /*retries=*/1, /*backoff_s=*/0.05)
+      .StaticRate(600.0)
+      .Require(InvariantKind::kGoodputFloor, 1.0)
+      .Require(InvariantKind::kMaxRetryAmplification, 50.0);
+}
+
+TEST(ScenarioMatrixTest, ReportByteIdenticalAcrossPoolSizesAndTracing) {
+  const std::vector<ScenarioSpec> specs = {MiniStorm()};
+  MatrixOptions options;
+  options.controllers = {"breakwater", "static"};
+
+  ThreadPool sequential(1);
+  options.pool = &sequential;
+  const std::string baseline =
+      MatrixReportJson(RunScenarioMatrix(specs, options));
+  ASSERT_NE(baseline.find("topfull.scenario_matrix.v1"), std::string::npos);
+
+  ThreadPool wide(4);
+  options.pool = &wide;
+  EXPECT_EQ(MatrixReportJson(RunScenarioMatrix(specs, options)), baseline)
+      << "matrix report depends on worker-pool size";
+
+  // Tracing on: telemetry attaches a tracer + exports, but the verdict
+  // stream must not move by a byte.
+  const std::string trace_dir =
+      ::testing::TempDir() + "scenario_matrix_trace";
+  ASSERT_EQ(::setenv("TOPFULL_TRACE_DIR", trace_dir.c_str(), 1), 0);
+  const std::string traced =
+      MatrixReportJson(RunScenarioMatrix(specs, options));
+  ASSERT_EQ(::unsetenv("TOPFULL_TRACE_DIR"), 0);
+  EXPECT_EQ(traced, baseline) << "matrix report depends on tracing";
+  std::filesystem::remove_all(trace_dir);
+}
+
+TEST(ScenarioMatrixTest, ErrorCellsNeverConform) {
+  const CellVerdict unknown_controller =
+      RunScenarioCell(MiniStorm(), "no_such_controller");
+  EXPECT_FALSE(unknown_controller.error.empty());
+  EXPECT_FALSE(unknown_controller.conforms);
+
+  ScenarioSpec bad_app = MiniStorm();
+  bad_app.app = "no_such_app";
+  const CellVerdict unknown_app = RunScenarioCell(bad_app, "static");
+  EXPECT_NE(unknown_app.error.find("unknown app"), std::string::npos);
+
+  ScenarioSpec bad_faults = MiniStorm();
+  bad_faults.fault_profile = "explode everything at=1";
+  const CellVerdict bad_fault_cell = RunScenarioCell(bad_faults, "static");
+  EXPECT_NE(bad_fault_cell.error.find("fault profile"), std::string::npos);
+
+  EXPECT_FALSE(AllConform({unknown_controller}));
+}
+
+// The ISSUE's acceptance demonstration: in the metastable scenario the
+// static limiter must stay trapped (its declared violations trip) while
+// TopFull escapes within the budget. Guards the calibrated library.
+TEST(ScenarioMatrixTest, MetastableTrapsStaticWhileTopFullEscapes) {
+  const auto spec = FindBuiltinScenario("metastable_trap");
+  ASSERT_TRUE(spec.has_value());
+
+  const CellVerdict trapped = RunScenarioCell(*spec, "static");
+  EXPECT_TRUE(trapped.error.empty()) << trapped.error;
+  EXPECT_FALSE(trapped.pass) << "static escaped the metastable trap";
+  EXPECT_TRUE(trapped.conforms) << "static's violations must all be declared";
+  bool escape_violated = false;
+  for (const InvariantResult& r : trapped.invariants) {
+    if (r.invariant.kind == InvariantKind::kEscapesOverloadBy) {
+      escape_violated = !r.ok;
+      EXPECT_TRUE(r.expected_violation);
+    }
+  }
+  EXPECT_TRUE(escape_violated) << "static cleared overload inside the budget";
+
+  const CellVerdict escaped = RunScenarioCell(*spec, "topfull");
+  EXPECT_TRUE(escaped.error.empty()) << escaped.error;
+  EXPECT_TRUE(escaped.pass) << "topfull failed to escape the trap";
+  EXPECT_TRUE(escaped.conforms);
+  EXPECT_GT(escaped.goodput_rps, trapped.goodput_rps)
+      << "escaping should out-serve staying trapped";
+}
+
+// --- Sharded self-consistency -------------------------------------------------
+
+// One scenario driven through the sharded engine: shards=4 must be
+// bit-identical between threaded and sequential execution, shards=1 must
+// equal the unsharded run, and the 4-shard goodput must agree with the
+// 1-shard goodput within the cross-shard-latency tolerance.
+TEST(ScenarioShardedTest, FourShardsSelfConsistent) {
+  const ScenarioSpec scenario = MiniStorm();
+
+  exp::RunSpec spec;
+  spec.label = "scenario_shard";
+  spec.duration_s = scenario.duration_s;
+  spec.make_app = [scenario]() {
+    apps::BoutiqueOptions options;
+    options.seed = scenario.seed;
+    return apps::MakeOnlineBoutique(options);
+  };
+  spec.traffic = [scenario](workload::TrafficDriver& driver,
+                            sim::Application& app) {
+    workload::ClosedLoopConfig config = exp::UniformUsers(app);
+    config.think = Seconds(scenario.think_s);
+    config.client_timeout = Seconds(scenario.client_timeout_s);
+    config.max_client_retries = scenario.client_retries;
+    config.client_retry_backoff = Seconds(scenario.client_retry_backoff_s);
+    driver.AddClosedLoop(std::move(config), scenario.BuildUserSchedule());
+  };
+  spec.variant = *exp::VariantFromName("breakwater");
+  spec.static_rate = scenario.static_rate;
+
+  exp::ShardedRunOptions threaded;
+  threaded.shards = 4;
+  threaded.threaded = true;
+  const exp::ShardedRunResult four = exp::RunShardedSpec(spec, threaded);
+
+  exp::ShardedRunOptions sequential = threaded;
+  sequential.threaded = false;
+  const exp::ShardedRunResult four_seq = exp::RunShardedSpec(spec, sequential);
+  EXPECT_DOUBLE_EQ(four.app->MergedAvgTotalGoodput(),
+                   four_seq.app->MergedAvgTotalGoodput())
+      << "threaded vs sequential sharded execution diverged";
+  EXPECT_EQ(four.app->Retries(), four_seq.app->Retries());
+  EXPECT_EQ(four.app->HopTimeouts(), four_seq.app->HopTimeouts());
+
+  exp::ShardedRunOptions single;
+  single.shards = 1;
+  const exp::ShardedRunResult one = exp::RunShardedSpec(spec, single);
+  const exp::RunResult unsharded = exp::RunExecutor::RunOne(spec);
+  EXPECT_DOUBLE_EQ(one.app->MergedAvgTotalGoodput(),
+                   unsharded.app->metrics().AvgTotalGoodput())
+      << "shards=1 must degenerate to the unsharded run";
+
+  const double goodput1 = one.app->MergedAvgTotalGoodput();
+  const double goodput4 = four.app->MergedAvgTotalGoodput();
+  ASSERT_GT(goodput1, 0.0);
+  EXPECT_NEAR(goodput4, goodput1, 0.2 * goodput1)
+      << "4-shard goodput drifted from the single-shard run";
+}
+
+}  // namespace
+}  // namespace topfull::scenario

@@ -13,6 +13,9 @@
 //   topfull report  [run options] [--out DIR]   # run + HTML report + summary
 //   topfull compare BASELINE.json CANDIDATE.json [--rel-tol R] [--abs-tol A]
 //   topfull serve   --dir DIR [--name NAME] [--port N] [--linger S]
+//   topfull scenario list [--profile FILE]
+//   topfull scenario run  [--controllers a,b,c] [--scenario NAME]
+//                         [--profile FILE] [--json FILE] [--smoke]
 //
 // Examples:
 //   topfull run --app boutique --controller topfull --users 2600 --duration 120
@@ -51,6 +54,9 @@
 #include "obs/live.hpp"
 #include "obs/profile.hpp"
 #include "obs/report.hpp"
+#include "scenario/library.hpp"
+#include "scenario/profile.hpp"
+#include "scenario/runner.hpp"
 
 using namespace topfull;
 
@@ -95,7 +101,8 @@ int Usage() {
       stderr,
       "usage:\n"
       "  topfull run --app <boutique|trainticket|alibaba>\n"
-      "              [--controller <topfull|topfull-bw|mimd|dagor|breakwater|none>]\n"
+      "              [--controller <topfull|topfull-bw|mimd|dagor|breakwater|\n"
+      "                             wisp|static|none>]\n"
       "              [--users N | --rps R] [--duration S] [--surge T:N]\n"
       "              [--priorities] [--probe-failures] [--hpa] [--seed S] [--csv FILE]\n"
       "              [--trace-dir DIR] [--trace-sample R]\n"
@@ -111,7 +118,14 @@ int Usage() {
       "                   serve a finished run's exported artifacts (the\n"
       "                   .metrics.prom / .summary.json written by report or\n"
       "                   --trace-dir) over HTTP; --linger S exits after S s\n"
+      "  topfull scenario list [--profile FILE]\n"
+      "                   print the workload-pathology scenario library\n"
+      "  topfull scenario run [--controllers a,b,c] [--scenario NAME]\n"
+      "                       [--profile FILE] [--json FILE] [--smoke]\n"
+      "                   run the scenario x controller conformance matrix;\n"
+      "                   exit 0 = every cell conforms to its invariants\n"
       "\n"
+      "  --static-rate R  (run) per-API entry rate for --controller static\n"
       "  --serve-port N   (run) embedded observability server on 127.0.0.1:N\n"
       "                   while the run executes: /metrics /healthz /runs\n"
       "                   /snapshot.json (N = 0 picks an ephemeral port)\n"
@@ -188,13 +202,22 @@ std::unique_ptr<obs::LivePlane> MakeLivePlane(const Args& args, int* rc) {
   return live;
 }
 
-exp::Variant VariantFromName(const std::string& name) {
-  if (name == "topfull") return exp::Variant::kTopFull;
-  if (name == "topfull-bw") return exp::Variant::kTopFullBw;
-  if (name == "mimd") return exp::Variant::kTopFullMimd;
-  if (name == "dagor") return exp::Variant::kDagor;
-  if (name == "breakwater") return exp::Variant::kBreakwater;
-  return exp::Variant::kNoControl;
+/// Resolves --controller via the shared exp name table; unknown names are
+/// an explicit error instead of silently running uncontrolled.
+bool ResolveVariant(const std::string& name, exp::Variant* variant) {
+  const auto resolved = exp::VariantFromName(name);
+  if (!resolved.has_value()) {
+    std::fprintf(stderr, "unknown --controller '%s'\n", name.c_str());
+    return false;
+  }
+  *variant = *resolved;
+  return true;
+}
+
+bool VariantNeedsPolicy(exp::Variant variant) {
+  return variant == exp::Variant::kTopFull ||
+         variant == exp::Variant::kTopFullNoCluster ||
+         variant == exp::Variant::kTopFullBw;
 }
 
 int CmdInspect(const Args& args) {
@@ -243,9 +266,12 @@ int CmdRunSharded(const Args& args) {
   exp::RunSpec spec;
   spec.label = args.Get("app", "boutique");
   spec.duration_s = args.Num("duration", 120);
-  spec.variant = VariantFromName(args.Get("controller", "topfull"));
+  if (!ResolveVariant(args.Get("controller", "topfull"), &spec.variant)) {
+    return 2;
+  }
+  spec.static_rate = args.Num("static-rate", 0.0);
   std::shared_ptr<rl::GaussianPolicy> policy;
-  if (spec.variant == exp::Variant::kTopFull) {
+  if (VariantNeedsPolicy(spec.variant)) {
     policy = exp::GetPretrainedPolicy();
     spec.policy = policy.get();
   }
@@ -375,7 +401,8 @@ int CmdRun(const Args& args) {
   auto app = MakeApp(args);
   if (!app) return Usage();
   const std::string controller_name = args.Get("controller", "topfull");
-  const exp::Variant variant = VariantFromName(controller_name);
+  exp::Variant variant;
+  if (!ResolveVariant(controller_name, &variant)) return 2;
 
   if (args.Has("hop-timeout") || args.Has("retries") || args.Has("retry-backoff")) {
     app->ConfigureRpc(Seconds(args.Num("hop-timeout", 0)),
@@ -403,9 +430,11 @@ int CmdRun(const Args& args) {
   telemetry.Attach(*app);
 
   std::shared_ptr<rl::GaussianPolicy> policy;
-  if (variant == exp::Variant::kTopFull) policy = exp::GetPretrainedPolicy();
+  if (VariantNeedsPolicy(variant)) policy = exp::GetPretrainedPolicy();
   exp::Controllers controllers;
-  controllers.Attach(variant, *app, policy.get());
+  controllers.Attach(variant, *app, policy.get(), {},
+                     /*mimd_decrease=*/0.05, /*mimd_increase=*/0.01,
+                     args.Num("static-rate", 0.0));
   if (controllers.topfull() != nullptr) telemetry.Attach(*controllers.topfull());
 
   std::unique_ptr<autoscale::Cluster> cluster;
@@ -652,6 +681,89 @@ int CmdServe(const Args& args) {
   return 0;
 }
 
+// `scenario list` prints the built-in pathology library; `scenario run`
+// executes the scenario x controller conformance matrix (same engine as
+// bench/scenario_matrix) and exits non-zero when a cell does not conform.
+int CmdScenario(const Args& args) {
+  const std::string sub =
+      args.positional.empty() ? "list" : args.positional.front();
+
+  std::vector<scenario::ScenarioSpec> specs;
+  if (args.Has("profile")) {
+    std::string error;
+    const auto parsed = scenario::LoadScenarioProfile(args.Get("profile"), &error);
+    if (!parsed.has_value()) {
+      std::fprintf(stderr, "%s\n", error.c_str());
+      return 2;
+    }
+    specs = *parsed;
+  } else {
+    specs = scenario::BuiltinScenarios();
+  }
+  if (args.Has("scenario")) {
+    const std::string name = args.Get("scenario");
+    std::vector<scenario::ScenarioSpec> filtered;
+    for (scenario::ScenarioSpec& spec : specs) {
+      if (spec.name == name) filtered.push_back(std::move(spec));
+    }
+    if (filtered.empty()) {
+      std::fprintf(stderr, "unknown scenario '%s'\n", name.c_str());
+      return 2;
+    }
+    specs = std::move(filtered);
+  }
+
+  if (sub == "list") {
+    Table table("scenario library");
+    table.SetHeader({"name", "app", "duration", "invariants", "description"});
+    for (const scenario::ScenarioSpec& spec : specs) {
+      std::string kinds;
+      for (const scenario::Invariant& inv : spec.invariants) {
+        if (!kinds.empty()) kinds += "+";
+        kinds += scenario::InvariantKindName(inv.kind);
+      }
+      table.AddRow({spec.name, spec.app, Fmt(spec.duration_s, 0) + " s", kinds,
+                    spec.description});
+    }
+    table.Print();
+    return 0;
+  }
+  if (sub != "run") {
+    std::fprintf(stderr, "unknown scenario subcommand '%s'\n", sub.c_str());
+    return Usage();
+  }
+
+  const bool smoke = args.Has("smoke");
+  if (smoke) {
+    for (scenario::ScenarioSpec& spec : specs) spec = spec.TimeScaled(0.25);
+  }
+  scenario::MatrixOptions options;
+  if (args.Has("controllers")) {
+    options.controllers.clear();
+    std::stringstream stream(args.Get("controllers"));
+    std::string item;
+    while (std::getline(stream, item, ',')) {
+      if (!item.empty()) options.controllers.push_back(item);
+    }
+  }
+  const std::vector<scenario::CellVerdict> verdicts =
+      scenario::RunScenarioMatrix(specs, options);
+  scenario::PrintMatrixReport(verdicts);
+  if (args.Has("json")) {
+    std::ofstream out(args.Get("json"));
+    out << scenario::MatrixReportJson(verdicts);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", args.Get("json").c_str());
+      return 2;
+    }
+  }
+  for (const scenario::CellVerdict& cell : verdicts) {
+    if (!cell.error.empty()) return 2;
+  }
+  if (smoke) return 0;
+  return scenario::AllConform(verdicts) ? 0 : 1;
+}
+
 int CmdCompare(const Args& args) {
   if (args.positional.size() != 2) {
     std::fprintf(stderr, "compare needs exactly two summary files\n");
@@ -701,5 +813,6 @@ int main(int argc, char** argv) {
   if (args.command == "report") return CmdReport(args);
   if (args.command == "compare") return CmdCompare(args);
   if (args.command == "serve") return CmdServe(args);
+  if (args.command == "scenario") return CmdScenario(args);
   return Usage();
 }
