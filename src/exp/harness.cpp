@@ -8,6 +8,7 @@
 
 #include "obs/export.hpp"
 #include "obs/report.hpp"
+#include "obs/tsdb_plane.hpp"
 
 namespace topfull::exp {
 
@@ -176,14 +177,23 @@ TelemetrySummary Telemetry::Export(const sim::Application& app,
     const std::string path = base + ".trace.json";
     report(path, obs::WritePerfettoTrace(*tracer_, app, path, faults, events));
   }
+  const std::vector<obs::AlertTransition>* alerts =
+      tsdb_ != nullptr ? &tsdb_->rules().transitions() : nullptr;
   if (decision_log_) {
     summary.ticks = decision_log_->ticks().size();
     summary.decisions = decision_log_->DecisionCount();
     const std::string path = base + ".decisions.jsonl";
-    report(path, obs::WriteDecisionLogJsonl(*decision_log_, app, path, events));
+    report(path,
+           obs::WriteDecisionLogJsonl(*decision_log_, app, path, events, alerts));
   }
   const std::string prom = base + ".metrics.prom";
   report(prom, obs::WritePrometheusText(app, tracer_.get(), prom));
+  if (tsdb_ != nullptr) {
+    const std::string tsdb_path = base + ".tsdb.json";
+    report(tsdb_path, obs::WriteTsdbJson(tsdb_->tsdb(), tsdb_path));
+    const std::string alerts_path = base + ".alerts.json";
+    report(alerts_path, obs::WriteAlertsJson(tsdb_->rules(), alerts_path));
+  }
 
   if (events != nullptr) summary.slo_events = events->size();
   obs::ReportInputs inputs;

@@ -19,6 +19,10 @@
 #include "sim/app.hpp"
 #include "workload/generators.hpp"
 
+namespace topfull::obs {
+class TsdbPlane;
+}  // namespace topfull::obs
+
 namespace topfull::exp {
 
 /// The overload-control variants compared across the paper's figures.
@@ -122,6 +126,12 @@ class Telemetry {
   /// monitor's oscillation detector). No-op when disabled.
   void Attach(core::TopFullController& controller);
 
+  /// Associates a TSDB plane with this run (not owned, may be null). When
+  /// set, Export additionally writes "<dir>/<name>.tsdb.json" and
+  /// "<dir>/<name>.alerts.json" and merges the plane's alert transitions
+  /// into the decision JSONL.
+  void SetTsdb(const obs::TsdbPlane* tsdb) { tsdb_ = tsdb; }
+
   /// Writes "<dir>/<name>.trace.json", "<dir>/<name>.decisions.jsonl" (when
   /// a controller was attached), "<dir>/<name>.metrics.prom",
   /// "<dir>/<name>.summary.json" and "<dir>/<name>.report.html", creating
@@ -145,6 +155,7 @@ class Telemetry {
   std::unique_ptr<obs::RequestTracer> tracer_;
   std::unique_ptr<obs::DecisionLog> decision_log_;
   std::unique_ptr<obs::SloMonitor> monitor_;
+  const obs::TsdbPlane* tsdb_ = nullptr;
 };
 
 /// Replaces path-hostile characters so a run label can name a trace file.

@@ -2,11 +2,25 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 
 #include "obs/live.hpp"
 #include "obs/profile.hpp"
+#include "obs/tsdb_plane.hpp"
 
 namespace topfull::exp {
+
+namespace {
+
+/// TOPFULL_TSDB env gate: set, non-empty and not "0" enables a run-owned
+/// TSDB plane for specs that do not pass one explicitly.
+bool TsdbFromEnv() {
+  const char* value = std::getenv("TOPFULL_TSDB");
+  return value != nullptr && *value != '\0' &&
+         std::string(value) != "0";
+}
+
+}  // namespace
 
 RunResult RunExecutor::RunOne(const RunSpec& spec) {
   return RunOne(spec, SanitizeFileName(spec.label));
@@ -25,6 +39,22 @@ RunResult RunExecutor::RunOne(const RunSpec& spec,
 
   Telemetry telemetry(TelemetryOptions::FromEnv());
   telemetry.Attach(app);
+
+  // The TSDB feeder chains after the telemetry observers, so attach order
+  // matters: monitor first, feeder second.
+  std::unique_ptr<obs::TsdbPlane> owned_tsdb;
+  obs::TsdbPlane* tsdb = spec.tsdb;
+  if (tsdb == nullptr && TsdbFromEnv()) {
+    owned_tsdb = std::make_unique<obs::TsdbPlane>();
+    for (obs::AlertRule& rule : obs::SloBurnRules()) {
+      owned_tsdb->rules().AddAlert(std::move(rule));
+    }
+    tsdb = owned_tsdb.get();
+  }
+  if (tsdb != nullptr) {
+    tsdb->Attach(app);
+    telemetry.SetTsdb(tsdb);
+  }
 
   // Controllers (and any custom attachment) only need to outlive the run:
   // after RunFor the metrics timeline is self-contained.
@@ -68,6 +98,10 @@ RunResult RunExecutor::RunOne(const RunSpec& spec,
       spec.live->Publish(sources, /*finished=*/true);
     }
   }
+  // Catch the final boundary in case the last window closed short of it
+  // (idempotent: already-evaluated boundaries are skipped).
+  if (tsdb != nullptr) tsdb->FinishRules(ToSeconds(app.sim().Now()));
+
   result.fault_log = injector.Log();
   if (telemetry.enabled()) {
     obs::ScopedTimer timer("exp/export_telemetry");

@@ -24,6 +24,7 @@
 
 namespace topfull::obs {
 class LivePlane;
+class TsdbPlane;
 }  // namespace topfull::obs
 
 namespace topfull::exp {
@@ -62,6 +63,14 @@ struct RunSpec {
   /// plane between chunks — a pure observer, so the run stays bit-identical
   /// to one without it. The final snapshot is published with finished=true.
   obs::LivePlane* live = nullptr;
+
+  /// Time-series plane (non-owning; may be null). When set, a window
+  /// feeder is attached (chained after any telemetry observers) and rules
+  /// evaluate at window closes; like `live`, a pure observer. When null,
+  /// the TOPFULL_TSDB env var (non-empty, not "0") creates a run-owned
+  /// plane with the default SLO burn rules, so benches gain the
+  /// `.tsdb.json`/`.alerts.json` artifacts without code changes.
+  obs::TsdbPlane* tsdb = nullptr;
 };
 
 /// The finished run: label echoed back plus the application with its full

@@ -5,6 +5,7 @@
 
 #include "obs/live.hpp"
 #include "obs/profile.hpp"
+#include "obs/tsdb_plane.hpp"
 
 namespace topfull::exp {
 
@@ -44,6 +45,18 @@ ShardedRunResult RunShardedSpec(const RunSpec& spec,
   for (int i = 0; i < n; ++i) {
     telemetry.emplace_back(TelemetryOptions::FromEnv());
     telemetry.back().Attach(sharded.app(i));
+  }
+
+  // One shared store for all shards (cells labelled shard="k" when n > 1).
+  // Feeders only append from the worker threads; rules evaluate on the
+  // coordinating thread at chunk edges, where every shard has advanced
+  // past the boundary — identical results to inline evaluation because
+  // query evaluation is strictly backward-looking.
+  if (spec.tsdb != nullptr) {
+    spec.tsdb->DisableInlineEvaluation();
+    for (int i = 0; i < n; ++i) {
+      spec.tsdb->Attach(sharded.app(i), i, n);
+    }
   }
 
   std::vector<Controllers> controllers(static_cast<std::size_t>(n));
@@ -109,11 +122,15 @@ ShardedRunResult RunShardedSpec(const RunSpec& spec,
       spec.live->MaybePublish(sources);
       while (sharded.Now() < end) {
         sharded.RunUntil(std::min(sharded.Now() + chunk, end));
+        if (spec.tsdb != nullptr) {
+          spec.tsdb->EvaluateRulesUpTo(ToSeconds(sharded.Now()));
+        }
         spec.live->MaybePublish(sources);
       }
       spec.live->Publish(sources, /*finished=*/true);
     }
   }
+  if (spec.tsdb != nullptr) spec.tsdb->FinishRules(ToSeconds(sharded.Now()));
 
   // Deterministic merged fault log: shard-major concatenation, then a
   // stable sort by injection time (ties keep shard order).
@@ -136,6 +153,14 @@ ShardedRunResult RunShardedSpec(const RunSpec& spec,
       telemetry[static_cast<std::size_t>(i)].Export(
           sharded.app(i), name, controllers[static_cast<std::size_t>(i)].topfull(),
           log.empty() ? nullptr : &log);
+    }
+    // The TSDB plane is run-level (one store, shard-labelled cells), so its
+    // artifacts are written once under the run name rather than per shard.
+    if (spec.tsdb != nullptr) {
+      const std::string base = TelemetryOptions::FromEnv().dir + "/" +
+                               SanitizeFileName(spec.label);
+      obs::WriteTsdbJson(spec.tsdb->tsdb(), base + ".tsdb.json");
+      obs::WriteAlertsJson(spec.tsdb->rules(), base + ".alerts.json");
     }
   }
   return result;

@@ -136,11 +136,24 @@ std::string SloEventLine(const SloEvent& e) {
          Num(e.value) + ",\"threshold\":" + Num(e.threshold) + "}";
 }
 
+std::string AlertLine(const AlertTransition& tr) {
+  // Burn ratios can be non-finite (zero denominator); keep the line JSON.
+  const std::string value =
+      std::isfinite(tr.value)
+          ? Num(tr.value)
+          : (std::isnan(tr.value) ? "\"nan\""
+                                  : tr.value > 0 ? "\"inf\"" : "\"-inf\"");
+  return "{\"t_s\":" + Num(tr.t_s) + ",\"event\":\"alert\",\"rule\":\"" +
+         JsonEscape(tr.rule) + "\",\"from\":\"" + AlertStateName(tr.from) +
+         "\",\"to\":\"" + AlertStateName(tr.to) + "\",\"value\":" + value + "}";
+}
+
 }  // namespace
 
 bool WriteDecisionLogJsonl(const DecisionLog& log, const sim::Application& app,
                            const std::string& path,
-                           const std::vector<SloEvent>* slo_events) {
+                           const std::vector<SloEvent>* slo_events,
+                           const std::vector<AlertTransition>* alerts) {
   std::ofstream out(path);
   if (!out) return false;
   const auto api_name = [&app](sim::ApiId a) {
@@ -175,12 +188,28 @@ bool WriteDecisionLogJsonl(const DecisionLog& log, const sim::Application& app,
   // event at t fires at the window close, before the control tick of the
   // same second — the order the simulation executes them in.
   std::size_t next_event = 0;
-  const auto flush_events = [&out, &next_event, slo_events](double upto_s) {
-    if (slo_events == nullptr) return;
-    while (next_event < slo_events->size() &&
-           (*slo_events)[next_event].t_s <= upto_s) {
-      out << SloEventLine((*slo_events)[next_event]) << "\n";
-      ++next_event;
+  std::size_t next_alert = 0;
+  const auto flush_events = [&out, &next_event, &next_alert, slo_events,
+                             alerts](double upto_s) {
+    while (true) {
+      const bool have_event = slo_events != nullptr &&
+                              next_event < slo_events->size() &&
+                              (*slo_events)[next_event].t_s <= upto_s;
+      const bool have_alert = alerts != nullptr &&
+                              next_alert < alerts->size() &&
+                              (*alerts)[next_alert].t_s <= upto_s;
+      if (!have_event && !have_alert) break;
+      // Time order; at a tie the monitor event wins (the window closes
+      // before the rules evaluate on it).
+      if (have_event &&
+          (!have_alert || (*slo_events)[next_event].t_s <=
+                              (*alerts)[next_alert].t_s)) {
+        out << SloEventLine((*slo_events)[next_event]) << "\n";
+        ++next_event;
+      } else {
+        out << AlertLine((*alerts)[next_alert]) << "\n";
+        ++next_alert;
+      }
     }
   };
 
@@ -222,6 +251,12 @@ bool WriteDecisionLogJsonl(const DecisionLog& log, const sim::Application& app,
     while (next_event < slo_events->size()) {
       out << SloEventLine((*slo_events)[next_event]) << "\n";
       ++next_event;
+    }
+  }
+  if (alerts != nullptr) {
+    while (next_alert < alerts->size()) {
+      out << AlertLine((*alerts)[next_alert]) << "\n";
+      ++next_alert;
     }
   }
   return static_cast<bool>(out);

@@ -23,6 +23,7 @@
 #include "fault/fault.hpp"
 #include "obs/decision_log.hpp"
 #include "obs/metrics_registry.hpp"
+#include "obs/rules.hpp"
 #include "obs/slo_monitor.hpp"
 #include "obs/snapshot.hpp"
 #include "obs/trace.hpp"
@@ -43,10 +44,14 @@ bool WritePerfettoTrace(const RequestTracer& tracer, const sim::Application& app
 /// Writes the decision log as JSONL (one tick per line). When `slo_events`
 /// is non-null the monitor's events are merged into the stream in time
 /// order (an event at t precedes the control tick of the same second, the
-/// order they occur in the simulation). Returns false on I/O failure.
+/// order they occur in the simulation). When `alerts` is non-null the rule
+/// engine's alert state transitions are merged the same way, after any SLO
+/// event of the same timestamp (windows close before rules evaluate).
+/// Returns false on I/O failure.
 bool WriteDecisionLogJsonl(const DecisionLog& log, const sim::Application& app,
                            const std::string& path,
-                           const std::vector<SloEvent>* slo_events = nullptr);
+                           const std::vector<SloEvent>* slo_events = nullptr,
+                           const std::vector<AlertTransition>* alerts = nullptr);
 
 /// Writes the application's metrics registry in Prometheus text exposition
 /// format; `tracer` (optional) appends the tracer counter families. Built

@@ -126,6 +126,58 @@ const char* HttpStatusText(int status) {
   return "Unknown";
 }
 
+std::string UrlDecode(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  const auto hex = [](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+    return -1;
+  };
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (text[i] == '+') {
+      out += ' ';
+      continue;
+    }
+    if (text[i] == '%' && i + 2 < text.size()) {
+      const int hi = hex(text[i + 1]);
+      const int lo = hex(text[i + 2]);
+      if (hi >= 0 && lo >= 0) {
+        out += static_cast<char>(hi * 16 + lo);
+        i += 2;
+        continue;
+      }
+    }
+    out += text[i];
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, std::string>> ParseQueryParams(
+    std::string_view target) {
+  std::vector<std::pair<std::string, std::string>> out;
+  const std::size_t q = target.find('?');
+  if (q == std::string_view::npos) return out;
+  std::string_view rest = target.substr(q + 1);
+  while (!rest.empty()) {
+    const std::size_t amp = rest.find('&');
+    std::string_view pair =
+        amp == std::string_view::npos ? rest : rest.substr(0, amp);
+    rest = amp == std::string_view::npos ? std::string_view{}
+                                         : rest.substr(amp + 1);
+    if (pair.empty()) continue;
+    const std::size_t eq = pair.find('=');
+    if (eq == std::string_view::npos) {
+      out.emplace_back(UrlDecode(pair), "");
+    } else {
+      out.emplace_back(UrlDecode(pair.substr(0, eq)),
+                       UrlDecode(pair.substr(eq + 1)));
+    }
+  }
+  return out;
+}
+
 std::string SerializeHttpResponse(const HttpResponse& response) {
   char status_line[64];
   std::snprintf(status_line, sizeof(status_line), "HTTP/1.1 %d %s\r\n",
@@ -133,6 +185,8 @@ std::string SerializeHttpResponse(const HttpResponse& response) {
   std::string out = status_line;
   out += "Content-Type: " + response.content_type + "\r\n";
   out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  // Every endpoint serves live run state; a cached response is always wrong.
+  out += "Cache-Control: no-store\r\n";
   for (const auto& [name, value] : response.headers) {
     out += name + ": " + value + "\r\n";
   }

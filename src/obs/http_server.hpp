@@ -54,6 +54,15 @@ struct HttpResponse {
 /// Standard reason phrase for the handful of statuses the plane uses.
 const char* HttpStatusText(int status);
 
+/// Percent-decodes one URL component; '+' decodes to a space. Malformed
+/// %-escapes are passed through verbatim.
+std::string UrlDecode(std::string_view text);
+
+/// Splits the query string of a request target ("/query?expr=up&time=3")
+/// into decoded key/value pairs, in order. No query string yields {}.
+std::vector<std::pair<std::string, std::string>> ParseQueryParams(
+    std::string_view target);
+
 /// Serializes status line + headers + body with Content-Length and
 /// Connection: close.
 std::string SerializeHttpResponse(const HttpResponse& response);

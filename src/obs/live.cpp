@@ -8,6 +8,7 @@
 #include "des/sharded_simulation.hpp"
 #include "obs/export.hpp"
 #include "obs/profile.hpp"
+#include "obs/tsdb_plane.hpp"
 #include "sim/app.hpp"
 #include "sim/sharded_app.hpp"
 
@@ -181,11 +182,12 @@ std::shared_ptr<const MetricsSnapshot> LivePlane::Capture(
 }
 
 HttpResponse LivePlane::Route(const HttpRequest& request) const {
-  return RouteSnapshotRequest(request, board_);
+  return RouteSnapshotRequest(request, board_, tsdb_);
 }
 
 HttpResponse RouteSnapshotRequest(const HttpRequest& request,
-                                  const SnapshotBoard& board) {
+                                  const SnapshotBoard& board,
+                                  const TsdbPlane* tsdb) {
   const std::string path = request.target.substr(0, request.target.find('?'));
   HttpResponse response;
   if (path == "/healthz") {
@@ -207,13 +209,24 @@ HttpResponse RouteSnapshotRequest(const HttpRequest& request,
     response.body = SnapshotJson(*board.Read());
     return response;
   }
+  if (path == "/query" && tsdb != nullptr) {
+    return HandleQueryRequest(request, tsdb->tsdb());
+  }
+  if (path == "/alerts" && tsdb != nullptr) {
+    response.content_type = "application/json";
+    response.body = tsdb->rules().AlertsJson();
+    return response;
+  }
   if (path == "/") {
     response.body =
         "topfull live observability\n"
         "  /metrics        Prometheus text exposition\n"
         "  /healthz        liveness probe\n"
         "  /runs           run-state JSON\n"
-        "  /snapshot.json  flattened registry dump\n";
+        "  /snapshot.json  flattened registry dump\n"
+        "  /query          PromQL-subset query (?expr=...&time= or "
+        "&start=&end=&step=)\n"
+        "  /alerts         alert states + transitions\n";
     return response;
   }
   response.status = 404;

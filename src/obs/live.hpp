@@ -19,6 +19,10 @@
 //                   events, per-shard engine + scheduler stats
 //   /snapshot.json  flattened registry dump (histograms as percentile
 //                   summaries)
+//   /query          PromQL-subset evaluation over the attached TSDB plane
+//                   (404 when no plane is attached); instant via
+//                   ?expr=&time=, range via ?expr=&start=&end=&step=
+//   /alerts         alert rule states + transition log (404 without plane)
 //   /               endpoint index
 #pragma once
 
@@ -39,6 +43,8 @@ class ShardedApp;
 }  // namespace topfull::sim
 
 namespace topfull::obs {
+
+class TsdbPlane;  // tsdb_plane.hpp
 
 struct LiveOptions {
   /// TCP port for the observability server; 0 asks the kernel for an
@@ -88,6 +94,10 @@ class LivePlane {
 
   const SnapshotBoard& board() const { return board_; }
 
+  /// Exposes a TSDB plane through /query and /alerts (not owned; must
+  /// outlive the server). Must be set before StartServer.
+  void SetTsdb(const TsdbPlane* tsdb) { tsdb_ = tsdb; }
+
   /// Captures + publishes if at least publish_interval_s of wall time has
   /// passed since the last publish (always publishes the first call).
   /// Must be called from the sim-owning thread at a quiescent point.
@@ -107,14 +117,18 @@ class LivePlane {
 
   LiveOptions options_;
   SnapshotBoard board_;
+  const TsdbPlane* tsdb_ = nullptr;
   std::unique_ptr<HttpServer> server_;
   std::uint64_t version_ = 0;  // written by the publishing thread only
   std::chrono::steady_clock::time_point last_publish_{};
 };
 
 /// Pure routing over a board (shared by LivePlane and `topfull serve`,
-/// which replays a finished run through the same endpoints).
+/// which replays a finished run through the same endpoints). When `tsdb`
+/// is non-null, /query evaluates against its store and /alerts serves the
+/// rule engine's state; otherwise both answer 404.
 HttpResponse RouteSnapshotRequest(const HttpRequest& request,
-                                  const SnapshotBoard& board);
+                                  const SnapshotBoard& board,
+                                  const TsdbPlane* tsdb = nullptr);
 
 }  // namespace topfull::obs

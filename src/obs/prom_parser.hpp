@@ -1,0 +1,69 @@
+// Strict Prometheus text-exposition parser: the inverse of
+// PromTextFromSnapshot, and the out-of-process ingestion path of the
+// TSDB (tsdb.hpp).
+//
+// Accepts exactly the exposition-format subset the plane emits — `# HELP`
+// / `# TYPE` pairs followed by sample lines with optional `{k="v",...}`
+// labels, a value (decimal, `NaN`, `+Inf`, `-Inf`) and an optional integer
+// millisecond timestamp — and is deliberately strict about everything
+// else: every sample must belong to a family with a preceding `# TYPE`
+// (histogram `_bucket`/`_sum`/`_count` samples attach to their base
+// family), label values are unescaped (`\\`, `\"`, `\n`), and every
+// rejection carries the 1-based line number of the offending line, so a
+// bad scrape from a remote process is diagnosable without the payload.
+//
+// Round-trip contract (enforced by tests): parsing PromTextFromSnapshot's
+// output and re-rendering it with PromTextFromScrape reproduces the input
+// byte for byte.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics_registry.hpp"
+
+namespace topfull::obs {
+
+/// One sample line. `name` is the full series name (including any
+/// `_bucket`/`_sum`/`_count` suffix); labels are in source order.
+struct PromSample {
+  std::string name;
+  Labels labels;
+  double value = 0.0;
+  /// The value's source lexeme, kept verbatim so re-rendering reproduces
+  /// the input byte for byte (e.g. large counters that %.10g would fold).
+  std::string value_text;
+  bool has_timestamp = false;
+  std::int64_t timestamp_ms = 0;
+};
+
+/// One `# HELP`/`# TYPE` family and the samples attached to it.
+struct PromFamily {
+  std::string name;  ///< base family name (without histogram suffixes)
+  std::string help;  ///< unescaped HELP text ("" when absent)
+  bool has_help = false;
+  MetricType type = MetricType::kGauge;
+  bool type_seen = false;  ///< a `# TYPE` line was parsed for this family
+  std::vector<PromSample> samples;
+};
+
+/// A whole scrape, families in source order.
+struct PromScrape {
+  std::vector<PromFamily> families;
+
+  const PromFamily* FindFamily(const std::string& name) const;
+};
+
+/// Parses a full text exposition. Returns false and sets `error` to
+/// "line N: reason: <line>" on the first rejection; `out` is left in an
+/// unspecified state on failure.
+bool ParsePromText(const std::string& text, PromScrape* out,
+                   std::string* error = nullptr);
+
+/// Renders a scrape back to text-exposition format (`# HELP` when present,
+/// `# TYPE`, then samples in order) — the round-trip counterpart of
+/// ParsePromText.
+std::string PromTextFromScrape(const PromScrape& scrape);
+
+}  // namespace topfull::obs

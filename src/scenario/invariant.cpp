@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <limits>
 
 namespace topfull::scenario {
 namespace {
@@ -128,6 +129,63 @@ InvariantResult CheckNoOscillation(const Invariant& inv,
   return result;
 }
 
+// No alert firing: reconstructs the firing intervals of the watched rule
+// (param; empty = every rule) from the transition stream and fails when
+// any interval intersects [from_s, end-of-run). An interval opens at a
+// `-> firing` transition and closes at the next transition of the same
+// rule away from firing; a rule still firing at the end of the run is an
+// open interval reaching the horizon, so it always intersects.
+InvariantResult CheckNoAlertFiring(const Invariant& inv,
+                                   const RunArtifacts& art) {
+  InvariantResult result{inv};
+  const std::string& rule = inv.param;
+  result.detail = Format1(
+      rule.empty() ? "no alert firing at/after %.1f s"
+                   : ("alert '" + rule + "' never firing at/after %.1f s").c_str(),
+      inv.from_s);
+  if (art.alerts == nullptr) return result;
+
+  // rule name -> firing-since time, for currently open intervals.
+  std::vector<std::pair<std::string, double>> firing;
+  // The rule fires over [start, end): a clear exactly at the gate is fine.
+  const auto check_interval = [&](double start_s, double end_s) {
+    if (end_s <= inv.from_s) return;  // interval entirely before the gate
+    result.ok = false;
+    result.measured = std::max(start_s, inv.from_s);
+  };
+  for (const obs::AlertTransition& tr : *art.alerts) {
+    if (!rule.empty() && tr.rule != rule) continue;
+    if (tr.to == obs::AlertState::kFiring) {
+      firing.emplace_back(tr.rule, tr.t_s);
+    } else if (tr.from == obs::AlertState::kFiring) {
+      for (auto it = firing.begin(); it != firing.end(); ++it) {
+        if (it->first == tr.rule) {
+          check_interval(it->second, tr.t_s);
+          firing.erase(it);
+          break;
+        }
+      }
+    }
+    if (!result.ok) break;
+  }
+  if (result.ok) {
+    for (const auto& [name, since_s] : firing) {
+      check_interval(since_s, std::numeric_limits<double>::infinity());
+      if (!result.ok) break;
+    }
+  }
+  if (!result.ok) {
+    result.detail = Format(
+        rule.empty()
+            ? "an alert was firing at %.1f s (quiet required after %.1f s)"
+            : ("alert '" + rule +
+               "' firing at %.1f s (quiet required after %.1f s)")
+                  .c_str(),
+        result.measured, inv.from_s);
+  }
+  return result;
+}
+
 }  // namespace
 
 double MinTenantFairness(
@@ -165,6 +223,9 @@ std::vector<InvariantResult> CheckInvariants(const ScenarioSpec& spec,
         break;
       case InvariantKind::kNoOscillationAfter:
         results.push_back(CheckNoOscillation(inv, artifacts));
+        break;
+      case InvariantKind::kNoAlertFiring:
+        results.push_back(CheckNoAlertFiring(inv, artifacts));
         break;
     }
   }

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "obs/fairness.hpp"
+#include "obs/rules.hpp"
 #include "obs/slo_monitor.hpp"
 #include "scenario/scenario.hpp"
 #include "sim/metrics.hpp"
@@ -41,6 +42,9 @@ struct InvariantResult {
 struct RunArtifacts {
   const sim::MetricsCollector* metrics = nullptr;
   const std::vector<obs::SloEvent>* slo_events = nullptr;
+  /// Alert-rule transitions from the run's TSDB plane (null = no plane;
+  /// kNoAlertFiring then passes vacuously).
+  const std::vector<obs::AlertTransition>* alerts = nullptr;
   /// Per-tenant, per-user outcome counters (one inner vector per pool).
   std::vector<std::vector<workload::UserOutcomes>> tenant_outcomes;
   obs::AmplificationStats amplification;

@@ -45,8 +45,13 @@ ScenarioSpec MetastableTrap() {
       .StaticRate(1200.0)
       .Require(InvariantKind::kEscapesOverloadBy, 40.0, 70.0)
       .Require(InvariantKind::kGoodputFloor, 300.0, 120.0)
+      // The goodput-floor burn alert (floor taken from the invariant
+      // above) must be quiet once the trap window is past: an adaptive
+      // controller has recovered, the trapped static baseline pages.
+      .Require(InvariantKind::kNoAlertFiring, 0.0, 120.0, "goodput_floor_burn")
       .ExpectViolation("static", InvariantKind::kEscapesOverloadBy)
-      .ExpectViolation("static", InvariantKind::kGoodputFloor);
+      .ExpectViolation("static", InvariantKind::kGoodputFloor)
+      .ExpectViolation("static", InvariantKind::kNoAlertFiring);
 }
 
 // Flash crowd: a steep 15 s climb to a sustained peak, then a slow decay

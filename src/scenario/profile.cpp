@@ -277,10 +277,10 @@ std::optional<std::vector<ScenarioSpec>> ParseScenarioProfile(
       current->diurnal_high = GetNum(kv, "high", 0.0);
       current->diurnal_period_s = GetNum(kv, "period", 0.0);
     } else if (directive == "invariant") {
-      if (!CheckAllowedKeys(kv, {"kind", "value", "from"}, directive, line,
-                            error) ||
+      if (!CheckAllowedKeys(kv, {"kind", "value", "from", "param"}, directive,
+                            line, error) ||
           !RequireKeys(kv, {"kind"}, directive, line, error) ||
-          !CheckNumericValues(kv, {"kind"}, line, error)) {
+          !CheckNumericValues(kv, {"kind", "param"}, line, error)) {
         return std::nullopt;
       }
       const auto kind = InvariantKindFromName(GetStr(kv, "kind"));
@@ -288,7 +288,8 @@ std::optional<std::vector<ScenarioSpec>> ParseScenarioProfile(
         Fail(error, line, "unknown invariant kind '" + GetStr(kv, "kind") + "'");
         return std::nullopt;
       }
-      current->Require(*kind, GetNum(kv, "value", 0.0), GetNum(kv, "from", 0.0));
+      current->Require(*kind, GetNum(kv, "value", 0.0), GetNum(kv, "from", 0.0),
+                       GetStr(kv, "param"));
     } else if (directive == "expect_violation") {
       if (!CheckAllowedKeys(kv, {"controller", "invariant"}, directive, line,
                             error) ||

@@ -12,6 +12,7 @@
 #include "exp/run_executor.hpp"
 #include "fault/profile.hpp"
 #include "obs/snapshot.hpp"
+#include "obs/tsdb_plane.hpp"
 
 namespace topfull::scenario {
 namespace {
@@ -115,6 +116,23 @@ CellVerdict RunCell(const ScenarioSpec& spec, const std::string& controller,
     monitor = own_monitor.get();
   }
 
+  // Every cell gets a time-series plane with the standard burn-rate rules
+  // plus a goodput-floor alert derived from the scenario's own floor
+  // invariant, so kNoAlertFiring always has the same rules to judge. The
+  // plane is a pure observer and its rules read only the window stream, so
+  // the verdict is identical for any pool size and with tracing on or off.
+  obs::TsdbPlane tsdb_plane;
+  for (obs::AlertRule& rule : obs::SloBurnRules()) {
+    tsdb_plane.rules().AddAlert(std::move(rule));
+  }
+  for (const Invariant& inv : spec.invariants) {
+    if (inv.kind == InvariantKind::kGoodputFloor) {
+      tsdb_plane.rules().AddAlert(obs::GoodputFloorRule(inv.value));
+      break;
+    }
+  }
+  tsdb_plane.Attach(*app);
+
   // One closed-loop pool per tenant, splitting the scheduled population by
   // weight. A scenario without tenants runs one anonymous pool over the
   // full schedule (the legacy uniform-users setup).
@@ -144,11 +162,13 @@ CellVerdict RunCell(const ScenarioSpec& spec, const std::string& controller,
   if (!spec.fault_profile.empty()) injector.Arm();
 
   app->RunFor(Seconds(spec.duration_s));
+  tsdb_plane.FinishRules(ToSeconds(app->sim().Now()));
 
   // --- Fold the run into artefacts and check --------------------------------
   RunArtifacts artifacts;
   artifacts.metrics = &app->metrics();
   artifacts.slo_events = &monitor->events();
+  artifacts.alerts = &tsdb_plane.rules().transitions();
   std::uint64_t client_attempts = 0;
   std::uint64_t client_intents = 0;
   std::vector<double> all_rates;
@@ -199,6 +219,9 @@ void AppendInvariantJson(std::string* out, const InvariantResult& result) {
   *out += "{\"kind\":" + std::string(Quote(InvariantKindName(result.invariant.kind)));
   *out += ",\"value\":" + Num(result.invariant.value);
   *out += ",\"from_s\":" + Num(result.invariant.from_s);
+  if (!result.invariant.param.empty()) {
+    *out += ",\"param\":" + Quote(result.invariant.param);
+  }
   *out += ",\"ok\":" + std::string(Bool(result.ok));
   *out += ",\"expected_violation\":" + std::string(Bool(result.expected_violation));
   *out += ",\"conforms\":" + std::string(Bool(result.ok == !result.expected_violation));

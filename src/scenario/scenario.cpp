@@ -12,6 +12,7 @@ const char* InvariantKindName(InvariantKind kind) {
     case InvariantKind::kMaxRetryAmplification: return "max_retry_amplification";
     case InvariantKind::kFairnessIndexMin: return "fairness_index_min";
     case InvariantKind::kNoOscillationAfter: return "no_oscillation_after";
+    case InvariantKind::kNoAlertFiring: return "no_alert_firing";
   }
   return "unknown";
 }
@@ -24,6 +25,7 @@ std::optional<InvariantKind> InvariantKindFromName(const std::string& name) {
   }
   if (name == "fairness_index_min") return InvariantKind::kFairnessIndexMin;
   if (name == "no_oscillation_after") return InvariantKind::kNoOscillationAfter;
+  if (name == "no_alert_firing") return InvariantKind::kNoAlertFiring;
   return std::nullopt;
 }
 
@@ -100,7 +102,13 @@ ScenarioSpec& ScenarioSpec::DistinctPriorities(bool on) {
 
 ScenarioSpec& ScenarioSpec::Require(InvariantKind kind, double value,
                                     double from_s) {
-  invariants.push_back({kind, value, from_s});
+  invariants.push_back({kind, value, from_s, ""});
+  return *this;
+}
+
+ScenarioSpec& ScenarioSpec::Require(InvariantKind kind, double value,
+                                    double from_s, std::string param) {
+  invariants.push_back({kind, value, from_s, std::move(param)});
   return *this;
 }
 

@@ -55,6 +55,7 @@ enum class InvariantKind {
   kMaxRetryAmplification,  ///< compound retry amplification <= value
   kFairnessIndexMin,       ///< min per-tenant Jain index >= value
   kNoOscillationAfter,     ///< no controller oscillation at/after from_s
+  kNoAlertFiring,          ///< alert `param` never firing at/after from_s
 };
 
 /// Stable wire name ("goodput_floor", "escapes_overload_by", ...).
@@ -64,12 +65,16 @@ std::optional<InvariantKind> InvariantKindFromName(const std::string& name);
 struct Invariant {
   InvariantKind kind = InvariantKind::kGoodputFloor;
   /// Threshold: rps floor, escape budget in seconds, amplification cap, or
-  /// minimum fairness index (unused for kNoOscillationAfter).
+  /// minimum fairness index (unused for kNoOscillationAfter and
+  /// kNoAlertFiring).
   double value = 0.0;
   /// Reference time: window start for kGoodputFloor, the end of the
   /// pathological phase for kEscapesOverloadBy, the quiet-after time for
-  /// kNoOscillationAfter (unused for the other kinds).
+  /// kNoOscillationAfter / kNoAlertFiring (unused for the other kinds).
   double from_s = 0.0;
+  /// Kind-specific selector. kNoAlertFiring: the alert-rule name to watch
+  /// (empty = any rule). Unused by the other kinds.
+  std::string param;
 };
 
 /// Declares that `controller` (matrix name, e.g. "static") is expected to
@@ -136,6 +141,8 @@ struct ScenarioSpec {
   ScenarioSpec& StaticRate(double rate);
   ScenarioSpec& DistinctPriorities(bool on = true);
   ScenarioSpec& Require(InvariantKind kind, double value, double from_s = 0.0);
+  ScenarioSpec& Require(InvariantKind kind, double value, double from_s,
+                        std::string param);
   ScenarioSpec& ExpectViolation(std::string controller, InvariantKind kind);
 
   /// The user-population schedule implied by the phases / diurnal fields.

@@ -121,6 +121,10 @@ class MetricsCollector {
   /// Installs the window-stream observer (not owned; must outlive the run).
   void SetWindowObserver(WindowObserver* observer) { window_observer_ = observer; }
 
+  /// Currently installed window observer (may be null). Lets a new observer
+  /// chain to the existing one instead of displacing it.
+  WindowObserver* window_observer() const { return window_observer_; }
+
  private:
   void Resize(int num_apis);
 

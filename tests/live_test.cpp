@@ -26,7 +26,9 @@
 #include "obs/json.hpp"
 #include "obs/live.hpp"
 #include "obs/profile.hpp"
+#include "obs/rules.hpp"
 #include "obs/snapshot.hpp"
+#include "obs/tsdb_plane.hpp"
 #include "workload/generators.hpp"
 
 namespace topfull {
@@ -569,6 +571,116 @@ TEST(LivePlaneTest, ProfilerPercentilesAppearInLiveSnapshots) {
   EXPECT_EQ(cell->gauge, 100.0);
   profiler.SetEnabled(false);
   profiler.Reset();
+}
+
+// --- Time-series plane -------------------------------------------------------
+
+TEST_F(HttpServerTest, ResponsesForbidCaching) {
+  // Live telemetry is point-in-time: any response a proxy replays is a
+  // stale lie, so every response carries Cache-Control: no-store.
+  const std::string ok =
+      RawRequest(server_->port(), "GET /hello HTTP/1.1\r\nHost: x\r\n\r\n");
+  EXPECT_NE(ok.find("Cache-Control: no-store\r\n"), std::string::npos);
+  const std::string missing =
+      RawRequest(server_->port(), "GET /nope HTTP/1.1\r\nHost: x\r\n\r\n");
+  EXPECT_NE(missing.find("Cache-Control: no-store\r\n"), std::string::npos);
+}
+
+TEST(RouteTest, QueryAndAlertsServeJsonWhenATsdbIsWired) {
+  obs::SnapshotBoard board;
+  obs::TsdbPlane plane;
+  plane.tsdb().Append("m", {{"api", "a"}}, obs::MetricType::kGauge, 1.0, 2.0);
+  obs::AlertRule rule;
+  rule.name = "m_high";
+  rule.exprs = {"m > 1"};
+  rule.for_s = 0.0;
+  plane.rules().AddAlert(std::move(rule));
+  plane.rules().Evaluate(1.0);
+
+  auto get = [&board, &plane](const std::string& target) {
+    obs::HttpRequest request;
+    request.method = "GET";
+    request.target = target;
+    return obs::RouteSnapshotRequest(request, board, &plane);
+  };
+  const obs::HttpResponse query = get("/query?expr=m");
+  EXPECT_EQ(query.status, 200);
+  EXPECT_EQ(query.content_type, "application/json");
+  EXPECT_NE(query.body.find("\"2\""), std::string::npos);
+
+  const obs::HttpResponse alerts = get("/alerts");
+  EXPECT_EQ(alerts.status, 200);
+  EXPECT_EQ(alerts.content_type, "application/json");
+  EXPECT_NE(alerts.body.find("\"m_high\""), std::string::npos);
+  EXPECT_NE(alerts.body.find("\"firing\""), std::string::npos);
+
+  // Without a store the endpoints don't exist.
+  obs::HttpRequest request;
+  request.method = "GET";
+  request.target = "/query?expr=m";
+  EXPECT_EQ(obs::RouteSnapshotRequest(request, board).status, 404);
+  request.target = "/alerts";
+  EXPECT_EQ(obs::RouteSnapshotRequest(request, board).status, 404);
+}
+
+TEST(LivePlaneTest, TsdbPlaneIsAPureObserver) {
+  // Identical spec with and without the TSDB plane: per-API totals match
+  // sample for sample, while the plane itself captured real series.
+  exp::RunResult plain = exp::RunExecutor::RunOne(LiveSpec("tsdb-observer"));
+
+  obs::TsdbPlane plane;
+  for (obs::AlertRule& rule : obs::SloBurnRules()) {
+    plane.rules().AddAlert(std::move(rule));
+  }
+  exp::RunSpec spec = LiveSpec("tsdb-observer");
+  spec.tsdb = &plane;
+  exp::RunResult observed = exp::RunExecutor::RunOne(spec);
+
+  const auto& a = plain.app->metrics().Totals();
+  const auto& b = observed.app->metrics().Totals();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].offered, b[i].offered) << "api " << i;
+    EXPECT_EQ(a[i].admitted, b[i].admitted) << "api " << i;
+    EXPECT_EQ(a[i].completed, b[i].completed) << "api " << i;
+    EXPECT_EQ(a[i].good, b[i].good) << "api " << i;
+  }
+  EXPECT_GT(plane.tsdb().stats().series, 0u);
+  EXPECT_GT(plane.tsdb().stats().appended, 0u);
+  EXPECT_GT(plane.tsdb().LatestTime(), 0.0);
+  EXPECT_GT(plane.rules().last_eval_s(), 0.0);
+}
+
+TEST(LivePlaneTest, ReplayedStoreAnswersQueriesByteIdentically) {
+  obs::TsdbPlane plane;
+  exp::RunSpec spec = LiveSpec("tsdb-replay");
+  spec.tsdb = &plane;
+  exp::RunExecutor::RunOne(spec);
+  ASSERT_GT(plane.tsdb().stats().appended, 0u);
+
+  // The artifact reload (what `topfull serve --dir` and `topfull query
+  // --dir` do) must answer every query byte-identically to the live store.
+  std::string error;
+  const auto reloaded = obs::TsdbFromJson(obs::TsdbJson(plane.tsdb()), &error);
+  ASSERT_NE(reloaded, nullptr) << error;
+
+  const char* targets[] = {
+      "/query?expr=sum%20by(api)%20(topfull_requests_good_total)",
+      "/query?expr=sum(rate(topfull_requests_completed_total[5s]))",
+      "/query?expr=topfull_requests_offered_total&start=1&end=5&step=1",
+      "/query?expr=histogram_quantile(0.99,%20topfull_request_latency_ms_bucket)",
+  };
+  for (const char* target : targets) {
+    obs::HttpRequest request;
+    request.method = "GET";
+    request.target = target;
+    const obs::HttpResponse live_response =
+        obs::HandleQueryRequest(request, plane.tsdb());
+    const obs::HttpResponse replayed =
+        obs::HandleQueryRequest(request, *reloaded);
+    EXPECT_EQ(live_response.status, 200) << target;
+    EXPECT_EQ(live_response.body, replayed.body) << target;
+  }
 }
 
 }  // namespace

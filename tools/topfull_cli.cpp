@@ -25,6 +25,11 @@
 //   topfull report --app boutique --users 2600 --surge 30:5200 --duration 90
 //   topfull compare baseline.summary.json candidate.summary.json
 //   topfull serve --dir topfull-report --port 9090
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -53,7 +58,10 @@
 #include "obs/json.hpp"
 #include "obs/live.hpp"
 #include "obs/profile.hpp"
+#include "obs/query.hpp"
 #include "obs/report.hpp"
+#include "obs/rules.hpp"
+#include "obs/tsdb_plane.hpp"
 #include "scenario/library.hpp"
 #include "scenario/profile.hpp"
 #include "scenario/runner.hpp"
@@ -117,7 +125,17 @@ int Usage() {
       "  topfull serve --dir DIR [--name NAME] [--port N] [--linger S]\n"
       "                   serve a finished run's exported artifacts (the\n"
       "                   .metrics.prom / .summary.json written by report or\n"
-      "                   --trace-dir) over HTTP; --linger S exits after S s\n"
+      "                   --trace-dir) over HTTP; when the run wrote a\n"
+      "                   .tsdb.json / .alerts.json it also answers /query\n"
+      "                   and /alerts; --linger S exits after S s\n"
+      "  topfull query EXPR (--url http://HOST:PORT | --dir DIR [--name NAME])\n"
+      "                     [--time T | --start A --end B --step S]\n"
+      "                   evaluate a PromQL-subset expression against a live\n"
+      "                   run's /query endpoint or a saved .tsdb.json; prints\n"
+      "                   the JSON result, exit 0 = ok, 1 = query error\n"
+      "  topfull alerts (--url http://HOST:PORT | --dir DIR [--name NAME])\n"
+      "                   print alert states + transitions (live /alerts\n"
+      "                   endpoint, or the saved .alerts.json)\n"
       "  topfull scenario list [--profile FILE]\n"
       "                   print the workload-pathology scenario library\n"
       "  topfull scenario run [--controllers a,b,c] [--scenario NAME]\n"
@@ -131,6 +149,13 @@ int Usage() {
       "                   /snapshot.json (N = 0 picks an ephemeral port)\n"
       "  --publish-ms M   (run) min wall-clock ms between live snapshots\n"
       "                   (default 10)\n"
+      "  --tsdb           (run) attach the time-series plane: in-memory TSDB\n"
+      "                   fed at every metrics window close, SLO burn-rate\n"
+      "                   alert rules, .tsdb.json/.alerts.json artifacts with\n"
+      "                   --trace-dir, /query + /alerts with --serve-port\n"
+      "                   (TOPFULL_TSDB=1 does the same)\n"
+      "  --alert-floor F  (run) implies --tsdb; adds a goodput_floor_burn\n"
+      "                   alert that fires while cluster-wide goodput < F rps\n"
       "  --threads N      worker-pool size for parallel rollouts/sweeps\n"
       "                   (overrides TOPFULL_THREADS; default: all cores)\n"
       "  --trace-dir DIR  export request spans (Perfetto JSON), the controller\n"
@@ -182,13 +207,17 @@ std::unique_ptr<sim::Application> MakeApp(const Args& args) {
 
 /// Builds and starts the live observability plane when --serve-port was
 /// given; returns null (and *rc untouched) when the flag is absent, or null
-/// with *rc = 1 when the server failed to bind.
-std::unique_ptr<obs::LivePlane> MakeLivePlane(const Args& args, int* rc) {
+/// with *rc = 1 when the server failed to bind. `tsdb` (may be null) is
+/// exposed through /query and /alerts.
+std::unique_ptr<obs::LivePlane> MakeLivePlane(const Args& args,
+                                              const obs::TsdbPlane* tsdb,
+                                              int* rc) {
   if (!args.Has("serve-port")) return nullptr;
   obs::LiveOptions options;
   options.port = static_cast<int>(args.Num("serve-port", 0));
   options.publish_interval_s = args.Num("publish-ms", 10.0) / 1e3;
   auto live = std::make_unique<obs::LivePlane>(options);
+  live->SetTsdb(tsdb);
   std::string error;
   if (!live->StartServer(&error)) {
     std::fprintf(stderr, "cannot start observability server: %s\n", error.c_str());
@@ -196,10 +225,103 @@ std::unique_ptr<obs::LivePlane> MakeLivePlane(const Args& args, int* rc) {
     return nullptr;
   }
   std::printf("observability server on http://127.0.0.1:%d/ "
-              "(/metrics /healthz /runs /snapshot.json)\n",
-              live->port());
+              "(/metrics /healthz /runs /snapshot.json%s)\n",
+              live->port(), tsdb != nullptr ? " /query /alerts" : "");
   std::fflush(stdout);
   return live;
+}
+
+/// Builds the time-series plane when --tsdb / --alert-floor (or the
+/// TOPFULL_TSDB env var) asks for one; null otherwise. Rules: the default
+/// multi-window SLO burn pair, plus goodput_floor_burn when --alert-floor
+/// gives a positive floor.
+std::unique_ptr<obs::TsdbPlane> MakeTsdbPlane(const Args& args) {
+  const char* env = std::getenv("TOPFULL_TSDB");
+  const bool env_on =
+      env != nullptr && *env != '\0' && std::string(env) != "0";
+  if (!args.Has("tsdb") && !args.Has("alert-floor") && !env_on) return nullptr;
+  auto plane = std::make_unique<obs::TsdbPlane>();
+  for (obs::AlertRule& rule : obs::SloBurnRules()) {
+    plane->rules().AddAlert(std::move(rule));
+  }
+  const double floor = args.Num("alert-floor", 0.0);
+  if (floor > 0) plane->rules().AddAlert(obs::GoodputFloorRule(floor));
+  return plane;
+}
+
+/// Minimal HTTP GET against the embedded observability server (numeric
+/// IPv4 hosts only — the server binds 127.0.0.1). Fills the status code
+/// and response body; false on connect/transport errors.
+bool HttpGet(const std::string& host, int port, const std::string& target,
+             int* status, std::string* body) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return false;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return false;
+  }
+  const std::string request = "GET " + target + " HTTP/1.1\r\nHost: " + host +
+                              "\r\nConnection: close\r\n\r\n";
+  std::size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n = ::send(fd, request.data() + sent, request.size() - sent, 0);
+    if (n <= 0) {
+      ::close(fd);
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  std::string response;
+  char buffer[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buffer, sizeof(buffer), 0)) > 0) {
+    response.append(buffer, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  const std::size_t header_end = response.find("\r\n\r\n");
+  if (header_end == std::string::npos ||
+      std::sscanf(response.c_str(), "HTTP/1.1 %d", status) != 1) {
+    return false;
+  }
+  *body = response.substr(header_end + 4);
+  return true;
+}
+
+/// Splits "http://HOST:PORT" (or "HOST:PORT") for HttpGet.
+bool ParseServerUrl(std::string url, std::string* host, int* port) {
+  const std::string scheme = "http://";
+  if (url.rfind(scheme, 0) == 0) url = url.substr(scheme.size());
+  while (!url.empty() && url.back() == '/') url.pop_back();
+  const std::size_t colon = url.rfind(':');
+  if (colon == std::string::npos) return false;
+  *host = url.substr(0, colon);
+  *port = std::atoi(url.substr(colon + 1).c_str());
+  return !host->empty() && *port > 0;
+}
+
+/// Percent-encodes a query-string value (the expression may carry spaces,
+/// '+', '&', brackets...).
+std::string PercentEncode(const std::string& text) {
+  static const char* hex = "0123456789ABCDEF";
+  std::string out;
+  for (const char c : text) {
+    const auto u = static_cast<unsigned char>(c);
+    const bool safe = (u >= 'a' && u <= 'z') || (u >= 'A' && u <= 'Z') ||
+                      (u >= '0' && u <= '9') || u == '-' || u == '_' ||
+                      u == '.' || u == '~';
+    if (safe) {
+      out += c;
+    } else {
+      out += '%';
+      out += hex[u >> 4];
+      out += hex[u & 0xf];
+    }
+  }
+  return out;
 }
 
 /// Resolves --controller via the shared exp name table; unknown names are
@@ -334,8 +456,19 @@ int CmdRunSharded(const Args& args) {
   options.net_latency = Millis(args.Num("net-latency-ms", 1.0));
   options.threaded = !args.Has("sequential");
 
+  // The sharded runner reads telemetry config from the environment (it
+  // builds one Telemetry per shard internally), so forward the CLI flags.
+  if (args.Has("trace-dir")) {
+    ::setenv("TOPFULL_TRACE_DIR", args.Get("trace-dir").c_str(), 1);
+  }
+  if (args.Has("trace-sample")) {
+    ::setenv("TOPFULL_TRACE_SAMPLE", args.Get("trace-sample").c_str(), 1);
+  }
+
+  std::unique_ptr<obs::TsdbPlane> tsdb = MakeTsdbPlane(args);
+  spec.tsdb = tsdb.get();
   int live_rc = 0;
-  std::unique_ptr<obs::LivePlane> live = MakeLivePlane(args, &live_rc);
+  std::unique_ptr<obs::LivePlane> live = MakeLivePlane(args, tsdb.get(), &live_rc);
   if (live_rc != 0) return live_rc;
   spec.live = live.get();
 
@@ -375,6 +508,11 @@ int CmdRunSharded(const Args& args) {
   }
   table.Print();
   std::printf("total avg goodput: %.0f rps\n", app.MergedAvgTotalGoodput());
+  if (tsdb != nullptr) {
+    std::printf("alerts: %zu rules, %zu transitions\n",
+                tsdb->rules().rule_count(),
+                tsdb->rules().transitions().size());
+  }
   std::printf("cross-shard RPCs: %llu, sync rounds: %llu\n",
               static_cast<unsigned long long>(app.RemoteCalls()),
               static_cast<unsigned long long>(app.engine().Rounds()));
@@ -429,6 +567,13 @@ int CmdRun(const Args& args) {
   exp::Telemetry telemetry(trace_options);
   telemetry.Attach(*app);
 
+  // The TSDB feeder chains after the SLO monitor, so it attaches second.
+  std::unique_ptr<obs::TsdbPlane> tsdb = MakeTsdbPlane(args);
+  if (tsdb != nullptr) {
+    tsdb->Attach(*app);
+    telemetry.SetTsdb(tsdb.get());
+  }
+
   std::shared_ptr<rl::GaussianPolicy> policy;
   if (VariantNeedsPolicy(variant)) policy = exp::GetPretrainedPolicy();
   exp::Controllers controllers;
@@ -480,7 +625,7 @@ int CmdRun(const Args& args) {
   if (!faults.empty()) injector.Arm();
 
   int live_rc = 0;
-  std::unique_ptr<obs::LivePlane> live = MakeLivePlane(args, &live_rc);
+  std::unique_ptr<obs::LivePlane> live = MakeLivePlane(args, tsdb.get(), &live_rc);
   if (live_rc != 0) return live_rc;
 
   std::printf("running %s with %s for %.0f s...\n", app->name().c_str(),
@@ -504,6 +649,7 @@ int CmdRun(const Args& args) {
       live->Publish(sources, /*finished=*/true);
     }
   }
+  if (tsdb != nullptr) tsdb->FinishRules(ToSeconds(app->sim().Now()));
 
   if (!injector.Log().empty()) {
     std::printf("faults: %d state changes from %zu scheduled events\n",
@@ -535,6 +681,11 @@ int CmdRun(const Args& args) {
   }
   table.Print();
   std::printf("total avg goodput: %.0f rps\n", app->metrics().AvgTotalGoodput());
+  if (tsdb != nullptr) {
+    std::printf("alerts: %zu rules, %zu transitions\n",
+                tsdb->rules().rule_count(),
+                tsdb->rules().transitions().size());
+  }
 
   if (telemetry.enabled()) {
     const exp::TelemetrySummary summary = telemetry.Export(
@@ -630,13 +781,27 @@ int CmdServe(const Args& args) {
     *out = text.str();
     return true;
   };
-  std::string metrics, summary;
+  std::string metrics, summary, alerts;
   if (!slurp(dir + "/" + name + ".metrics.prom", &metrics)) {
     std::fprintf(stderr, "cannot read %s/%s.metrics.prom\n", dir.c_str(),
                  name.c_str());
     return 2;
   }
   const bool have_summary = slurp(dir + "/" + name + ".summary.json", &summary);
+  // Replay the time-series artifacts when the run wrote them: /query
+  // evaluates against the reloaded store (samples are %.17g, so responses
+  // match the live server byte for byte); /alerts serves the saved body.
+  const bool have_alerts = slurp(dir + "/" + name + ".alerts.json", &alerts);
+  std::unique_ptr<obs::Tsdb> tsdb;
+  std::string tsdb_text;
+  if (slurp(dir + "/" + name + ".tsdb.json", &tsdb_text)) {
+    std::string error;
+    tsdb = obs::TsdbFromJson(tsdb_text, &error);
+    if (tsdb == nullptr) {
+      std::fprintf(stderr, "ignoring %s/%s.tsdb.json: %s\n", dir.c_str(),
+                   name.c_str(), error.c_str());
+    }
+  }
 
   obs::HttpServer server([&](const obs::HttpRequest& request) {
     const std::string path = request.target.substr(0, request.target.find('?'));
@@ -649,12 +814,19 @@ int CmdServe(const Args& args) {
     } else if (path == "/summary.json" && have_summary) {
       response.content_type = "application/json";
       response.body = summary;
+    } else if (path == "/query" && tsdb != nullptr) {
+      response = obs::HandleQueryRequest(request, *tsdb);
+    } else if (path == "/alerts" && have_alerts) {
+      response.content_type = "application/json";
+      response.body = alerts;
     } else if (path == "/") {
       response.body = "topfull serve — finished run \"" + name +
                       "\"\n"
                       "  /metrics       Prometheus dump\n"
                       "  /healthz       liveness probe\n"
                       "  /summary.json  run summary JSON\n";
+      if (tsdb != nullptr) response.body += "  /query         PromQL-subset query over the saved TSDB\n";
+      if (have_alerts) response.body += "  /alerts        saved alert states + transitions\n";
     } else {
       response.status = 404;
       response.body = "not found\n";
@@ -678,6 +850,131 @@ int CmdServe(const Args& args) {
     }
   }
   server.Stop();
+  return 0;
+}
+
+/// Shared --dir plumbing for `query`/`alerts`: resolves the run name (the
+/// lexicographically first `*<suffix>` file when --name is absent) and
+/// slurps `<dir>/<name><suffix>`. False with a message on stderr.
+bool LoadRunArtifact(const Args& args, const std::string& suffix,
+                     std::string* out) {
+  const std::string dir = args.Get("dir");
+  std::string name = args.Get("name");
+  if (name.empty()) {
+    std::vector<std::string> found;
+    std::error_code ec;
+    for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+      const std::string file = entry.path().filename().string();
+      if (file.size() > suffix.size() &&
+          file.compare(file.size() - suffix.size(), suffix.size(), suffix) == 0) {
+        found.push_back(file.substr(0, file.size() - suffix.size()));
+      }
+    }
+    if (found.empty()) {
+      std::fprintf(stderr, "no *%s under %s\n", suffix.c_str(), dir.c_str());
+      return false;
+    }
+    std::sort(found.begin(), found.end());
+    name = found.front();
+  }
+  const std::string path = dir + "/" + name + suffix;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot read %s\n", path.c_str());
+    return false;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  *out = text.str();
+  return true;
+}
+
+// `topfull query EXPR` evaluates a PromQL-subset expression against a live
+// run (--url, over the embedded server's /query endpoint) or a finished
+// run's .tsdb.json artifact (--dir). The --dir path builds the identical
+// /query target and routes it through the same HandleQueryRequest the
+// servers use, so both paths print byte-identical bodies.
+int CmdQuery(const Args& args) {
+  if (args.positional.empty()) {
+    std::fprintf(stderr, "usage: topfull query EXPR (--url http://HOST:PORT | "
+                         "--dir DIR [--name NAME])\n"
+                         "                     [--time T | --start A --end B --step S]\n");
+    return 2;
+  }
+  std::string target = "/query?expr=" + PercentEncode(args.positional[0]);
+  if (args.Has("start") || args.Has("end") || args.Has("step")) {
+    target += "&start=" + args.Get("start") + "&end=" + args.Get("end") +
+              "&step=" + args.Get("step");
+  } else if (args.Has("time")) {
+    target += "&time=" + args.Get("time");
+  }
+
+  if (args.Has("url")) {
+    std::string host;
+    int port = 0;
+    if (!ParseServerUrl(args.Get("url"), &host, &port)) {
+      std::fprintf(stderr, "bad --url '%s' (want http://HOST:PORT)\n",
+                   args.Get("url").c_str());
+      return 2;
+    }
+    int status = 0;
+    std::string body;
+    if (!HttpGet(host, port, target, &status, &body)) {
+      std::fprintf(stderr, "cannot reach %s:%d\n", host.c_str(), port);
+      return 1;
+    }
+    std::fputs(body.c_str(), stdout);
+    return status == 200 ? 0 : 1;
+  }
+
+  if (!args.Has("dir")) {
+    std::fprintf(stderr, "query needs --url or --dir\n");
+    return 2;
+  }
+  std::string text;
+  if (!LoadRunArtifact(args, ".tsdb.json", &text)) return 2;
+  std::string error;
+  const std::unique_ptr<obs::Tsdb> tsdb = obs::TsdbFromJson(text, &error);
+  if (tsdb == nullptr) {
+    std::fprintf(stderr, "bad .tsdb.json: %s\n", error.c_str());
+    return 2;
+  }
+  obs::HttpRequest request;
+  request.method = "GET";
+  request.target = target;
+  request.version = "HTTP/1.1";
+  const obs::HttpResponse response = obs::HandleQueryRequest(request, *tsdb);
+  std::fputs(response.body.c_str(), stdout);
+  return response.status == 200 ? 0 : 1;
+}
+
+// `topfull alerts` prints a run's alert states + transitions: --url asks a
+// live server's /alerts endpoint, --dir prints the saved .alerts.json.
+int CmdAlerts(const Args& args) {
+  if (args.Has("url")) {
+    std::string host;
+    int port = 0;
+    if (!ParseServerUrl(args.Get("url"), &host, &port)) {
+      std::fprintf(stderr, "bad --url '%s' (want http://HOST:PORT)\n",
+                   args.Get("url").c_str());
+      return 2;
+    }
+    int status = 0;
+    std::string body;
+    if (!HttpGet(host, port, "/alerts", &status, &body)) {
+      std::fprintf(stderr, "cannot reach %s:%d\n", host.c_str(), port);
+      return 1;
+    }
+    std::fputs(body.c_str(), stdout);
+    return status == 200 ? 0 : 1;
+  }
+  if (!args.Has("dir")) {
+    std::fprintf(stderr, "alerts needs --url or --dir\n");
+    return 2;
+  }
+  std::string body;
+  if (!LoadRunArtifact(args, ".alerts.json", &body)) return 2;
+  std::fputs(body.c_str(), stdout);
   return 0;
 }
 
@@ -813,6 +1110,8 @@ int main(int argc, char** argv) {
   if (args.command == "report") return CmdReport(args);
   if (args.command == "compare") return CmdCompare(args);
   if (args.command == "serve") return CmdServe(args);
+  if (args.command == "query") return CmdQuery(args);
+  if (args.command == "alerts") return CmdAlerts(args);
   if (args.command == "scenario") return CmdScenario(args);
   return Usage();
 }
