@@ -1,0 +1,158 @@
+// Per-(service, method) congestion-controller slots for the admission plane.
+//
+// One small interface, three admission disciplines behind it — the shapes
+// the paper's baseline survey covers:
+//  * TokenBucketAdmitter      — TopFull's entry gate (§5): rate + burst.
+//  * PriorityThresholdAdmitter — DAGOR-style compound-priority threshold:
+//    admit iff the request's priority is within the published threshold.
+//  * CreditAdmitter           — Breakwater-style credit pool: admits spend
+//    credits the server granted; the control loop tops the pool up.
+//
+// TryAdmit is the hot path and must stay lock-free and allocation-free on
+// every implementation; Configure is control-path-only and is serialized by
+// the owning AdmissionPlane.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+
+#include "admit/atomic_token_bucket.hpp"
+#include "common/sim_time.hpp"
+
+namespace topfull::admit {
+
+/// Everything an admitter may look at when deciding. Plain value — built on
+/// the caller's stack, never allocated.
+struct AdmitRequest {
+  SimTime now = 0;
+  /// Compound priority (lower = more important), DAGOR convention. Ignored
+  /// by rate-based admitters.
+  int priority = 0;
+};
+
+class Admitter {
+ public:
+  virtual ~Admitter() = default;
+
+  /// Lock-free, allocation-free admission decision.
+  virtual bool TryAdmit(const AdmitRequest& req) = 0;
+
+  /// Control-path reconfiguration. The two parameters are interpreted per
+  /// discipline: (rate, burst) for token buckets, (threshold, unused) for
+  /// priority thresholds, (grant-rate, pool-cap) for credit pools.
+  virtual void Configure(double rate, double burst) = 0;
+
+  /// The discipline's primary knob, for introspection/metrics.
+  virtual double rate() const = 0;
+
+  virtual const char* kind() const = 0;
+};
+
+/// TopFull's entry-gateway discipline: a lock-free token bucket.
+class TokenBucketAdmitter final : public Admitter {
+ public:
+  TokenBucketAdmitter(double rate, double burst) : bucket_(rate, burst) {}
+
+  bool TryAdmit(const AdmitRequest& req) override {
+    return bucket_.TryAdmit(req.now);
+  }
+  /// Resets the bucket exactly like assigning a fresh TokenBucket — required
+  /// for bit-identity with the sim's historical SetRate path (DESIGN.md §15).
+  void Configure(double rate, double burst) override {
+    bucket_.Configure(rate, burst);
+  }
+  double rate() const override { return bucket_.rate(); }
+  const char* kind() const override { return "token_bucket"; }
+
+  AtomicTokenBucket& bucket() { return bucket_; }
+  const AtomicTokenBucket& bucket() const { return bucket_; }
+
+ private:
+  AtomicTokenBucket bucket_;
+};
+
+/// DAGOR-style admission: admit iff priority <= threshold. The threshold is
+/// a single relaxed atomic — readers never see a torn value and the check is
+/// one load.
+class PriorityThresholdAdmitter final : public Admitter {
+ public:
+  explicit PriorityThresholdAdmitter(int threshold = 0)
+      : threshold_(threshold) {}
+
+  PriorityThresholdAdmitter(PriorityThresholdAdmitter&& other) noexcept
+      : threshold_(other.threshold()) {}
+  PriorityThresholdAdmitter& operator=(
+      PriorityThresholdAdmitter&& other) noexcept {
+    SetThreshold(other.threshold());
+    return *this;
+  }
+
+  bool TryAdmit(const AdmitRequest& req) override {
+    return req.priority <= threshold_.load(std::memory_order_relaxed);
+  }
+  void Configure(double rate, double /*burst*/) override {
+    SetThreshold(static_cast<int>(rate));
+  }
+  double rate() const override { return static_cast<double>(threshold()); }
+  const char* kind() const override { return "priority_threshold"; }
+
+  void SetThreshold(int t) {
+    threshold_.store(t, std::memory_order_relaxed);
+  }
+  int threshold() const { return threshold_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int> threshold_;
+};
+
+/// Breakwater-style credit pool: every admit spends one credit via a CAS
+/// decrement; Grant() (or Configure) refills up to the cap. Overcommit is
+/// impossible — the pool can never go negative, so total admits <= total
+/// credits granted.
+class CreditAdmitter final : public Admitter {
+ public:
+  explicit CreditAdmitter(double credits, double cap = 0.0)
+      : credits_(std::max(0.0, credits)),
+        cap_(std::max(std::max(1.0, cap), std::max(0.0, credits))) {}
+
+  bool TryAdmit(const AdmitRequest& /*req*/) override {
+    double cur = credits_.load(std::memory_order_relaxed);
+    while (cur >= 1.0) {
+      if (credits_.compare_exchange_weak(cur, cur - 1.0,
+                                         std::memory_order_relaxed)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Tops the pool up by `n` credits, clamped to the cap.
+  void Grant(double n) {
+    double cur = credits_.load(std::memory_order_relaxed);
+    const double cap = cap_.load(std::memory_order_relaxed);
+    while (!credits_.compare_exchange_weak(
+        cur, std::min(cap, cur + std::max(0.0, n)),
+        std::memory_order_relaxed)) {
+    }
+  }
+
+  /// (grant, cap): refills the pool to `rate` credits and sets the cap.
+  void Configure(double rate, double burst) override {
+    cap_.store(std::max(1.0, burst), std::memory_order_relaxed);
+    credits_.store(std::clamp(rate, 0.0, std::max(1.0, burst)),
+                   std::memory_order_relaxed);
+  }
+  double rate() const override {
+    return credits_.load(std::memory_order_relaxed);
+  }
+  const char* kind() const override { return "credit"; }
+
+  double credits() const { return credits_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> credits_;
+  std::atomic<double> cap_;
+};
+
+}  // namespace topfull::admit

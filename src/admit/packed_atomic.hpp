@@ -1,0 +1,79 @@
+// 16-byte packed atomic: the double-width CAS primitive under
+// AtomicTokenBucket (DESIGN.md §15).
+//
+// GCC refuses to inline 16-byte atomics (`std::atomic<T>::is_lock_free()`
+// reports false and every operation becomes an out-of-line libatomic call,
+// ~2x the cost of the raw instruction), so on x86-64 we issue
+// `lock cmpxchg16b` directly. Other targets fall back to the `__atomic`
+// builtins (link libatomic there; see src/admit/CMakeLists.txt).
+//
+// ThreadSanitizer note: the inline-asm path is invisible to TSan, which is
+// sound here because *every* access to a Packed128 cell goes through this
+// header — there are no instrumented plain loads/stores of the same bytes
+// to race against. Cross-field synchronization is never derived from these
+// operations; callers keep independently-consistent state in real
+// std::atomic members.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+
+namespace topfull::admit {
+
+/// The bucket state that must change atomically as one unit: the fractional
+/// token balance and the last-refill timestamp (microseconds).
+struct alignas(16) Packed128 {
+  double tokens = 0.0;
+  std::int64_t last = 0;
+};
+
+inline bool operator==(const Packed128& a, const Packed128& b) {
+  return std::memcmp(&a, &b, sizeof(Packed128)) == 0;
+}
+
+/// Strong compare-exchange of the full 16 bytes. On failure `expected` is
+/// refreshed with the current value (exactly the std::atomic contract).
+inline bool CompareExchange(Packed128* target, Packed128& expected,
+                            const Packed128& desired) noexcept {
+#if defined(__x86_64__)
+  bool ok;
+  std::uint64_t exp_lo, exp_hi, des_lo, des_hi;
+  std::memcpy(&exp_lo, &expected.tokens, sizeof(exp_lo));
+  std::memcpy(&exp_hi, &expected.last, sizeof(exp_hi));
+  std::memcpy(&des_lo, &desired.tokens, sizeof(des_lo));
+  std::memcpy(&des_hi, &desired.last, sizeof(des_hi));
+  __asm__ __volatile__("lock cmpxchg16b %[ptr]"
+                       : "=@ccz"(ok), [ptr] "+m"(*target), "+a"(exp_lo),
+                         "+d"(exp_hi)
+                       : "b"(des_lo), "c"(des_hi)
+                       : "memory");
+  if (!ok) {
+    std::memcpy(&expected.tokens, &exp_lo, sizeof(exp_lo));
+    std::memcpy(&expected.last, &exp_hi, sizeof(exp_hi));
+  }
+  return ok;
+#else
+  Packed128 want = desired;
+  return __atomic_compare_exchange(target, &expected, &want, /*weak=*/false,
+                                   __ATOMIC_SEQ_CST, __ATOMIC_SEQ_CST);
+#endif
+}
+
+/// Consistent (untorn) load. cmpxchg16b always deposits the current value in
+/// rdx:rax, so one CAS with desired == hint doubles as a load: if the hint
+/// was right the (idempotent) store rewrites the same bytes, if it was wrong
+/// the failure path hands back the real value. `hint` should be the caller's
+/// best guess to keep this a single instruction.
+inline Packed128 Load(Packed128* target, Packed128 hint) noexcept {
+  CompareExchange(target, hint, hint);
+  return hint;
+}
+
+/// Unconditional store (control path only; loops a CAS until it lands).
+inline void Store(Packed128* target, const Packed128& desired,
+                  Packed128 hint) noexcept {
+  while (!CompareExchange(target, hint, desired)) {
+  }
+}
+
+}  // namespace topfull::admit

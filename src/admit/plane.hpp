@@ -1,0 +1,211 @@
+// AdmissionPlane: the concurrent admission registry (ytsaurus
+// TOverloadController shape — see DESIGN.md §15).
+//
+// Read path: one atomic snapshot load maps (service, method) → admitter
+// slot; admits never take a lock and never observe a torn reconfiguration.
+// Control path: a single control thread (serialized by a mutex) registers /
+// removes slots and republishes rates; topology changes build a fresh
+// immutable State and release-publish it, while pure rate changes are
+// applied in place on the (stable, shared_ptr-held) admitter objects so the
+// read path picks them up without a snapshot rebuild.
+//
+// Snapshot publication uses the same hazard-slot ring as obs::SnapshotBoard
+// rather than std::atomic<std::shared_ptr<...>>: libstdc++'s _Sp_atomic
+// releases its internal spinlock with a relaxed RMW, which TSan (correctly,
+// per the letter of the memory model) flags — the slot ring is the repo's
+// proven TSan-clean single-publisher/multi-reader exchange.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "admit/admitter.hpp"
+
+namespace topfull::admit {
+
+/// Single-publisher / multi-reader cell holding a shared_ptr<const T>.
+/// Read() is lock-free and returns a reference-counted handle that keeps the
+/// value alive for as long as the caller holds it; Publish() (publisher must
+/// be externally serialized) never blocks on readers.
+template <typename T>
+class RcuCell {
+ public:
+  void Publish(std::shared_ptr<const T> value) {
+    if (value == nullptr) return;
+    const std::uint32_t cur = current_.load(std::memory_order_relaxed);
+    std::uint32_t next = cur;
+    for (;;) {
+      next = (next + 1) % kSlots;
+      if (next == cur) continue;  // never overwrite the live slot
+      if (slots_[next].readers.load(std::memory_order_seq_cst) == 0) break;
+    }
+    slots_[next].value = std::move(value);
+    current_.store(next, std::memory_order_seq_cst);
+  }
+
+  std::shared_ptr<const T> Read() const {
+    for (;;) {
+      const std::uint32_t i = current_.load(std::memory_order_seq_cst);
+      Slot& slot = slots_[i];
+      slot.readers.fetch_add(1, std::memory_order_seq_cst);
+      if (current_.load(std::memory_order_seq_cst) == i) {
+        std::shared_ptr<const T> out = slot.value;
+        slot.readers.fetch_sub(1, std::memory_order_seq_cst);
+        return out;
+      }
+      // The publisher moved on while we pinned; retry on the fresh slot.
+      slot.readers.fetch_sub(1, std::memory_order_seq_cst);
+    }
+  }
+
+ private:
+  // 4 slots: 1 live + up to 2 mid-Read stragglers + 1 the publisher is
+  // filling. The publisher skips slots with pinned readers, so a reader's
+  // copy always completes on an intact shared_ptr.
+  static constexpr std::uint32_t kSlots = 4;
+
+  struct Slot {
+    std::shared_ptr<const T> value;
+    std::atomic<std::uint32_t> readers{0};
+  };
+
+  mutable std::array<Slot, kSlots> slots_;
+  std::atomic<std::uint32_t> current_{0};
+};
+
+/// Outcome of a control-path Configure.
+enum class ConfigureResult {
+  kApplied,      ///< limit actually changed; new snapshot published
+  kCoalesced,    ///< same (rate, burst) as already configured; publish skipped
+  kInvalidSlot,  ///< unknown or removed slot
+};
+
+/// Control-plane counters (read with Stats(); all monotonic).
+struct PlaneStats {
+  std::uint64_t reconfigs_applied = 0;
+  std::uint64_t reconfigs_coalesced = 0;
+  std::uint64_t snapshots_published = 0;
+};
+
+class AdmissionPlane {
+ public:
+  /// The immutable snapshot the read path navigates. `slots` is dense by
+  /// slot id (nullptr = removed slot, which fails open); `index` maps
+  /// "service/method" to the slot id.
+  struct State {
+    std::uint64_t version = 0;
+    std::vector<std::shared_ptr<Admitter>> slots;
+    std::unordered_map<std::string, int> index;
+  };
+
+  AdmissionPlane();
+
+  // --- Control path (thread-safe, serialized internally) --------------------
+  /// Registers an admitter under (service, method); returns its stable slot
+  /// id. Publishes a new snapshot.
+  int Register(const std::string& service, const std::string& method,
+               std::shared_ptr<Admitter> admitter);
+
+  /// Removes a slot (subsequent admits on it fail open). The admitter stays
+  /// alive for as long as any reader still holds a pinned snapshot.
+  void Remove(int slot);
+
+  /// Applies (rate, burst) to a slot's admitter. The admitter is always
+  /// reconfigured in place — a discipline like the token bucket resets its
+  /// balance on every call, exactly like the sim's historical SetRate path —
+  /// but the snapshot republish (and version bump) is coalesced away when
+  /// (rate, burst) match what is already configured.
+  ConfigureResult Configure(int slot, double rate, double burst);
+
+  // --- Read path (lock-free) ------------------------------------------------
+  /// Current snapshot; holding the returned pointer pins every admitter in
+  /// it (safe across concurrent Remove).
+  std::shared_ptr<const State> Snapshot() const { return cell_.Read(); }
+
+  /// Snapshot version counter; bumps on every publish. Cheap enough to poll
+  /// per-admit (one acquire load).
+  std::uint64_t version() const {
+    return version_.load(std::memory_order_acquire);
+  }
+
+  /// One-shot admit through the current snapshot. Unknown/removed slots fail
+  /// open (admit), matching "uncapped" semantics. Prefer CachedGate on hot
+  /// paths: this copies the snapshot handle (two ref-count RMWs) per call.
+  bool TryAdmit(int slot, const AdmitRequest& req) const;
+
+  /// Slot id for (service, method), or -1.
+  int FindSlot(const std::string& service, const std::string& method) const;
+
+  PlaneStats Stats() const;
+
+ private:
+  struct Entry {
+    std::string service;
+    std::string method;
+    std::shared_ptr<Admitter> admitter;  // nullptr once removed
+    bool configured = false;             // has Configure ever been applied?
+    double rate = 0.0;                   // last applied (rate, burst) —
+    double burst = 0.0;                  // the coalescing shadow
+  };
+
+  /// Builds a State from entries_ and publishes it. Caller holds mu_.
+  void PublishLocked();
+
+  mutable std::mutex mu_;
+  std::vector<Entry> entries_;
+  std::uint64_t next_version_ = 0;
+
+  RcuCell<State> cell_;
+  std::atomic<std::uint64_t> version_{0};
+  std::atomic<std::uint64_t> reconfigs_applied_{0};
+  std::atomic<std::uint64_t> reconfigs_coalesced_{0};
+  std::atomic<std::uint64_t> snapshots_published_{0};
+};
+
+/// Per-caller read handle that only re-reads the plane snapshot when the
+/// version moved — the steady-state admit is one relaxed version load plus
+/// the admitter's own decision, with zero shared_ptr ref-count traffic and
+/// zero allocation.
+class CachedGate {
+ public:
+  CachedGate() = default;
+  explicit CachedGate(const AdmissionPlane* plane) : plane_(plane) {}
+
+  bool TryAdmit(int slot, const AdmitRequest& req) {
+    Refresh();
+    if (state_ == nullptr || slot < 0 ||
+        slot >= static_cast<int>(state_->slots.size())) {
+      return true;  // fail open, uncapped semantics
+    }
+    Admitter* admitter = state_->slots[static_cast<std::size_t>(slot)].get();
+    if (admitter == nullptr) return true;
+    return admitter->TryAdmit(req);
+  }
+
+  /// The snapshot this gate currently navigates (tests/introspection).
+  const std::shared_ptr<const AdmissionPlane::State>& state() {
+    Refresh();
+    return state_;
+  }
+
+ private:
+  void Refresh() {
+    if (plane_ == nullptr) return;
+    const std::uint64_t v = plane_->version();
+    if (v == seen_version_) return;
+    state_ = plane_->Snapshot();
+    seen_version_ = state_ != nullptr ? state_->version : v;
+  }
+
+  const AdmissionPlane* plane_ = nullptr;
+  std::shared_ptr<const AdmissionPlane::State> state_;
+  std::uint64_t seen_version_ = ~std::uint64_t{0};
+};
+
+}  // namespace topfull::admit

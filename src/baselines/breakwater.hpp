@@ -15,7 +15,7 @@
 
 #include <vector>
 
-#include "common/token_bucket.hpp"
+#include "admit/atomic_token_bucket.hpp"
 #include "sim/app.hpp"
 
 namespace topfull::baselines {
@@ -58,7 +58,9 @@ class BreakwaterAdmission : public sim::ServiceAdmission {
  private:
   struct PodCtl {
     double rate;
-    TokenBucket bucket;
+    // The plane's lock-free bucket; sequential use is bit-identical to the
+    // historical common::TokenBucket (same refill math — DESIGN.md §15).
+    admit::AtomicTokenBucket bucket;
     explicit PodCtl(double rate_rps)
         : rate(rate_rps), bucket(rate_rps, std::max(4.0, rate_rps / 10.0)) {}
   };

@@ -22,7 +22,7 @@
 
 #include <vector>
 
-#include "common/token_bucket.hpp"
+#include "admit/atomic_token_bucket.hpp"
 #include "sim/app.hpp"
 
 namespace topfull::baselines {
@@ -55,7 +55,9 @@ class WispAdmission : public sim::ServiceAdmission {
  private:
   struct PodCtl {
     double rate;
-    TokenBucket bucket;
+    // The plane's lock-free bucket; sequential use is bit-identical to the
+    // historical common::TokenBucket (same refill math — DESIGN.md §15).
+    admit::AtomicTokenBucket bucket;
     // Downstream acceptance accounting for the current window: of the
     // requests this pod admitted, how many were later shed anywhere
     // downstream of it. Approximated service-wide (see Update()).

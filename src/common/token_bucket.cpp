@@ -25,9 +25,9 @@ bool TokenBucket::TryAdmit(SimTime now) {
 
 void TokenBucket::SetRate(double rate) { rate_ = std::max(0.0, rate); }
 
-double TokenBucket::Tokens(SimTime now) {
-  Refill(now);
-  return tokens_;
+double TokenBucket::PeekTokens(SimTime now) const {
+  if (now <= last_refill_) return tokens_;
+  return std::min(burst_, tokens_ + ToSeconds(now - last_refill_) * rate_);
 }
 
 }  // namespace topfull

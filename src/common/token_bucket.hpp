@@ -23,8 +23,10 @@ class TokenBucket {
   double rate() const { return rate_; }
   double burst() const { return burst_; }
 
-  /// Current token balance after refilling up to `now` (for tests/metrics).
-  double Tokens(SimTime now);
+  /// Non-mutating preview of the balance a refill up to `now` would leave
+  /// (for tests/metrics). Pure read: the bucket state is untouched, so
+  /// interleaving previews with TryAdmit cannot perturb the decision stream.
+  double PeekTokens(SimTime now) const;
 
  private:
   void Refill(SimTime now);

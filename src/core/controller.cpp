@@ -22,6 +22,10 @@ TopFullController::TopFullController(sim::Application* app,
   decisions_counter_ =
       metrics.GetCounter("topfull_controller_decisions_total",
                          "Control decisions taken (Algorithm 1 + recovery).");
+  reconfigs_skipped_counter_ = metrics.GetCounter(
+      "topfull_admit_reconfigs_skipped_total",
+      "Admission-plane limit publishes coalesced away (same rate and burst "
+      "as already configured, so no new RCU snapshot was built).");
   overloaded_gauge_ = metrics.GetGauge(
       "topfull_controller_overloaded_services",
       "Overloaded microservices detected at the last tick (after hysteresis).");
@@ -30,7 +34,14 @@ TopFullController::TopFullController(sim::Application* app,
         "topfull_api_rate_limit_rps",
         "Entry rate limit per API (+Inf = uncapped).", {{"api", app_->api(a).name()}}));
     limit_gauges_.back()->Set(std::numeric_limits<double>::infinity());
+    // One admission-plane slot per API at the entry gateway. The effectively
+    // uncapped (1e18, 1e18) bucket mirrors the historical ApiControl default;
+    // it is never consulted until the API is capped and Configure()d.
+    controls_[a].slot = plane_.Register(
+        "entry", app_->api(a).name(),
+        std::make_shared<admit::TokenBucketAdmitter>(1e18, 1e18));
   }
+  gate_ = admit::CachedGate(&plane_);
 }
 
 void TopFullController::Start() {
@@ -43,7 +54,9 @@ void TopFullController::Start() {
 bool TopFullController::Admit(sim::ApiId api, SimTime now) {
   ApiControl& control = controls_[api];
   if (!control.capped) return true;
-  return control.bucket.TryAdmit(now);
+  admit::AdmitRequest req;
+  req.now = now;
+  return gate_.TryAdmit(control.slot, req);
 }
 
 std::optional<double> TopFullController::RateLimit(sim::ApiId api) const {
@@ -102,11 +115,16 @@ void TopFullController::SetRate(sim::ApiId api, double rate) {
     decision_observer_->OnRateChange(api, before, control.rate);
   }
   limit_gauges_[api]->Set(control.rate);
-  control.bucket.SetRate(control.rate);
-  // Keep a shallow burst so 1 s averages track the limit closely.
+  // Keep a shallow burst so 1 s averages track the limit closely. Configure
+  // resets the slot's bucket exactly like the historical fresh-TokenBucket
+  // assignment; a same-value republish still resets but skips the RCU
+  // snapshot rebuild (coalesced, counted below).
   const double burst =
       std::max(config_.min_burst, control.rate * config_.burst_fraction);
-  control.bucket = TokenBucket(control.rate, burst);
+  if (plane_.Configure(control.slot, control.rate, burst) ==
+      admit::ConfigureResult::kCoalesced) {
+    reconfigs_skipped_counter_->Inc();
+  }
 }
 
 void TopFullController::EnsureCapped(sim::ApiId api, const sim::Snapshot& snap) {

@@ -426,9 +426,10 @@ TEST_P(TokenBucketConservationSweep, AdmissionBoundedByBurstPlusRateIntegral) {
     } else {
       ++rejected;
     }
-    // The token pool stays within [0, burst] at all times.
-    EXPECT_GE(bucket.Tokens(now), 0.0);
-    EXPECT_LE(bucket.Tokens(now), bucket.burst());
+    // The token pool stays within [0, burst] at all times. PeekTokens is a
+    // pure read, so asserting here cannot perturb the admission stream.
+    EXPECT_GE(bucket.PeekTokens(now), 0.0);
+    EXPECT_LE(bucket.PeekTokens(now), bucket.burst());
   }
   EXPECT_EQ(admitted + rejected, attempts);
   EXPECT_LE(static_cast<double>(admitted), budget + 1e-6);
